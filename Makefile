@@ -1,0 +1,41 @@
+# Convenience targets for the optimistic-access reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover fuzz bench experiments stress clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Short fuzz pass over every fuzz target (extend -fuzztime for real runs).
+fuzz:
+	$(GO) test -fuzz FuzzOAListVsModel -fuzztime 30s ./internal/list
+	$(GO) test -fuzz FuzzOASkipListVsModel -fuzztime 30s ./internal/skiplist
+	$(GO) test -fuzz FuzzMapVsModel -fuzztime 30s ./internal/kvmap
+	$(GO) test -fuzz FuzzOAQueueVsModel -fuzztime 30s ./internal/queue
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full figure regeneration (paper settings: -duration 1s -reps 20).
+experiments:
+	$(GO) run ./cmd/oabench -experiment all -duration 300ms -reps 3
+	$(GO) run ./cmd/oabench -experiment ext -duration 300ms -reps 3
+
+stress:
+	$(GO) run ./cmd/oastress -all -duration 5s
+
+clean:
+	$(GO) clean ./...

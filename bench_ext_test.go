@@ -1,0 +1,148 @@
+// Extension benchmarks beyond the paper's figures: the Michael-Scott
+// queue, the Treiber stack, the key→value map and the ordered range scan,
+// each under the schemes that support them. See EXPERIMENTS.md
+// "Extensions".
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/ebr"
+	"repro/internal/hpscheme"
+	"repro/internal/kvmap"
+	"repro/internal/list"
+	"repro/internal/norecl"
+	"repro/internal/queue"
+	"repro/internal/skiplist"
+	"repro/internal/smr"
+	"repro/internal/stack"
+)
+
+const extCapacity = 1 << 16
+
+// BenchmarkExtQueue measures enqueue+dequeue pairs through the MS queue.
+func BenchmarkExtQueue(b *testing.B) {
+	mk := map[string]func() smr.Queue{
+		"NoRecl": func() smr.Queue {
+			return queue.NewNoRecl(norecl.Config{MaxThreads: 1, Capacity: extCapacity})
+		},
+		"OA": func() smr.Queue {
+			return queue.NewOA(core.Config{MaxThreads: 1, Capacity: extCapacity})
+		},
+		"HP": func() smr.Queue {
+			return queue.NewHP(hpscheme.Config{MaxThreads: 1, Capacity: extCapacity})
+		},
+		"EBR": func() smr.Queue {
+			return queue.NewEBR(ebr.Config{MaxThreads: 1, Capacity: extCapacity})
+		},
+	}
+	for _, name := range []string{"NoRecl", "OA", "HP", "EBR"} {
+		b.Run(name, func(b *testing.B) {
+			s := mk[name]().QueueSession(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Enqueue(uint64(i))
+				s.Dequeue()
+			}
+		})
+	}
+}
+
+// BenchmarkExtStack measures push+pop pairs through the Treiber stack.
+func BenchmarkExtStack(b *testing.B) {
+	mk := map[string]func() stack.Stack{
+		"NoRecl": func() stack.Stack {
+			return stack.NewNoRecl(norecl.Config{MaxThreads: 1, Capacity: extCapacity})
+		},
+		"OA": func() stack.Stack {
+			return stack.NewOA(core.Config{MaxThreads: 1, Capacity: extCapacity})
+		},
+		"HP": func() stack.Stack {
+			return stack.NewHP(hpscheme.Config{MaxThreads: 1, Capacity: extCapacity})
+		},
+		"EBR": func() stack.Stack {
+			return stack.NewEBR(ebr.Config{MaxThreads: 1, Capacity: extCapacity})
+		},
+	}
+	for _, name := range []string{"NoRecl", "OA", "HP", "EBR"} {
+		b.Run(name, func(b *testing.B) {
+			s := mk[name]().StackSession(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Push(uint64(i))
+				s.Pop()
+			}
+		})
+	}
+}
+
+// BenchmarkExtMap measures the map's four operations in a mixed loop.
+func BenchmarkExtMap(b *testing.B) {
+	m := kvmap.New(core.Config{MaxThreads: 1, Capacity: extCapacity}, 4096)
+	s := m.Session(0)
+	for k := uint64(1); k <= 4096; k++ {
+		s.PutIfAbsent(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%4096) + 1
+		switch i & 3 {
+		case 0:
+			s.Get(k)
+		case 1:
+			s.Put(k, uint64(i))
+		case 2:
+			s.Get(k + 4096)
+		default:
+			s.PutIfAbsent(k, uint64(i))
+		}
+	}
+}
+
+// BenchmarkExtRangeScan measures the ordered scan over a 10k-key index.
+func BenchmarkExtRangeScan(b *testing.B) {
+	sl := skiplist.NewOA(core.Config{MaxThreads: 1, Capacity: extCapacity})
+	s := sl.ScanSession(0)
+	for k := uint64(1); k <= 10000; k++ {
+		s.Insert(k)
+	}
+	b.ResetTimer()
+	visited := 0
+	for i := 0; i < b.N; i++ {
+		s.RangeScan(1, 10000, func(uint64) bool { visited++; return true })
+	}
+	b.StopTimer()
+	if visited != b.N*10000 {
+		b.Fatalf("visited %d keys, want %d", visited, b.N*10000)
+	}
+	b.ReportMetric(float64(visited)/float64(b.N), "keys/scan")
+}
+
+// BenchmarkAllocatorSanity reproduces the paper's §5 sanity check that the
+// object-pool allocator performs at least as well as the system allocator:
+// node churn through the shared pool vs native Go allocation of equivalent
+// nodes (which also drags the garbage collector into the loop).
+func BenchmarkAllocatorSanity(b *testing.B) {
+	b.Run("pool", func(b *testing.B) {
+		p := alloc.New(4096, 126, list.ResetNode)
+		var l alloc.Local
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := p.Alloc(&l)
+			p.Arena().At(s).Key.Store(uint64(i))
+			p.Free(&l, s)
+		}
+	})
+	b.Run("native", func(b *testing.B) {
+		var sink *list.Node
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := &list.Node{}
+			n.Key.Store(uint64(i))
+			sink = n
+		}
+		_ = sink
+	})
+}

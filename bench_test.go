@@ -1,0 +1,137 @@
+// Per-figure benchmarks. Every table/figure of the paper's evaluation has
+// a bench target here; cmd/oabench runs the same cells with the paper's
+// full sweep and ratio reporting. Run:
+//
+//	go test -bench=. -benchmem            # everything
+//	go test -bench 'Fig1/Hash'            # one panel
+//
+// The "mops" metric is throughput in million operations per second.
+package repro
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/smr"
+)
+
+// benchThreads is the worker count for bench cells; the host in CI-like
+// environments may have a single CPU, in which case workers time-slice
+// (ratios between schemes remain meaningful, absolute scaling does not).
+const benchThreads = 4
+
+func benchCell(b *testing.B, st harness.Structure, sc smr.Scheme,
+	readFraction float64, delta, localPool int, warnStore bool) {
+	b.Helper()
+	set, err := harness.Build(harness.BuildConfig{
+		Structure: st, Scheme: sc, Threads: benchThreads,
+		Delta: delta, LocalPool: localPool, WarningByStore: warnStore,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := harness.WorkloadFor(st, benchThreads, readFraction)
+	harness.Prefill(set, w)
+	w.TotalOps = b.N
+	b.ResetTimer()
+	res := harness.RunPrefilled(set, w)
+	b.StopTimer()
+	b.ReportMetric(res.Mops(), "mops")
+}
+
+// schemesFor mirrors the paper's per-structure scheme matrix.
+func schemesFor(st harness.Structure) []smr.Scheme {
+	s := []smr.Scheme{smr.NoRecl, smr.OA, smr.HP, smr.EBR}
+	if st.Supports(smr.Anchors) {
+		s = append(s, smr.Anchors)
+	}
+	return s
+}
+
+// BenchmarkFig1 regenerates Figure 1 (and via ratios, Figure 4; run with a
+// capped GOMAXPROCS for Figures 5-6): throughput of every structure under
+// every scheme at the 80%-read mix, reclamation every ~50,000 allocations.
+func BenchmarkFig1(b *testing.B) {
+	for _, st := range harness.Structures {
+		for _, sc := range schemesFor(st) {
+			b.Run(string(st)+"/"+sc.String(), func(b *testing.B) {
+				benchCell(b, st, sc, 0.8, 50000, 126, false)
+			})
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2: throughput as a function of the
+// local pool size (paper: 32 threads, a phase every ~16,000 allocations).
+func BenchmarkFig2(b *testing.B) {
+	for _, st := range []harness.Structure{harness.LinkedList5K, harness.Hash} {
+		for _, sc := range []smr.Scheme{smr.OA, smr.HP, smr.EBR} {
+			for _, pool := range []int{2, 32, 126} {
+				b.Run(string(st)+"/"+sc.String()+"/pool="+strconv.Itoa(pool), func(b *testing.B) {
+					benchCell(b, st, sc, 0.8, 16000, pool, false)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3: throughput as a function of the
+// reclamation phase frequency δ.
+func BenchmarkFig3(b *testing.B) {
+	for _, st := range []harness.Structure{harness.LinkedList5K, harness.Hash} {
+		for _, sc := range []smr.Scheme{smr.OA, smr.HP, smr.EBR} {
+			for _, delta := range []int{8000, 16000, 32000} {
+				b.Run(string(st)+"/"+sc.String()+"/delta="+strconv.Itoa(delta), func(b *testing.B) {
+					benchCell(b, st, sc, 0.8, delta, 126, false)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: the 40%-mutation mix (60% reads).
+func BenchmarkFig7(b *testing.B) {
+	for _, st := range harness.Structures {
+		for _, sc := range schemesFor(st) {
+			b.Run(string(st)+"/"+sc.String(), func(b *testing.B) {
+				benchCell(b, st, sc, 0.6, 50000, 126, false)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: the 2/3-mutation mix (1/3 reads).
+func BenchmarkFig8(b *testing.B) {
+	for _, st := range harness.Structures {
+		for _, sc := range schemesFor(st) {
+			b.Run(string(st)+"/"+sc.String(), func(b *testing.B) {
+				benchCell(b, st, sc, 1.0/3.0, 50000, 126, false)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationWarning measures Appendix E's warning-bit protocol
+// choice: once-per-phase CAS (the paper's optimization) vs plain store.
+func BenchmarkAblationWarning(b *testing.B) {
+	for _, st := range []harness.Structure{harness.LinkedList128, harness.Hash} {
+		b.Run(string(st)+"/cas", func(b *testing.B) {
+			benchCell(b, st, smr.OA, 0.8, 16000, 126, false)
+		})
+		b.Run(string(st)+"/store", func(b *testing.B) {
+			benchCell(b, st, smr.OA, 0.8, 16000, 126, true)
+		})
+	}
+}
+
+// BenchmarkOAReadBarrier isolates the cost of the paper's Algorithm 1 read
+// barrier: the pure-read workload on the long list is a traversal
+// micro-benchmark where OA's warning check is the only overhead vs NoRecl.
+func BenchmarkOAReadBarrier(b *testing.B) {
+	for _, sc := range []smr.Scheme{smr.NoRecl, smr.OA, smr.HP, smr.EBR} {
+		b.Run(sc.String(), func(b *testing.B) {
+			benchCell(b, harness.LinkedList5K, sc, 1.0, 50000, 126, false)
+		})
+	}
+}

@@ -1,0 +1,296 @@
+// Command oastress is a long-running correctness harness: it hammers a
+// chosen (structure, scheme) pair with random operations from many
+// goroutines while tracking per-key success counts, then verifies the
+// final structure against the only histories a linearizable set allows.
+// It exits non-zero on any violation. Use it to soak-test the reclamation
+// schemes far beyond what `go test` runs:
+//
+//	oastress -structure Hash -scheme OA -threads 8 -duration 30s
+//	oastress -all -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ebr"
+	"repro/internal/harness"
+	"repro/internal/hpscheme"
+	"repro/internal/linearize"
+	"repro/internal/norecl"
+	"repro/internal/queue"
+	"repro/internal/smr"
+)
+
+type keyCounter struct {
+	ins atomic.Int64
+	del atomic.Int64
+	_   [6]int64 // pad
+}
+
+func stress(st harness.Structure, sc smr.Scheme, threads int, d time.Duration, keys int) error {
+	set, err := harness.Build(harness.BuildConfig{
+		Structure: st, Scheme: sc, Threads: threads, Delta: 16384,
+	})
+	if err != nil {
+		return err
+	}
+	counters := make([]keyCounter, keys+1)
+	var stop atomic.Bool
+	var ops atomic.Uint64
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := set.Session(id)
+			rng := uint64(id)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+			n := uint64(0)
+			for !stop.Load() {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				k := rng%uint64(keys) + 1
+				switch (rng >> 40) % 3 {
+				case 0:
+					if s.Insert(k) {
+						counters[k].ins.Add(1)
+					}
+				case 1:
+					if s.Delete(k) {
+						counters[k].del.Add(1)
+					}
+				default:
+					s.Contains(k)
+				}
+				n++
+			}
+			ops.Add(n)
+		}(id)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+
+	// Conservation: for every key, successful inserts - successful deletes
+	// must be 0 or 1, and must match final membership.
+	probe := set.Session(0)
+	for k := 1; k <= keys; k++ {
+		diff := counters[k].ins.Load() - counters[k].del.Load()
+		if diff != 0 && diff != 1 {
+			return fmt.Errorf("%s/%v key %d: %d inserts vs %d deletes — impossible history",
+				st, sc, k, counters[k].ins.Load(), counters[k].del.Load())
+		}
+		if got, want := probe.Contains(uint64(k)), diff == 1; got != want {
+			return fmt.Errorf("%s/%v key %d: Contains=%v but history says %v",
+				st, sc, k, got, want)
+		}
+	}
+	stats := set.Stats()
+	fmt.Printf("OK   %-14s %-8v %9.2f Mops/s  recycled=%-9d phases=%-6d restarts=%d\n",
+		st, sc, float64(ops.Load())/d.Seconds()/1e6, stats.Recycled, stats.Phases, stats.Restarts)
+	return nil
+}
+
+// stressQueue soaks the MS queue: per-producer FIFO order and
+// exactly-once consumption, verified on the fly.
+func stressQueue(sc smr.Scheme, threads int, d time.Duration) error {
+	var q smr.Queue
+	cfg := 1 << 16
+	switch sc {
+	case smr.NoRecl:
+		q = queue.NewNoRecl(norecl.Config{MaxThreads: threads, Capacity: cfg})
+	case smr.OA:
+		q = queue.NewOA(core.Config{MaxThreads: threads, Capacity: cfg})
+	case smr.HP:
+		q = queue.NewHP(hpscheme.Config{MaxThreads: threads, Capacity: cfg})
+	case smr.EBR:
+		q = queue.NewEBR(ebr.Config{MaxThreads: threads, Capacity: cfg})
+	default:
+		return fmt.Errorf("queue does not support %v", sc)
+	}
+	producers := threads / 2
+	if producers == 0 {
+		producers = 1
+	}
+	var stop atomic.Bool
+	var enq, deq atomic.Uint64
+	errs := make(chan error, threads)
+	var wg sync.WaitGroup
+	var seen sync.Map // value -> struct{}
+	lastPerProducer := make([][]atomic.Int64, threads)
+	for c := 0; c < threads; c++ {
+		lastPerProducer[c] = make([]atomic.Int64, producers)
+		for p := range lastPerProducer[c] {
+			lastPerProducer[c][p].Store(-1)
+		}
+	}
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := q.QueueSession(id)
+			if id < producers {
+				for i := uint64(0); !stop.Load(); i++ {
+					if enq.Load()-deq.Load() > 1<<14 { // backlog bound
+						runtime.Gosched()
+						continue
+					}
+					s.Enqueue(uint64(id)<<40 | i)
+					enq.Add(1)
+				}
+				return
+			}
+			for !stop.Load() {
+				v, ok := s.Dequeue()
+				if !ok {
+					continue
+				}
+				deq.Add(1)
+				if _, dup := seen.LoadOrStore(v, struct{}{}); dup {
+					errs <- fmt.Errorf("queue/%v: value %#x dequeued twice", sc, v)
+					return
+				}
+				p := int(v >> 40)
+				i := int64(v & (1<<40 - 1))
+				if prev := lastPerProducer[id][p].Load(); i <= prev {
+					errs <- fmt.Errorf("queue/%v: producer %d order broken: %d after %d", sc, p, i, prev)
+					return
+				}
+				lastPerProducer[id][p].Store(i)
+			}
+		}(id)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	fmt.Printf("OK   %-14s %-8v %9.2f Mops/s  (FIFO + exactly-once verified)\n",
+		"Queue", sc, float64(enq.Load()+deq.Load())/d.Seconds()/1e6)
+	return nil
+}
+
+// stressLinearizable records real concurrent histories through the
+// Wing-Gong checker in rounds until the soak time elapses — the strongest
+// (and most expensive) oracle, applied continuously.
+func stressLinearizable(st harness.Structure, sc smr.Scheme, threads int, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	rounds := 0
+	for time.Now().Before(deadline) {
+		set, err := harness.Build(harness.BuildConfig{
+			Structure: st, Scheme: sc, Threads: threads, Delta: 4096,
+		})
+		if err != nil {
+			return err
+		}
+		rec := linearize.NewRecorder(set)
+		keyBase := uint64(rounds*64 + 1)
+		var wg sync.WaitGroup
+		for id := 0; id < threads; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				s := rec.Session(id)
+				rng := rand.New(rand.NewSource(int64(rounds*threads + id)))
+				for i := 0; i < 4; i++ {
+					k := keyBase + uint64(rng.Intn(4))
+					switch rng.Intn(3) {
+					case 0:
+						s.Insert(k)
+					case 1:
+						s.Delete(k)
+					default:
+						s.Contains(k)
+					}
+				}
+			}(id)
+		}
+		wg.Wait()
+		if r := linearize.Check(rec.History()); !r.Ok {
+			return fmt.Errorf("%s/%v round %d: non-linearizable history at key %d: %v",
+				st, sc, rounds, r.Key, r.Witness)
+		}
+		rounds++
+	}
+	fmt.Printf("OK   %-14s %-8v %9d recorded rounds linearizable\n", st, sc, rounds)
+	return nil
+}
+
+func main() {
+	var (
+		structure = flag.String("structure", "Hash", "LinkedList5K | LinkedList128 | Hash | SkipList | Queue")
+		scheme    = flag.String("scheme", "OA", "NoRecl | OA | HP | EBR | Anchors")
+		threads   = flag.Int("threads", 8, "worker goroutines")
+		duration  = flag.Duration("duration", 5*time.Second, "per-configuration soak time")
+		keys      = flag.Int("keys", 512, "key-space size (small = high contention)")
+		all       = flag.Bool("all", false, "soak every supported (structure, scheme) pair")
+		lin       = flag.Bool("linearize", false, "record histories and run the Wing-Gong checker instead of conservation counting")
+	)
+	flag.Parse()
+
+	if *all {
+		failed := false
+		for _, st := range harness.Structures {
+			for _, sc := range smr.Schemes {
+				if !st.Supports(sc) {
+					continue
+				}
+				run := stress
+				if *lin {
+					run = func(st harness.Structure, sc smr.Scheme, threads int, d time.Duration, _ int) error {
+						return stressLinearizable(st, sc, threads, d)
+					}
+				}
+				if err := run(st, sc, *threads, *duration, *keys); err != nil {
+					fmt.Fprintln(os.Stderr, "FAIL", err)
+					failed = true
+				}
+			}
+		}
+		for _, sc := range []smr.Scheme{smr.NoRecl, smr.OA, smr.HP, smr.EBR} {
+			if err := stressQueue(sc, *threads, *duration); err != nil {
+				fmt.Fprintln(os.Stderr, "FAIL", err)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc, err := smr.ParseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *structure == "Queue" {
+		if err := stressQueue(sc, *threads, *duration); err != nil {
+			fmt.Fprintln(os.Stderr, "FAIL", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *lin {
+		if err := stressLinearizable(harness.Structure(*structure), sc, *threads, *duration); err != nil {
+			fmt.Fprintln(os.Stderr, "FAIL", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := stress(harness.Structure(*structure), sc, *threads, *duration, *keys); err != nil {
+		fmt.Fprintln(os.Stderr, "FAIL", err)
+		os.Exit(1)
+	}
+}

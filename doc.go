@@ -1,0 +1,7 @@
+// Package repro reproduces Cohen & Petrank, "Efficient Memory Management
+// for Lock-Free Data Structures with Optimistic Access" (SPAA 2015).
+//
+// The public API lives in package oamem; the experiment driver in
+// cmd/oabench; the per-figure benchmarks in bench_test.go next to this
+// file. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,98 @@
+// Session cache: the paper's motivating hash-table regime.
+//
+// A web frontend tracks live session tokens in a lock-free hash set:
+// logins insert, logouts delete, and every request performs a read-mostly
+// validity check. Operations are extremely short, which is exactly the
+// regime where reclamation overhead dominates (paper §5, Figure 1 "Hash").
+//
+// The example runs the same token-churn workload under OA, HP, and EBR and
+// prints the throughput of each, reproducing the paper's finding in
+// miniature: OA tracks NoRecl, EBR pays its per-operation epoch
+// announcement, HP pays its per-read fences.
+//
+// Run with:
+//
+//	go run ./examples/sessioncache
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/oamem"
+)
+
+const (
+	workers    = 4
+	liveTokens = 16_384
+	runFor     = 300 * time.Millisecond
+)
+
+func workload(set oamem.Set) float64 {
+	// Prefill: the steady-state population of live sessions.
+	s0 := set.Session(0)
+	for tok := uint64(1); tok <= liveTokens; tok++ {
+		s0.Insert(tok)
+	}
+
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := set.Session(id)
+			rng := uint64(id)*0x9E3779B97F4A7C15 + 1
+			n := uint64(0)
+			login := true
+			for !stop.Load() {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				tok := rng%(2*liveTokens) + 1
+				switch {
+				case rng>>60 < 13: // ~80%: request validation
+					s.Contains(tok)
+				case login: // ~10%: login
+					s.Insert(tok)
+					login = false
+				default: // ~10%: logout
+					s.Delete(tok)
+					login = true
+				}
+				n++
+			}
+			total.Add(n)
+		}(id)
+	}
+	time.Sleep(runFor)
+	stop.Store(true)
+	wg.Wait()
+	return float64(total.Load()) / runFor.Seconds() / 1e6
+}
+
+func main() {
+	opt := oamem.Options{Threads: workers, Capacity: 1 << 16}
+	schemes := []oamem.Scheme{oamem.NoRecl, oamem.OA, oamem.HP, oamem.EBR}
+
+	fmt.Printf("session-cache: %d workers, %d live tokens, %v per scheme\n\n",
+		workers, liveTokens, runFor)
+	var base float64
+	for _, scheme := range schemes {
+		set, err := oamem.NewHashSet(scheme, opt, 2*liveTokens)
+		if err != nil {
+			panic(err)
+		}
+		mops := workload(set)
+		if scheme == oamem.NoRecl {
+			base = mops
+		}
+		st := set.Stats()
+		fmt.Printf("%-8v %7.2f Mops/s (%.2fx of NoRecl)  recycled=%-8d phases=%d\n",
+			scheme, mops, mops/base, st.Recycled, st.Phases)
+	}
+	fmt.Println("\nexpected shape (paper Fig. 1, Hash): OA ≈ NoRecl; HP and EBR behind.")
+}

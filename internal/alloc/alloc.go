@@ -1,0 +1,149 @@
+// Package alloc provides the pooled object allocator shared by the baseline
+// reclamation schemes (NoRecl, HP, EBR, Anchors). The paper converts all
+// implementations to the same object-pool allocation (§5, "Methodology") so
+// that measurements compare reclamation schemes rather than allocators; this
+// package is that common pool.
+//
+// Slots are drawn from a global lock-free stack of blocks (the "lock-free
+// stack, where each item in the stack is an array of 126 objects"), with a
+// per-thread block so a thread allocates ~LocalPool times with no
+// synchronization. When the pool runs dry the allocator reserves fresh
+// arena capacity, which keeps NoRecl (which never frees) and schemes whose
+// reclamation lags (EBR with a stalled thread) functional without unbounded
+// spinning.
+package alloc
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/pools"
+)
+
+// Pool is the shared allocator. T is the node type.
+type Pool[T any] struct {
+	nodes     *arena.Arena[T]
+	ba        *pools.BlockArena
+	free      pools.CountedStack
+	reset     func(*T)
+	localPool int32
+	reserved  atomic.Uint64 // slots obtained via arena growth (stats)
+	freed     atomic.Uint64 // slots returned through Free/FreeBatch
+}
+
+// New builds a pool pre-charged with capacity slots, transferring blocks of
+// localPool (<= 126) slots at a time.
+func New[T any](capacity, localPool int, reset func(*T)) *Pool[T] {
+	if localPool <= 0 || localPool > pools.BlockCap {
+		localPool = pools.BlockCap
+	}
+	if capacity < localPool {
+		capacity = localPool
+	}
+	p := &Pool[T]{
+		nodes:     arena.New[T](capacity),
+		ba:        pools.NewBlockArena(capacity),
+		reset:     reset,
+		localPool: int32(localPool),
+	}
+	p.free.Init()
+	base := p.nodes.Reserve(capacity)
+	blk := p.ba.Get()
+	for i := 0; i < capacity; i++ {
+		p.ba.B(blk).Push(base + uint32(i))
+		if p.ba.B(blk).Full(p.localPool) {
+			p.free.Push(p.ba, blk)
+			blk = p.ba.Get()
+		}
+	}
+	if !p.ba.B(blk).Empty() {
+		p.free.Push(p.ba, blk)
+	} else {
+		p.ba.Put(blk)
+	}
+	return p
+}
+
+// Arena exposes node storage for handle dereferencing.
+func (p *Pool[T]) Arena() *arena.Arena[T] { return p.nodes }
+
+// LocalPool returns the block-transfer granularity.
+func (p *Pool[T]) LocalPool() int { return int(p.localPool) }
+
+// Reserved returns how many slots were created by growth because the free
+// pool ran dry — for NoRecl this counts all allocation beyond the initial
+// capacity; for HP/EBR it measures reclamation lag.
+func (p *Pool[T]) Reserved() uint64 { return p.reserved.Load() }
+
+// Freed returns how many slots were returned to the pool.
+func (p *Pool[T]) Freed() uint64 { return p.freed.Load() }
+
+// Local is the per-thread allocation state.
+type Local struct {
+	allocBlk uint32
+	freeBlk  uint32
+	inited   bool
+}
+
+func (l *Local) init() {
+	if !l.inited {
+		l.allocBlk = pools.NoBlock
+		l.freeBlk = pools.NoBlock
+		l.inited = true
+	}
+}
+
+// Alloc returns a zeroed slot.
+func (p *Pool[T]) Alloc(l *Local) uint32 {
+	l.init()
+	for {
+		if l.allocBlk != pools.NoBlock {
+			b := p.ba.B(l.allocBlk)
+			if !b.Empty() {
+				slot := b.Pop()
+				p.reset(p.nodes.At(slot))
+				return slot
+			}
+			p.ba.Put(l.allocBlk)
+			l.allocBlk = pools.NoBlock
+		}
+		if blk, st := p.free.Pop(p.ba); st == pools.StatusOK {
+			l.allocBlk = blk
+			continue
+		}
+		// Pool dry: grow the arena by one local pool's worth.
+		base := p.nodes.Reserve(int(p.localPool))
+		p.reserved.Add(uint64(p.localPool))
+		blk := p.ba.Get()
+		for i := int32(0); i < p.localPool; i++ {
+			p.ba.B(blk).Push(base + uint32(i))
+		}
+		l.allocBlk = blk
+	}
+}
+
+// Free returns a single slot to the pool, buffering through the thread's
+// free block. The slot's generation is bumped: it may be reallocated.
+func (p *Pool[T]) Free(l *Local, slot uint32) {
+	l.init()
+	p.nodes.BumpGen(slot)
+	p.freed.Add(1)
+	if l.freeBlk == pools.NoBlock {
+		l.freeBlk = p.ba.Get()
+	}
+	b := p.ba.B(l.freeBlk)
+	b.Push(slot)
+	if b.Full(p.localPool) {
+		p.free.Push(p.ba, l.freeBlk)
+		l.freeBlk = pools.NoBlock
+	}
+}
+
+// Flush pushes any partially filled local free block to the global pool.
+func (p *Pool[T]) Flush(l *Local) {
+	l.init()
+	if l.freeBlk != pools.NoBlock && !p.ba.B(l.freeBlk).Empty() {
+		p.free.Push(p.ba, l.freeBlk)
+		l.freeBlk = pools.NoBlock
+	}
+}

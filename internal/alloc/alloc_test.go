@@ -1,0 +1,119 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+)
+
+type tnode struct{ a, b uint64 }
+
+func reset(n *tnode) { n.a, n.b = 0, 0 }
+
+func TestAllocZeroes(t *testing.T) {
+	p := New(16, 4, reset)
+	var l Local
+	s := p.Alloc(&l)
+	p.Arena().At(s).a = 99
+	p.Free(&l, s)
+	p.Flush(&l)
+	for i := 0; i < 64; i++ {
+		x := p.Alloc(&l)
+		if p.Arena().At(x).a != 0 {
+			t.Fatal("allocation returned a dirty node")
+		}
+		p.Free(&l, x)
+	}
+}
+
+func TestFreeBumpsGeneration(t *testing.T) {
+	p := New(16, 4, reset)
+	var l Local
+	s := p.Alloc(&l)
+	g := p.Arena().Gen(s)
+	p.Free(&l, s)
+	if p.Arena().Gen(s) != g+1 {
+		t.Fatalf("Free did not bump generation: %d -> %d", g, p.Arena().Gen(s))
+	}
+	if p.Freed() != 1 {
+		t.Fatalf("Freed = %d", p.Freed())
+	}
+}
+
+func TestGrowthWhenDry(t *testing.T) {
+	p := New(8, 4, reset)
+	var l Local
+	seen := map[uint32]bool{}
+	for i := 0; i < 100; i++ { // never free: must grow
+		s := p.Alloc(&l)
+		if seen[s] {
+			t.Fatalf("slot %d handed out twice", s)
+		}
+		seen[s] = true
+	}
+	if p.Reserved() == 0 {
+		t.Fatal("expected growth past initial capacity")
+	}
+}
+
+func TestRecycleRoundTrip(t *testing.T) {
+	p := New(64, 8, reset)
+	var l Local
+	first := make([]uint32, 0, 64)
+	for i := 0; i < 64; i++ {
+		first = append(first, p.Alloc(&l))
+	}
+	for _, s := range first {
+		p.Free(&l, s)
+	}
+	p.Flush(&l)
+	reused := 0
+	inFirst := map[uint32]bool{}
+	for _, s := range first {
+		inFirst[s] = true
+	}
+	for i := 0; i < 64; i++ {
+		if inFirst[p.Alloc(&l)] {
+			reused++
+		}
+	}
+	if reused == 0 {
+		t.Fatal("no slots recycled")
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	p := New(512, 16, reset)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var l Local
+			held := make([]uint32, 0, 32)
+			for i := 0; i < 20000; i++ {
+				if len(held) < 16 {
+					s := p.Alloc(&l)
+					n := p.Arena().At(s)
+					if n.a != 0 {
+						t.Errorf("dirty node %d", s)
+						return
+					}
+					n.a = uint64(w) + 1
+					held = append(held, s)
+				} else {
+					s := held[0]
+					held = held[1:]
+					if got := p.Arena().At(s).a; got != uint64(w)+1 {
+						t.Errorf("slot %d stomped: a=%d, want %d", s, got, w+1)
+						return
+					}
+					p.Arena().At(s).a = 0
+					p.Free(&l, s)
+				}
+			}
+			p.Flush(&l)
+		}(w)
+	}
+	wg.Wait()
+}

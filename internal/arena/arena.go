@@ -1,0 +1,119 @@
+package arena
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkShift fixes the chunk size to 1<<ChunkShift slots. Chunks are never
+// moved or freed once published, which is what makes stale handles safe to
+// dereference (Assumption 3.1 of the paper).
+const ChunkShift = 14
+
+// ChunkSize is the number of slots per chunk.
+const ChunkSize = 1 << ChunkShift
+
+const chunkMask = ChunkSize - 1
+
+// Arena is a grow-only slab allocator of node structs of type T addressed
+// by 32-bit slot indices. It hands out fresh capacity via Reserve; actual
+// alloc/free recycling of slots is the job of the reclamation schemes built
+// on top (which run slots through the paper's pool pipeline).
+//
+// Concurrency: At and Gen may be called from any goroutine at any time,
+// including with slot indices that were recycled long ago. Reserve may be
+// called concurrently with readers; growth publishes a copy-on-write chunk
+// table, so readers never observe a partially built table.
+type Arena[T any] struct {
+	mu    sync.Mutex                      // serializes growth
+	table atomic.Pointer[[]*[ChunkSize]T] // copy-on-write chunk directory
+	gens  atomic.Pointer[[]*genChunk]     // parallel generation counters
+	limit atomic.Uint32                   // slots handed out so far
+	capa  atomic.Uint32                   // slots backed by chunks
+}
+
+type genChunk [ChunkSize]atomic.Uint32
+
+// New creates an arena with capacity for at least initialCap slots.
+func New[T any](initialCap int) *Arena[T] {
+	a := &Arena[T]{}
+	empty := make([]*[ChunkSize]T, 0)
+	emptyGens := make([]*genChunk, 0)
+	a.table.Store(&empty)
+	a.gens.Store(&emptyGens)
+	if initialCap > 0 {
+		a.grow(uint32(initialCap))
+	}
+	return a
+}
+
+// At returns the node stored in slot. The returned pointer stays valid
+// forever; it may alias a slot that has since been recycled (that is the
+// point of the optimistic access design).
+func (a *Arena[T]) At(slot uint32) *T {
+	t := *a.table.Load()
+	return &t[slot>>ChunkShift][slot&chunkMask]
+}
+
+// Gen returns the generation counter of slot. Schemes bump it on recycle;
+// tests use it to detect use-after-free in schemes that forbid it (HP, EBR)
+// and to validate that OA never commits work based on a stale slot.
+func (a *Arena[T]) Gen(slot uint32) uint32 {
+	g := *a.gens.Load()
+	return g[slot>>ChunkShift][slot&chunkMask].Load()
+}
+
+// BumpGen increments the generation counter of slot, marking one recycle.
+func (a *Arena[T]) BumpGen(slot uint32) {
+	g := *a.gens.Load()
+	g[slot>>ChunkShift][slot&chunkMask].Add(1)
+}
+
+// Cap returns the number of slots currently backed by chunks.
+func (a *Arena[T]) Cap() uint32 { return a.capa.Load() }
+
+// Limit returns the number of slots handed out by Reserve so far.
+func (a *Arena[T]) Limit() uint32 { return a.limit.Load() }
+
+// Reserve hands out n brand-new consecutive slots and returns the first
+// index. It grows the arena as needed. Reserve is safe for concurrent use.
+func (a *Arena[T]) Reserve(n int) uint32 {
+	if n <= 0 {
+		panic(fmt.Sprintf("arena: Reserve(%d)", n))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	base := a.limit.Load()
+	need := base + uint32(n)
+	if need < base {
+		panic("arena: slot space exhausted")
+	}
+	if need > a.capa.Load() {
+		a.grow(need)
+	}
+	a.limit.Store(need)
+	return base
+}
+
+// grow extends capacity to at least need slots. Caller holds a.mu (or is
+// the constructor).
+func (a *Arena[T]) grow(need uint32) {
+	chunks := (int(need) + ChunkSize - 1) >> ChunkShift
+	old := *a.table.Load()
+	oldGens := *a.gens.Load()
+	if len(old) >= chunks {
+		return
+	}
+	next := make([]*[ChunkSize]T, chunks)
+	nextGens := make([]*genChunk, chunks)
+	copy(next, old)
+	copy(nextGens, oldGens)
+	for i := len(old); i < chunks; i++ {
+		next[i] = new([ChunkSize]T)
+		nextGens[i] = new(genChunk)
+	}
+	a.table.Store(&next)
+	a.gens.Store(&nextGens)
+	a.capa.Store(uint32(chunks) << ChunkShift)
+}

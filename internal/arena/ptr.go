@@ -1,0 +1,82 @@
+// Package arena provides the handle-based node storage that underpins every
+// reclamation scheme in this repository.
+//
+// The paper (Cohen & Petrank, SPAA'15) assumes a user-level pooled allocator
+// in which reading a previously allocated address never faults, even after
+// the object was recycled (Assumption 3.1). Go's garbage collector makes a
+// literal port impossible: native pointers can never dangle. We therefore
+// substitute integer handles into flat, chunked slabs of node structs. A
+// recycled handle still indexes valid memory — it merely observes the slot's
+// *next* occupant, which is precisely the stale-read hazard the optimistic
+// access scheme detects and rolls back.
+//
+// The arena never shrinks and chunks are never moved, so a handle obtained
+// at any time in the past remains safe to dereference forever, establishing
+// Assumption 3.1 by construction.
+package arena
+
+import "fmt"
+
+// Ptr is a packed, markable handle to an arena slot, stored in the pointer
+// fields of lock-free nodes (inside atomic.Uint64 words).
+//
+// Layout (low to high bits):
+//
+//	bit 0      delete mark (the "marked pointer" of Harris' linked list)
+//	bits 1..32 slot index + 1 (zero means nil)
+//
+// The zero Ptr is the nil pointer. Marks survive Slot extraction via
+// Unmark, mirroring the unmark(O) operation the paper requires of the data
+// structure (§3.3).
+type Ptr uint64
+
+// NilPtr is the null handle. Its mark bit is clear and IsNil reports true.
+const NilPtr Ptr = 0
+
+// NoSlot is a sentinel slot index that is never returned by an arena.
+const NoSlot uint32 = ^uint32(0)
+
+// MakePtr builds an unmarked handle referring to slot.
+func MakePtr(slot uint32) Ptr {
+	return Ptr(uint64(slot)+1) << 1
+}
+
+// IsNil reports whether p refers to no slot (ignoring the mark bit).
+func (p Ptr) IsNil() bool { return p>>1 == 0 }
+
+// Slot returns the slot index p refers to. It must not be called on a nil
+// handle; debug builds of callers guard with IsNil.
+func (p Ptr) Slot() uint32 { return uint32(p>>1) - 1 }
+
+// SlotOr returns the slot index, or def when p is nil.
+func (p Ptr) SlotOr(def uint32) uint32 {
+	if p.IsNil() {
+		return def
+	}
+	return p.Slot()
+}
+
+// Marked reports whether the delete mark (bit 0) is set.
+func (p Ptr) Marked() bool { return p&1 != 0 }
+
+// Mark returns p with the delete mark set.
+func (p Ptr) Mark() Ptr { return p | 1 }
+
+// Unmark returns p with the delete mark cleared. This is the paper's
+// unmark(O) operation.
+func (p Ptr) Unmark() Ptr { return p &^ 1 }
+
+// String renders the handle for debugging: "nil", "#12", or "#12*" when
+// marked.
+func (p Ptr) String() string {
+	if p.IsNil() {
+		if p.Marked() {
+			return "nil*"
+		}
+		return "nil"
+	}
+	if p.Marked() {
+		return fmt.Sprintf("#%d*", p.Slot())
+	}
+	return fmt.Sprintf("#%d", p.Slot())
+}

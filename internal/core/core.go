@@ -1,0 +1,276 @@
+// Package core implements the paper's contribution: the optimistic access
+// (OA) memory management scheme for normalized lock-free data structures
+// (Cohen & Petrank, "Efficient Memory Management for Lock-Free Data
+// Structures with Optimistic Access", SPAA 2015).
+//
+// # Scheme summary
+//
+// Reads of shared node memory run *optimistically*: they may observe a slot
+// that was already recycled. Correctness rests on three properties (§2):
+//
+//  1. Reads never fault — guaranteed here by the handle-based arena
+//     (see package arena): a recycled handle still indexes valid memory.
+//  2. A stale read is detected immediately after the read: the recycler
+//     sets every thread's warning bit before recycling anything, so a
+//     thread whose warning bit is clear cannot have read a recycled slot
+//     (Algorithm 1).
+//  3. Detected stale reads are rolled back by restarting the enclosing
+//     normalized method (CAS generator or wrap-up), which is always legal
+//     for parallelizable methods.
+//
+// Writes must never hit recycled memory, so every CAS is guarded by a
+// simplified hazard-pointer protocol (Algorithm 2), and the CAS list handed
+// from the generator to the executor is pinned by "owner" hazard pointers
+// installed at the end of the generator (Algorithm 3).
+//
+// # Recycling pipeline
+//
+// Reclamation proceeds in phases (Algorithms 4–6) over three pools of
+// 126-slot blocks: retired slots accumulate in the retirePool; a phase
+// starts by atomically moving the whole retirePool into the processingPool
+// (the odd/even version freeze trick of §4); slots in the processingPool
+// that no hazard pointer protects move to the readyPool for reallocation,
+// and protected ones return to the retirePool for the next phase.
+//
+// # Deviations from the paper's pseudocode (documented per DESIGN.md)
+//
+//   - Freeze precondition. Algorithm 6 lets any thread whose local version
+//     matches the retirePool initiate a phase swap. If such a thread lagged
+//     (caught its version up via the "phase already finished" return) it
+//     could start a swap while the current phase's processingPool still
+//     holds blocks; the swap's single-CAS installation of the new chain
+//     would leak them. We therefore initiate a freeze only after observing
+//     the processingPool empty at the current version — otherwise the
+//     thread simply participates in the current phase. The normal-path
+//     behaviour is identical (a phase ends with the processing pool
+//     drained); TestRecyclingNeverLeaks exercises the laggard case.
+//   - Leftover re-retire blocks. When a re-retire push hits VER-MISMATCH
+//     (Algorithm 6 line 28 returns), the slots in hand are pushed into the
+//     retirePool at its *newer* version instead of being dropped — retiring
+//     into a later phase is always proper.
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/metrics"
+	"repro/internal/pools"
+	"repro/internal/smr"
+)
+
+// WriteHPs is the number of hazard pointers Algorithm 2 needs: one each for
+// the CAS target object, the expected value and the new value.
+const WriteHPs = 3
+
+const warnMask = 0xff
+
+// Config parameterizes a Manager.
+type Config struct {
+	// MaxThreads is the number of thread contexts, fixed at construction.
+	MaxThreads int
+	// Capacity is the total number of node slots the manager hands out.
+	// The paper sizes it as the steady-state structure size plus δ, so a
+	// reclamation phase triggers roughly every δ allocations (§5, Fig. 3).
+	Capacity int
+	// LocalPool bounds the slots per transfer block (the paper's local
+	// pool size, 126 by default; Fig. 2 sweeps it).
+	LocalPool int
+	// OwnerHPs is the number of owner hazard pointers per thread, 3·C for
+	// a structure whose operations execute at most C CASes (Algorithm 3).
+	// Structures applying the paper's dedup optimization may pass less.
+	OwnerHPs int
+	// WarningByStore, when true, sets warning bits with a plain store
+	// instead of the once-per-phase CAS of Appendix E — an ablation knob
+	// that inflates restarts.
+	WarningByStore bool
+	// AllocSpinLimit bounds the Allocate retry loop; when the pipeline
+	// cannot produce a free slot after this many recycling attempts the
+	// manager panics with a sizing diagnostic (0 means 1<<22). The paper's
+	// algorithm spins forever; a panic is friendlier than a silent hang.
+	AllocSpinLimit int
+}
+
+func (c *Config) fill() {
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 1
+	}
+	if c.LocalPool <= 0 || c.LocalPool > pools.BlockCap {
+		c.LocalPool = pools.BlockCap
+	}
+	if c.AllocSpinLimit <= 0 {
+		c.AllocSpinLimit = 1 << 22
+	}
+	minCap := 2 * c.MaxThreads * c.LocalPool
+	if c.Capacity < minCap {
+		c.Capacity = minCap
+	}
+}
+
+// Manager owns the arena, the three pools and the thread contexts of one
+// optimistic-access instance. T is the node type of the client structure.
+type Manager[T any] struct {
+	cfg      Config
+	nodes    *arena.Arena[T]
+	ba       *pools.BlockArena
+	ready    pools.CountedStack
+	retire   pools.VStack
+	process  pools.VStack
+	threads  []*Thread[T]
+	reset    func(*T) // zeroes a node on allocation (Algorithm 5's memset)
+	phaseHst metrics.Histogram
+}
+
+// NewManager builds a manager. reset must zero every field of a node using
+// plain or atomic stores; it runs while the slot is owned exclusively by the
+// allocating thread.
+func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
+	cfg.fill()
+	m := &Manager[T]{
+		cfg:   cfg,
+		nodes: arena.New[T](cfg.Capacity),
+		ba:    pools.NewBlockArena(cfg.Capacity),
+		reset: reset,
+	}
+	m.ready.Init()
+	m.retire.Init(0)
+	m.process.Init(0)
+	// Pre-chop the whole capacity into ready blocks.
+	base := m.nodes.Reserve(cfg.Capacity)
+	blk := m.ba.Get()
+	for i := 0; i < cfg.Capacity; i++ {
+		m.ba.B(blk).Push(base + uint32(i))
+		if m.ba.B(blk).Full(int32(cfg.LocalPool)) {
+			m.ready.Push(m.ba, blk)
+			blk = m.ba.Get()
+		}
+	}
+	if !m.ba.B(blk).Empty() {
+		m.ready.Push(m.ba, blk)
+	} else {
+		m.ba.Put(blk)
+	}
+	m.threads = make([]*Thread[T], cfg.MaxThreads)
+	for i := range m.threads {
+		t := &Thread[T]{
+			mgr:       m,
+			id:        i,
+			hps:       make([]atomic.Uint64, WriteHPs+cfg.OwnerHPs),
+			allocBlk:  pools.NoBlock,
+			retireBlk: pools.NoBlock,
+			scratchHP: make(map[uint32]struct{}, 8*cfg.MaxThreads),
+		}
+		m.threads[i] = t
+	}
+	return m
+}
+
+// Arena exposes the node arena so client structures can dereference
+// handles.
+func (m *Manager[T]) Arena() *arena.Arena[T] { return m.nodes }
+
+// Thread returns the context for thread id. Each context must be used by a
+// single goroutine at a time.
+func (m *Manager[T]) Thread(id int) *Thread[T] { return m.threads[id] }
+
+// MaxThreads returns the configured thread count.
+func (m *Manager[T]) MaxThreads() int { return m.cfg.MaxThreads }
+
+// Phase returns the current (even) phase version of the retire pool,
+// i.e. twice the number of completed phase swaps.
+func (m *Manager[T]) Phase() uint64 {
+	v, _ := m.retire.Load()
+	return uint64(v)
+}
+
+// Quiesce drives reclamation phases (on the calling goroutine, using
+// thread context 0) until every retired slot that is not hazard-pointer
+// protected has been recycled. Call it after workers stop — for graceful
+// shutdown accounting or test teardown. It returns the number of slots
+// still withheld by hazard pointers.
+func (m *Manager[T]) Quiesce() int {
+	t := m.threads[0]
+	t.FlushRetired()
+	for i := 0; i < 4; i++ { // retire→swap→process needs at most two phases
+		t.Recycling()
+		if _, ri := m.retire.Load(); ri == pools.NoBlock {
+			if _, pi := m.process.Load(); pi == pools.NoBlock {
+				break
+			}
+		}
+	}
+	_, ri := m.retire.Load()
+	_, pi := m.process.Load()
+	_, retired := pools.ChainLen(m.ba, ri)
+	_, processing := pools.ChainLen(m.ba, pi)
+	return retired + processing
+}
+
+// InjectWarnings sets every thread's warning bit as if a recycler had
+// announced the given phase. It is a fault-injection hook for tests: a
+// spurious warning may only ever cause a (safe) restart of a
+// parallelizable method, so chaos tests broadcast fake phases while
+// checking that operation results stay sequential.
+func (m *Manager[T]) InjectWarnings(phase uint32) { m.setWarnings(phase) }
+
+// PhasePauses returns the histogram of per-call Recycling durations — the
+// reclamation pauses an allocating thread can experience.
+func (m *Manager[T]) PhasePauses() *metrics.Histogram { return &m.phaseHst }
+
+// Stats aggregates counters across all threads.
+func (m *Manager[T]) Stats() smr.Stats {
+	var s smr.Stats
+	for _, t := range m.threads {
+		s.Add(smr.Stats{
+			Allocs:    t.allocs,
+			Retires:   t.retires,
+			Recycled:  t.recycled,
+			ReRetired: t.reRetired,
+			Restarts:  t.restarts,
+		})
+	}
+	s.Phases = m.Phase() / 2
+	return s
+}
+
+// setWarnings implements the phase-change broadcast: every thread's warning
+// word becomes {phase, 1}. With the Appendix E optimization the update is a
+// CAS that succeeds at most once per phase per thread, so each thread
+// restarts at most once per phase.
+func (m *Manager[T]) setWarnings(phase uint32) {
+	word := uint64(phase)<<8 | 1
+	for _, t := range m.threads {
+		if m.cfg.WarningByStore {
+			// Naive broadcast (the ablation): every recycler of the phase
+			// re-warns every thread, re-triggering restarts after the
+			// thread already acknowledged — the paper's "n restarts per
+			// thread per write" downside.
+			t.warn.Store(word)
+			continue
+		}
+		w := t.warn.Load()
+		if w>>8 == uint64(phase) {
+			continue // already stamped for this phase (Appendix E)
+		}
+		t.warn.CompareAndSwap(w, word)
+	}
+}
+
+// helpSwap completes any in-flight phase freeze and returns the retire
+// pool's current even version.
+func (m *Manager[T]) helpSwap() uint32 {
+	for {
+		rv, ri := m.retire.Load()
+		if rv&1 == 0 {
+			return rv
+		}
+		// Frozen at rv = p+1: move the frozen chain ri into the processing
+		// pool at p+2 and reset the retire pool. All helpers re-read the
+		// frozen head, so they agree on ri.
+		pv, pi := m.process.Load()
+		if pv == rv-1 {
+			m.process.CompareAndSwap(pv, pi, rv+1, ri)
+		}
+		m.retire.CompareAndSwap(rv, ri, rv+1, pools.NoBlock)
+	}
+}

@@ -1,0 +1,436 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/arena"
+)
+
+// node is a minimal test node: all shared fields atomic, as required of
+// clients of the scheme.
+type node struct {
+	key  atomic.Uint64
+	next atomic.Uint64
+}
+
+func resetNode(n *node) {
+	n.key.Store(0)
+	n.next.Store(0)
+}
+
+func newMgr(t testing.TB, cfg Config) *Manager[node] {
+	t.Helper()
+	return NewManager[node](cfg, resetNode)
+}
+
+func TestAllocZeroesAndCounts(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 1, Capacity: 64, OwnerHPs: 3})
+	th := m.Thread(0)
+	s := th.Alloc()
+	n := th.Node(s)
+	n.key.Store(42)
+	n.next.Store(7)
+	th.Retire(s)
+	th.FlushRetired()
+	// Two recycling passes: one to swap the retired block in, one not needed —
+	// the slot becomes allocatable after the next phase.
+	seen := map[uint32]bool{}
+	for i := 0; i < m.Capacity(); i++ {
+		s2 := th.Alloc()
+		if seen[s2] {
+			t.Fatalf("slot %d handed out twice without retire", s2)
+		}
+		seen[s2] = true
+		if s2 == s {
+			if n.key.Load() != 0 || n.next.Load() != 0 {
+				t.Fatal("recycled slot was not zeroed on allocation")
+			}
+		}
+	}
+	if !seen[s] {
+		t.Fatal("retired slot never came back through the pipeline")
+	}
+	st := m.Stats()
+	if st.Allocs != uint64(m.Capacity())+1 {
+		t.Fatalf("Allocs = %d, want %d", st.Allocs, m.Capacity()+1)
+	}
+	if st.Retires != 1 {
+		t.Fatalf("Retires = %d", st.Retires)
+	}
+	if st.Phases == 0 {
+		t.Fatal("expected at least one phase")
+	}
+}
+
+func TestRetiredSlotNotRecycledSamePhase(t *testing.T) {
+	// An object must never be reclaimed in the phase it was unlinked (§2).
+	m := newMgr(t, Config{MaxThreads: 1, Capacity: 8, LocalPool: 2, OwnerHPs: 0})
+	th := m.Thread(0)
+	s := th.Alloc()
+	gen := m.Arena().Gen(s)
+	th.Retire(s)
+	th.FlushRetired()
+	// No recycling has run; generation must be untouched.
+	if m.Arena().Gen(s) != gen {
+		t.Fatal("slot recycled before any phase change")
+	}
+}
+
+func TestWarningSetOncePerPhase(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 2, Capacity: 64, OwnerHPs: 0})
+	th := m.Thread(0)
+	if th.Warning() {
+		t.Fatal("fresh thread has warning set")
+	}
+	m.InjectWarnings(2)
+	if !th.Warning() {
+		t.Fatal("warning not set")
+	}
+	if !th.Check() {
+		t.Fatal("Check must report restart when warning set")
+	}
+	if th.Check() {
+		t.Fatal("Check cleared the bit; second call must pass")
+	}
+	// Same phase again: the phase stamp suppresses the re-set.
+	m.InjectWarnings(2)
+	if th.Warning() {
+		t.Fatal("warning re-set for an already-stamped phase")
+	}
+	// New phase: set again.
+	m.InjectWarnings(4)
+	if !th.Warning() {
+		t.Fatal("warning not set for a new phase")
+	}
+}
+
+func TestWarningByStoreAblation(t *testing.T) {
+	m := NewManager[node](Config{MaxThreads: 1, Capacity: 64, WarningByStore: true}, resetNode)
+	th := m.Thread(0)
+	m.InjectWarnings(2)
+	if !th.Check() {
+		t.Fatal("warning not delivered")
+	}
+	// The naive broadcast re-warns even within the same phase — the extra
+	// restarts the Appendix E once-per-phase CAS avoids.
+	m.InjectWarnings(2)
+	if !th.Warning() {
+		t.Fatal("naive store mode must re-warn an acknowledged thread")
+	}
+}
+
+func TestHazardPointerBlocksRecycle(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 2, Capacity: 256, LocalPool: 4, OwnerHPs: 3})
+	worker, guard := m.Thread(0), m.Thread(1)
+
+	s := worker.Alloc()
+	gen := m.Arena().Gen(s)
+	// Thread 1 protects the slot as a CAS target (Algorithm 2 prologue).
+	if guard.ProtectCAS(arena.MakePtr(s), arena.NilPtr, arena.NilPtr) {
+		t.Fatal("unexpected restart")
+	}
+	worker.Retire(s)
+	worker.FlushRetired()
+
+	// Churn enough allocations to force several phases.
+	for i := 0; i < 4*m.Capacity(); i++ {
+		x := worker.Alloc()
+		worker.Retire(x)
+	}
+	worker.FlushRetired()
+	if m.Arena().Gen(s) != gen {
+		t.Fatal("hazard-pointer-protected slot was recycled")
+	}
+	st := m.Stats()
+	if st.ReRetired == 0 {
+		t.Fatal("protected slot should have been re-retired at least once")
+	}
+
+	// Release the protection; the slot must eventually recycle.
+	guard.ClearCAS()
+	for i := 0; i < 4*m.Capacity(); i++ {
+		x := worker.Alloc()
+		worker.Retire(x)
+	}
+	worker.FlushRetired()
+	if m.Arena().Gen(s) == gen {
+		t.Fatal("slot never recycled after hazard pointer cleared")
+	}
+}
+
+func TestOwnerHPBlocksRecycle(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 2, Capacity: 128, LocalPool: 4, OwnerHPs: 6})
+	worker, guard := m.Thread(0), m.Thread(1)
+	s := worker.Alloc()
+	gen := m.Arena().Gen(s)
+	guard.SetOwnerHP(4, arena.MakePtr(s).Mark()) // marked pointers are unmarked before publication
+	if guard.SealGenerator() {
+		t.Fatal("unexpected restart")
+	}
+	worker.Retire(s)
+	worker.FlushRetired()
+	for i := 0; i < 4*m.Capacity(); i++ {
+		x := worker.Alloc()
+		worker.Retire(x)
+	}
+	worker.FlushRetired()
+	if m.Arena().Gen(s) != gen {
+		t.Fatal("owner-HP-protected slot was recycled")
+	}
+	guard.ClearOwnerHPs()
+	for i := 0; i < 4*m.Capacity(); i++ {
+		x := worker.Alloc()
+		worker.Retire(x)
+	}
+	if m.Arena().Gen(s) == gen {
+		t.Fatal("slot never recycled after owner HPs cleared")
+	}
+}
+
+func TestProtectCASRestartsOnWarning(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 1, Capacity: 64, OwnerHPs: 3})
+	th := m.Thread(0)
+	m.InjectWarnings(2)
+	if !th.ProtectCAS(arena.MakePtr(1), arena.MakePtr(2), arena.NilPtr) {
+		t.Fatal("ProtectCAS must demand a restart while warned")
+	}
+	for i := 0; i < WriteHPs; i++ {
+		if w := th.WarnWord(); w&0xff != 0 {
+			t.Fatal("warning not cleared by restart path")
+		}
+	}
+	// HPs must be clear after the restart path.
+	hp := map[uint32]struct{}{}
+	for i := range th.hps {
+		if w := th.hps[i].Load(); w != 0 {
+			hp[uint32(w-1)] = struct{}{}
+		}
+	}
+	if len(hp) != 0 {
+		t.Fatalf("restart left hazard pointers set: %v", hp)
+	}
+	if !th.ProtectCAS(arena.MakePtr(1), arena.NilPtr, arena.NilPtr) == false {
+		t.Fatal("second ProtectCAS should pass")
+	}
+	th.ClearCAS()
+}
+
+// Slot conservation: after arbitrary alloc/retire traffic and full drains,
+// every slot is accounted for exactly once across pools, local blocks and
+// the live set. This is the test for the two documented deviations (freeze
+// precondition, re-retire at newer phase): neither may leak slots.
+func TestRecyclingNeverLeaks(t *testing.T) {
+	const threads = 3
+	m := newMgr(t, Config{MaxThreads: threads, Capacity: 8 * threads * 8, LocalPool: 8, OwnerHPs: 0})
+	rng := rand.New(rand.NewSource(1))
+	live := map[uint32]bool{}
+	var liveList []uint32
+
+	// Drive all thread contexts from one goroutine, interleaving randomly —
+	// this creates laggard localVer values deterministically.
+	for step := 0; step < 20000; step++ {
+		th := m.Thread(rng.Intn(threads))
+		if len(liveList) > 0 && rng.Intn(2) == 0 {
+			i := rng.Intn(len(liveList))
+			s := liveList[i]
+			liveList[i] = liveList[len(liveList)-1]
+			liveList = liveList[:len(liveList)-1]
+			delete(live, s)
+			th.Retire(s)
+		} else if len(liveList) < m.Capacity()/4 {
+			s := th.Alloc()
+			if live[s] {
+				t.Fatalf("slot %d double-allocated", s)
+			}
+			live[s] = true
+			liveList = append(liveList, s)
+		}
+	}
+	total := len(liveList)
+	for i := 0; i < threads; i++ {
+		m.Thread(i).FlushRetired()
+		total += m.Thread(i).LocalCounts()
+	}
+	ready, retire, processing := m.PoolCounts()
+	total += ready + retire + processing
+	if total != m.Capacity() {
+		t.Fatalf("slot leak: accounted %d of %d (ready=%d retire=%d processing=%d live=%d)",
+			total, m.Capacity(), ready, retire, processing, len(liveList))
+	}
+}
+
+// Concurrent ownership: a slot handed out by Alloc belongs to exactly one
+// thread until retired, even under heavy recycling churn.
+func TestConcurrentAllocRetireOwnership(t *testing.T) {
+	const threads = 8
+	m := newMgr(t, Config{MaxThreads: threads, Capacity: threads * 300, LocalPool: 16, OwnerHPs: 0})
+	owner := make([]atomic.Int32, m.Capacity()+1024)
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := m.Thread(id)
+			held := make([]uint32, 0, 64)
+			rng := rand.New(rand.NewSource(int64(id)))
+			for i := 0; i < 30000; i++ {
+				if len(held) < 32 && rng.Intn(3) > 0 {
+					s := th.Alloc()
+					if !owner[s].CompareAndSwap(0, int32(id)+1) {
+						t.Errorf("slot %d allocated while owned by thread %d", s, owner[s].Load()-1)
+						return
+					}
+					held = append(held, s)
+				} else if len(held) > 0 {
+					s := held[len(held)-1]
+					held = held[:len(held)-1]
+					if !owner[s].CompareAndSwap(int32(id)+1, 0) {
+						t.Errorf("slot %d ownership corrupted", s)
+						return
+					}
+					th.Retire(s)
+				}
+			}
+			for _, s := range held {
+				owner[s].CompareAndSwap(int32(id)+1, 0)
+				th.Retire(s)
+			}
+			th.FlushRetired()
+		}(id)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.Allocs == 0 || st.Recycled == 0 {
+		t.Fatalf("expected churn, got %+v", st)
+	}
+}
+
+// Lock freedom of reclamation: a thread parked while holding hazard
+// pointers must not stop other threads from recycling unrelated slots.
+func TestStuckThreadDoesNotBlockReclamation(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 2, Capacity: 128, LocalPool: 4, OwnerHPs: 3})
+	stuck, worker := m.Thread(0), m.Thread(1)
+	pin := stuck.Alloc()
+	if stuck.ProtectCAS(arena.MakePtr(pin), arena.NilPtr, arena.NilPtr) {
+		t.Fatal("unexpected restart")
+	}
+	// stuck never runs again. The worker must still be able to allocate
+	// far more than the capacity, proving recycling proceeds.
+	for i := 0; i < 10*m.Capacity(); i++ {
+		s := worker.Alloc()
+		worker.Retire(s)
+	}
+	if m.Stats().Recycled == 0 {
+		t.Fatal("no recycling happened with a stuck thread present")
+	}
+}
+
+func TestPhaseAdvancesVersionByTwo(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 1, Capacity: 32, LocalPool: 4, OwnerHPs: 0})
+	th := m.Thread(0)
+	if m.Phase() != 0 {
+		t.Fatalf("initial phase = %d", m.Phase())
+	}
+	for i := 0; i < 10*m.Capacity(); i++ {
+		s := th.Alloc()
+		th.Retire(s)
+	}
+	if m.Phase() == 0 || m.Phase()%2 != 0 {
+		t.Fatalf("phase = %d, want positive even", m.Phase())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.fill()
+	if cfg.MaxThreads != 1 || cfg.LocalPool == 0 || cfg.AllocSpinLimit == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Capacity < 2*cfg.MaxThreads*cfg.LocalPool {
+		t.Fatalf("capacity floor not applied: %+v", cfg)
+	}
+}
+
+func TestAllocStarvationPanics(t *testing.T) {
+	m := NewManager[node](Config{
+		MaxThreads: 1, Capacity: 8, LocalPool: 4, AllocSpinLimit: 64,
+	}, resetNode)
+	th := m.Thread(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected starvation panic")
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		th.Alloc() // never retire: the pipeline must run dry and panic
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 2, Capacity: 64, LocalPool: 4, OwnerHPs: 0})
+	a, b := m.Thread(0), m.Thread(1)
+	s1 := a.Alloc()
+	s2 := b.Alloc()
+	a.Retire(s1)
+	b.Retire(s2)
+	st := m.Stats()
+	if st.Allocs != 2 || st.Retires != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPhasePausesRecorded(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 1, Capacity: 64, LocalPool: 8, OwnerHPs: 0})
+	th := m.Thread(0)
+	for i := 0; i < 500; i++ {
+		s := th.Alloc()
+		th.Retire(s)
+	}
+	h := m.PhasePauses()
+	if h.Count() == 0 {
+		t.Fatal("no Recycling pauses recorded under churn")
+	}
+	if h.Mean() <= 0 || h.Max() < h.Mean() {
+		t.Fatalf("pause stats inconsistent: mean=%v max=%v", h.Mean(), h.Max())
+	}
+}
+
+func TestQuiesceRecyclesEverything(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 2, Capacity: 256, LocalPool: 8, OwnerHPs: 3})
+	th := m.Thread(0)
+	slots := make([]uint32, 0, 50)
+	for i := 0; i < 50; i++ {
+		slots = append(slots, th.Alloc())
+	}
+	gens := make([]uint32, len(slots))
+	for i, s := range slots {
+		gens[i] = m.Arena().Gen(s)
+		th.Retire(s)
+	}
+	if left := m.Quiesce(); left != 0 {
+		t.Fatalf("Quiesce left %d slots unreclaimed with no hazard pointers", left)
+	}
+	for i, s := range slots {
+		if m.Arena().Gen(s) == gens[i] {
+			t.Fatalf("slot %d not recycled by Quiesce", s)
+		}
+	}
+}
+
+func TestQuiesceRespectsHazardPointers(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 2, Capacity: 256, LocalPool: 8, OwnerHPs: 3})
+	th, guard := m.Thread(0), m.Thread(1)
+	pinned := th.Alloc()
+	guard.ProtectCAS(arena.MakePtr(pinned), arena.NilPtr, arena.NilPtr)
+	th.Retire(pinned)
+	if left := m.Quiesce(); left != 1 {
+		t.Fatalf("Quiesce = %d, want 1 pinned slot", left)
+	}
+	guard.ClearCAS()
+	if left := m.Quiesce(); left != 0 {
+		t.Fatalf("Quiesce after release = %d, want 0", left)
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"repro/internal/pools"
+)
+
+// Test-only hooks into manager internals.
+
+// PoolCounts returns the number of slots sitting in (ready, retire,
+// processing) global pools. Only meaningful while no swap is in flight.
+func (m *Manager[T]) PoolCounts() (ready, retire, processing int) {
+	_, ri := m.retire.Load()
+	_, pi := m.process.Load()
+	_, retire = pools.ChainLen(m.ba, ri)
+	_, processing = pools.ChainLen(m.ba, pi)
+	// Drain and refill ready to count it. A popped block's next link still
+	// points into the old chain, so count each block's own N only.
+	var blocks []uint32
+	m.ready.Drain(m.ba, func(b uint32) { blocks = append(blocks, b) })
+	for i := len(blocks) - 1; i >= 0; i-- {
+		ready += int(m.ba.B(blocks[i]).N)
+		m.ready.Push(m.ba, blocks[i])
+	}
+	return
+}
+
+// LocalCounts returns the slots buffered in thread t's local blocks.
+func (t *Thread[T]) LocalCounts() int {
+	n := 0
+	if t.allocBlk != pools.NoBlock {
+		n += int(t.mgr.ba.B(t.allocBlk).N)
+	}
+	if t.retireBlk != pools.NoBlock {
+		n += int(t.mgr.ba.B(t.retireBlk).N)
+	}
+	return n
+}
+
+// LocalVer exposes the thread's phase version.
+func (t *Thread[T]) LocalVer() uint32 { return t.localVer }
+
+// WarnWord exposes the packed warning word.
+func (t *Thread[T]) WarnWord() uint64 { return t.warn.Load() }
+
+// Capacity returns the configured slot capacity after defaulting.
+func (m *Manager[T]) Capacity() int { return m.cfg.Capacity }

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/pools"
+)
+
+// Thread is the per-thread context of the optimistic access scheme. It
+// carries the warning word, the hazard pointers, the thread's local phase
+// version and the two local pools (allocation and retire blocks).
+//
+// A Thread must be used by one goroutine at a time; the recycler running in
+// any thread may concurrently *read* the hazard pointers and *update* the
+// warning word, which is why both are atomics.
+type Thread[T any] struct {
+	mgr *Manager[T]
+	id  int
+
+	// warn packs {phase:56 | warning:8}. The recycler sets it via CAS (or
+	// plain store under the WarningByStore ablation); the owner clears the
+	// low byte, preserving the phase stamp so each phase sets it at most
+	// once (Appendix E).
+	warn atomic.Uint64
+
+	// hps[0..2] guard observable CASes (Algorithm 2); hps[3..] are the
+	// owner hazard pointers installed by Algorithm 3. Values are slot+1,
+	// zero meaning empty.
+	hps []atomic.Uint64
+
+	localVer  uint32
+	allocBlk  uint32 // current allocation block, NoBlock if none
+	retireBlk uint32 // current local retire block, NoBlock if none
+
+	scratchHP map[uint32]struct{} // reused hazard-pointer snapshot
+
+	// Monotonic per-thread counters (single writer; read via Stats after
+	// workers quiesce).
+	allocs    uint64
+	retires   uint64
+	recycled  uint64
+	reRetired uint64
+	restarts  uint64
+
+	_ [5]uint64 // pad against false sharing of hot counters
+}
+
+// ID returns the thread index within the manager.
+func (t *Thread[T]) ID() int { return t.id }
+
+// Node dereferences a slot handle. The result may alias recycled memory;
+// callers must follow every read with Check per Algorithm 1.
+func (t *Thread[T]) Node(slot uint32) *T { return t.mgr.nodes.At(slot) }
+
+// Warning reports whether the warning bit is set (a recycling phase started
+// since the thread last cleared it).
+func (t *Thread[T]) Warning() bool { return t.warn.Load()&warnMask != 0 }
+
+// Check implements the tail of Algorithm 1: it must be called after every
+// optimistic read of shared node memory. It returns true when the enclosing
+// normalized method must restart; in that case the warning bit has been
+// cleared already (restarting from scratch cannot encounter slots retired
+// before the current phase, so clearing is safe — §4).
+func (t *Thread[T]) Check() bool {
+	w := t.warn.Load()
+	if w&warnMask == 0 {
+		return false
+	}
+	t.warn.CompareAndSwap(w, w&^warnMask)
+	t.restarts++
+	return true
+}
+
+func hpWord(p arena.Ptr) uint64 {
+	if p.IsNil() {
+		return 0
+	}
+	return uint64(p.Unmark().Slot()) + 1
+}
+
+// ProtectCAS implements the prologue of Algorithm 2 for an observable
+// instruction CAS(&o.field, a2, a3): it publishes hazard pointers for the
+// (unmarked) object and both pointer operands, then performs the warning
+// check. Pass NilPtr for operands that are not pointers. A true result
+// means restart: the hazard pointers have been cleared and the warning
+// reset. On false the caller may execute the CAS and must then call
+// ClearCAS.
+//
+// The atomic stores publishing the hazard pointers are sequentially
+// consistent, which subsumes the paper's explicit memory fence.
+func (t *Thread[T]) ProtectCAS(o, a2, a3 arena.Ptr) bool {
+	t.hps[0].Store(hpWord(o))
+	t.hps[1].Store(hpWord(a2))
+	t.hps[2].Store(hpWord(a3))
+	if t.Check() {
+		t.ClearCAS()
+		return true
+	}
+	return false
+}
+
+// ClearCAS nullifies the three write-barrier hazard pointers (Algorithm 2
+// line 11).
+func (t *Thread[T]) ClearCAS() {
+	t.hps[0].Store(0)
+	t.hps[1].Store(0)
+	t.hps[2].Store(0)
+}
+
+// SetOwnerHP publishes owner hazard pointer i (Algorithm 3's HP^owner set),
+// protecting an object mentioned in the generator's CAS list until
+// ClearOwnerHPs runs at the end of the wrap-up method.
+func (t *Thread[T]) SetOwnerHP(i int, p arena.Ptr) {
+	t.hps[WriteHPs+i].Store(hpWord(p))
+}
+
+// SealGenerator performs Algorithm 3's epilogue after the owner hazard
+// pointers are installed: the (implicit) fence plus the warning check. A
+// true result means the generator must restart; the owner hazard pointers
+// have been cleared.
+func (t *Thread[T]) SealGenerator() bool {
+	if t.Check() {
+		t.ClearOwnerHPs()
+		return true
+	}
+	return false
+}
+
+// ClearOwnerHPs nullifies all owner hazard pointers (end of wrap-up).
+func (t *Thread[T]) ClearOwnerHPs() {
+	for i := WriteHPs; i < len(t.hps); i++ {
+		t.hps[i].Store(0)
+	}
+}
+
+// Alloc implements Algorithm 5: pop a slot from the local allocation block,
+// refilling from the readyPool and running Recycling as needed, then zero
+// the slot.
+func (t *Thread[T]) Alloc() uint32 {
+	m := t.mgr
+	for spins := 0; ; spins++ {
+		if t.allocBlk != pools.NoBlock {
+			b := m.ba.B(t.allocBlk)
+			if !b.Empty() {
+				slot := b.Pop()
+				m.reset(m.nodes.At(slot))
+				t.allocs++
+				return slot
+			}
+			m.ba.Put(t.allocBlk)
+			t.allocBlk = pools.NoBlock
+		}
+		if blk, st := m.ready.Pop(m.ba); st == pools.StatusOK {
+			t.allocBlk = blk
+			continue
+		}
+		if spins >= m.cfg.AllocSpinLimit {
+			panic(fmt.Sprintf(
+				"core: allocation starved after %d recycling attempts; "+
+					"capacity %d is too small for the live set "+
+					"(size it as live nodes + δ, δ ≥ 2·threads·localPool = %d)",
+				spins, m.cfg.Capacity, 2*m.cfg.MaxThreads*m.cfg.LocalPool))
+		}
+		t.Recycling()
+	}
+}
+
+// Retire implements Algorithm 4: buffer the slot in the local retire block
+// and push full blocks into the retirePool, helping a phase change on
+// VER-MISMATCH.
+//
+// The caller must guarantee proper retirement (§3.3): the slot was unlinked
+// from the structure, and only one thread retires it.
+func (t *Thread[T]) Retire(slot uint32) {
+	m := t.mgr
+	t.retires++
+	if t.retireBlk == pools.NoBlock {
+		t.retireBlk = m.ba.Get()
+	}
+	b := m.ba.B(t.retireBlk)
+	b.Push(slot)
+	if !b.Full(int32(m.cfg.LocalPool)) {
+		return
+	}
+	for {
+		if st := m.retire.Push(m.ba, t.retireBlk, t.localVer); st == pools.StatusOK {
+			t.retireBlk = pools.NoBlock
+			return
+		}
+		t.Recycling()
+	}
+}
+
+// FlushRetired force-pushes a partially filled local retire block into the
+// global pipeline. Benchmarks and tests call it when a thread finishes so
+// no slots stay stranded in local buffers.
+func (t *Thread[T]) FlushRetired() {
+	m := t.mgr
+	if t.retireBlk == pools.NoBlock || m.ba.B(t.retireBlk).Empty() {
+		return
+	}
+	for {
+		if st := m.retire.Push(m.ba, t.retireBlk, t.localVer); st == pools.StatusOK {
+			t.retireBlk = pools.NoBlock
+			return
+		}
+		t.Recycling()
+	}
+}
+
+// Recycling implements Algorithm 6. It (1) performs or helps the phase
+// swap, (2) sets all warning bits, (3) snapshots all hazard pointers, and
+// (4) drains the processingPool, routing unprotected slots to the readyPool
+// and protected ones back to the retirePool. The call's duration is
+// recorded in the manager's pause histogram.
+func (t *Thread[T]) Recycling() {
+	m := t.mgr
+	started := time.Now()
+	defer func() { m.phaseHst.Observe(time.Since(started)) }()
+	rv, ri := m.retire.Load()
+	switch {
+	case rv == t.localVer:
+		// We are current. Start a new phase only once this phase's
+		// processing pool is drained (see the deviation note in the package
+		// comment); otherwise participate in the current phase below.
+		if pv, pi := m.process.Load(); pv == t.localVer && pi == pools.NoBlock {
+			m.retire.CompareAndSwap(rv, ri, rv+1, ri)
+			m.helpSwap()
+			t.localVer += 2
+		}
+	case rv == t.localVer+1:
+		// A freeze for our phase is in flight: help complete it. The
+		// freezer verified the processing pool was empty.
+		m.helpSwap()
+		t.localVer += 2
+	default:
+		// We lag behind; catch up one phase per call (Algorithm 6 line 9).
+		t.localVer += 2
+	}
+	if v, _ := m.retire.Load(); v > t.localVer {
+		return // phase already finished (Algorithm 6 line 10)
+	}
+	m.setWarnings(t.localVer)
+	hp := t.snapshotHPs()
+	t.drain(hp)
+}
+
+// snapshotHPs collects every thread's hazard pointers into the reusable
+// scratch set (Algorithm 6 lines 16–18; the paper also uses a hash table).
+func (t *Thread[T]) snapshotHPs() map[uint32]struct{} {
+	clear(t.scratchHP)
+	for _, other := range t.mgr.threads {
+		for i := range other.hps {
+			if w := other.hps[i].Load(); w != 0 {
+				t.scratchHP[uint32(w-1)] = struct{}{}
+			}
+		}
+	}
+	return t.scratchHP
+}
+
+// drain processes the processingPool for phase t.localVer (Algorithm 6
+// lines 20–30).
+func (t *Thread[T]) drain(hp map[uint32]struct{}) {
+	m := t.mgr
+	readyBlk := pools.NoBlock
+	reBlk := pools.NoBlock
+	limit := int32(m.cfg.LocalPool)
+	for {
+		blk, st := m.process.Pop(m.ba, t.localVer)
+		if st != pools.StatusOK {
+			break // StatusEmpty: phase drained; StatusVerMismatch: superseded
+		}
+		b := m.ba.B(blk)
+		for i := int32(0); i < b.N; i++ {
+			slot := b.Slots[i]
+			if _, protected := hp[slot]; protected {
+				// Protected: back to the retire pool for the next phase.
+				if reBlk == pools.NoBlock {
+					reBlk = m.ba.Get()
+				}
+				m.ba.B(reBlk).Push(slot)
+				t.reRetired++
+				if m.ba.B(reBlk).Full(limit) {
+					t.pushRetireAnyPhase(reBlk)
+					reBlk = pools.NoBlock
+				}
+			} else {
+				// Unprotected: recycled. Bump the debug generation so tests
+				// can detect (HP/EBR) or account for (OA) stale accesses.
+				m.nodes.BumpGen(slot)
+				if readyBlk == pools.NoBlock {
+					readyBlk = m.ba.Get()
+				}
+				m.ba.B(readyBlk).Push(slot)
+				t.recycled++
+				if m.ba.B(readyBlk).Full(limit) {
+					m.ready.Push(m.ba, readyBlk)
+					readyBlk = pools.NoBlock
+				}
+			}
+		}
+		b.N = 0
+		m.ba.Put(blk)
+	}
+	if readyBlk != pools.NoBlock {
+		if m.ba.B(readyBlk).Empty() {
+			m.ba.Put(readyBlk)
+		} else {
+			m.ready.Push(m.ba, readyBlk)
+		}
+	}
+	if reBlk != pools.NoBlock {
+		if m.ba.B(reBlk).Empty() {
+			m.ba.Put(reBlk)
+		} else {
+			t.pushRetireAnyPhase(reBlk)
+		}
+	}
+}
+
+// pushRetireAnyPhase pushes a block of still-protected slots into the
+// retirePool at whatever phase it is in, helping freezes along the way.
+// Retiring into a later phase is always proper, so unlike Algorithm 6
+// line 28 this never abandons slots (see the package deviation note).
+func (t *Thread[T]) pushRetireAnyPhase(blk uint32) {
+	m := t.mgr
+	for {
+		ver := m.helpSwap()
+		if st := m.retire.Push(m.ba, blk, ver); st == pools.StatusOK {
+			return
+		}
+	}
+}

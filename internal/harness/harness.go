@@ -1,0 +1,229 @@
+// Package harness drives the paper's micro-benchmarks (§5 "Methodology"):
+// a stressful workload of repeated operations from many threads against one
+// data structure, with the paper's operation mix (80% read-only by
+// default), key range (2× the initial size, keeping the size stationary),
+// initialization, thread sweep and throughput/ratio reporting.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/smr"
+)
+
+// Workload describes one benchmark run.
+type Workload struct {
+	// Threads is the number of worker goroutines (each pinned to an OS
+	// thread for the duration of the run).
+	Threads int
+	// InitialSize is the number of distinct keys inserted before the
+	// measurement starts.
+	InitialSize int
+	// KeyRange is the key universe size; the paper uses 2× InitialSize so
+	// that random equal-probability inserts/deletes hold the size steady.
+	KeyRange uint64
+	// ReadFraction is the share of Contains operations (0.8 in Figure 1;
+	// 0.6 in Figure 7; 1/3 in Figure 8). The rest splits evenly between
+	// Insert and Delete.
+	ReadFraction float64
+	// Duration is the measurement length for time-based runs.
+	Duration time.Duration
+	// TotalOps, when non-zero, runs a fixed operation count instead of a
+	// fixed duration (used by testing.B benchmarks).
+	TotalOps int
+	// Seed perturbs the per-thread generators across repetitions.
+	Seed uint64
+	// ZipfS, when > 1, draws keys from a Zipf distribution with exponent
+	// ZipfS over the key range instead of uniformly — an extension
+	// workload (hot keys) beyond the paper's uniform benchmarks.
+	ZipfS float64
+}
+
+func (w *Workload) fill() {
+	if w.Threads <= 0 {
+		w.Threads = 1
+	}
+	if w.KeyRange == 0 {
+		w.KeyRange = 2 * uint64(w.InitialSize)
+		if w.KeyRange == 0 {
+			w.KeyRange = 1024
+		}
+	}
+	if w.ReadFraction == 0 {
+		w.ReadFraction = 0.8
+	}
+	if w.Duration == 0 && w.TotalOps == 0 {
+		w.Duration = 200 * time.Millisecond
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	Ops      uint64
+	Duration time.Duration
+	Stats    smr.Stats
+}
+
+// Mops returns throughput in million operations per second.
+func (r Result) Mops() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds() / 1e6
+}
+
+// splitmix64 is the per-thread operation generator.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Prefill inserts InitialSize distinct keys through session 0.
+func Prefill(set smr.Set, w Workload) {
+	w.fill()
+	s := set.Session(0)
+	rng := splitmix64(w.Seed*0x9E3779B9 + 12345)
+	inserted := 0
+	for inserted < w.InitialSize {
+		k := rng.next()%w.KeyRange + 1
+		if s.Insert(k) {
+			inserted++
+		}
+	}
+}
+
+// Run prefills the structure and executes the workload, returning the
+// aggregate throughput. The caller should hold GOMAXPROCS ≥ Threads for
+// meaningful scaling numbers (oversubscription is allowed, as in the
+// paper's 64-thread AMD runs).
+func Run(set smr.Set, w Workload) Result {
+	w.fill()
+	Prefill(set, w)
+	return RunPrefilled(set, w)
+}
+
+// RunPrefilled executes the measurement phase only.
+func RunPrefilled(set smr.Set, w Workload) Result {
+	w.fill()
+	var stop atomic.Bool
+	counts := make([]struct {
+		n uint64
+		_ [7]uint64 // cacheline pad
+	}, w.Threads)
+
+	opsPerThread := 0
+	if w.TotalOps > 0 {
+		opsPerThread = (w.TotalOps + w.Threads - 1) / w.Threads
+	}
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(w.Threads)
+	for id := 0; id < w.Threads; id++ {
+		go func(id int) {
+			defer done.Done()
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			s := set.Session(id)
+			rng := splitmix64(w.Seed + uint64(id)*0x5851F42D4C957F2D + 7)
+			var zipf *rand.Zipf
+			if w.ZipfS > 1 {
+				src := rand.New(rand.NewSource(int64(w.Seed) + int64(id)*7919 + 1))
+				zipf = rand.NewZipf(src, w.ZipfS, 1, w.KeyRange-1)
+			}
+			insertTurn := id&1 == 0
+			readCut := uint64(w.ReadFraction * (1 << 32))
+			start.Wait()
+			n := uint64(0)
+			for {
+				if opsPerThread > 0 {
+					if n >= uint64(opsPerThread) {
+						break
+					}
+				} else if n&0xFF == 0 && stop.Load() {
+					break
+				}
+				r := rng.next()
+				k := r%w.KeyRange + 1
+				if zipf != nil {
+					k = zipf.Uint64() + 1
+				}
+				if (r>>32)&0xFFFFFFFF < readCut {
+					s.Contains(k)
+				} else if insertTurn {
+					s.Insert(k)
+					insertTurn = false
+				} else {
+					s.Delete(k)
+					insertTurn = true
+				}
+				n++
+			}
+			counts[id].n = n
+		}(id)
+	}
+
+	t0 := time.Now()
+	start.Done()
+	if opsPerThread == 0 {
+		time.Sleep(w.Duration)
+		stop.Store(true)
+	}
+	done.Wait()
+	elapsed := time.Since(t0)
+
+	var total uint64
+	for i := range counts {
+		total += counts[i].n
+	}
+	return Result{Ops: total, Duration: elapsed, Stats: set.Stats()}
+}
+
+// Repeat runs the workload reps times on fresh structures from mk and
+// returns the mean Mops with the half-width of a 95% confidence interval
+// (the paper's error bars; normal approximation).
+func Repeat(mk func() smr.Set, w Workload, reps int) (mean, ci float64) {
+	if reps <= 0 {
+		reps = 1
+	}
+	xs := make([]float64, reps)
+	for i := range xs {
+		wi := w
+		wi.Seed = w.Seed + uint64(i)*1000003
+		xs[i] = Run(mk(), wi).Mops()
+		mean += xs[i]
+	}
+	mean /= float64(reps)
+	if reps < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := ss / float64(reps-1)
+	// 1.96 · s/√n, the normal-approximation 95% interval.
+	ci = 1.96 * math.Sqrt(sd/float64(reps))
+	return mean, ci
+}
+
+// FormatRatio renders a throughput ratio the way the paper's figures do
+// (1.0 = parity with NoRecl).
+func FormatRatio(scheme, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", scheme/base)
+}

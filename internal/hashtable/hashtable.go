@@ -1,0 +1,229 @@
+// Package hashtable implements Michael's lock-free hash table (SPAA 2002):
+// a fixed array of buckets, each an independent Harris-Michael linked list,
+// reusing the per-scheme list engines of package list. The paper evaluates
+// it with a load factor of 0.75, making the average bucket list shorter
+// than one node — operations are extremely short, which is the regime where
+// per-operation costs (EBR's announcements) dominate and per-read costs
+// (HP's fences) matter less (Figure 1, "Hash").
+//
+// The bucket count is fixed at construction (sized from the expected
+// element count and load factor), as in the paper's benchmark. Each bucket
+// owns a sentinel head node that is never retired.
+package hashtable
+
+import (
+	"repro/internal/core"
+	"repro/internal/ebr"
+	"repro/internal/hpscheme"
+	"repro/internal/list"
+	"repro/internal/norecl"
+	"repro/internal/smr"
+)
+
+// DefaultLoadFactor is the paper's benchmark load factor.
+const DefaultLoadFactor = 0.75
+
+// Buckets returns the bucket count for an expected size at a load factor,
+// rounded up to a power of two so that indexing is a mask.
+func Buckets(expected int, loadFactor float64) int {
+	if loadFactor <= 0 {
+		loadFactor = DefaultLoadFactor
+	}
+	want := int(float64(expected)/loadFactor) + 1
+	b := 1
+	for b < want {
+		b <<= 1
+	}
+	return b
+}
+
+// hash is Fibonacci multiplicative hashing onto the bucket mask.
+func hash(key uint64, mask uint32) uint32 {
+	return uint32((key*0x9E3779B97F4A7C15)>>33) & mask
+}
+
+// newHeads allocates one sentinel per bucket via the engine's setup thread.
+func newHeads(n int, alloc func() uint32) []uint32 {
+	heads := make([]uint32, n)
+	for i := range heads {
+		heads[i] = alloc()
+	}
+	return heads
+}
+
+// OA is the hash table under optimistic access.
+type OA struct {
+	e     *list.OAEngine
+	heads []uint32
+	mask  uint32
+}
+
+// NewOA builds a table with expected elements; cfg.Capacity must include
+// the bucket sentinels (use Buckets to size them) plus the live set and δ.
+func NewOA(cfg core.Config, expected int) *OA {
+	n := Buckets(expected, DefaultLoadFactor)
+	cfg.Capacity += n
+	e := list.NewOAEngine(cfg)
+	return &OA{e: e, heads: newHeads(n, e.NewHead), mask: uint32(n - 1)}
+}
+
+// Engine exposes the underlying list engine.
+func (h *OA) Engine() *list.OAEngine { return h.e }
+
+// Scheme implements smr.Set.
+func (h *OA) Scheme() smr.Scheme { return smr.OA }
+
+// Stats implements smr.Set.
+func (h *OA) Stats() smr.Stats { return h.e.Manager().Stats() }
+
+// Session implements smr.Set.
+func (h *OA) Session(tid int) smr.Session { return &oaSession{h: h, t: h.e.Thread(tid)} }
+
+type oaSession struct {
+	h *OA
+	t *list.OAThread
+}
+
+func (s *oaSession) Insert(key uint64) bool {
+	return s.t.InsertAt(s.h.heads[hash(key, s.h.mask)], key)
+}
+func (s *oaSession) Delete(key uint64) bool {
+	return s.t.DeleteAt(s.h.heads[hash(key, s.h.mask)], key)
+}
+func (s *oaSession) Contains(key uint64) bool {
+	return s.t.ContainsAt(s.h.heads[hash(key, s.h.mask)], key)
+}
+
+// HP is the hash table under hazard pointers.
+type HP struct {
+	e     *list.HPEngine
+	heads []uint32
+	mask  uint32
+}
+
+// NewHP builds a table with expected elements.
+func NewHP(cfg hpscheme.Config, expected int) *HP {
+	n := Buckets(expected, DefaultLoadFactor)
+	cfg.Capacity += n
+	e := list.NewHPEngine(cfg)
+	return &HP{e: e, heads: newHeads(n, e.NewHead), mask: uint32(n - 1)}
+}
+
+// Engine exposes the underlying list engine.
+func (h *HP) Engine() *list.HPEngine { return h.e }
+
+// Scheme implements smr.Set.
+func (h *HP) Scheme() smr.Scheme { return smr.HP }
+
+// Stats implements smr.Set.
+func (h *HP) Stats() smr.Stats { return h.e.Manager().Stats() }
+
+// Session implements smr.Set.
+func (h *HP) Session(tid int) smr.Session { return &hpSession{h: h, t: h.e.Thread(tid)} }
+
+type hpSession struct {
+	h *HP
+	t *list.HPThread
+}
+
+func (s *hpSession) Insert(key uint64) bool {
+	return s.t.InsertAt(s.h.heads[hash(key, s.h.mask)], key)
+}
+func (s *hpSession) Delete(key uint64) bool {
+	return s.t.DeleteAt(s.h.heads[hash(key, s.h.mask)], key)
+}
+func (s *hpSession) Contains(key uint64) bool {
+	return s.t.ContainsAt(s.h.heads[hash(key, s.h.mask)], key)
+}
+
+// EBR is the hash table under epoch-based reclamation.
+type EBR struct {
+	e     *list.EBREngine
+	heads []uint32
+	mask  uint32
+}
+
+// NewEBR builds a table with expected elements.
+func NewEBR(cfg ebr.Config, expected int) *EBR {
+	n := Buckets(expected, DefaultLoadFactor)
+	cfg.Capacity += n
+	e := list.NewEBREngine(cfg)
+	return &EBR{e: e, heads: newHeads(n, e.NewHead), mask: uint32(n - 1)}
+}
+
+// Engine exposes the underlying list engine.
+func (h *EBR) Engine() *list.EBREngine { return h.e }
+
+// Scheme implements smr.Set.
+func (h *EBR) Scheme() smr.Scheme { return smr.EBR }
+
+// Stats implements smr.Set.
+func (h *EBR) Stats() smr.Stats { return h.e.Manager().Stats() }
+
+// Session implements smr.Set.
+func (h *EBR) Session(tid int) smr.Session { return &ebrSession{h: h, t: h.e.Thread(tid)} }
+
+type ebrSession struct {
+	h *EBR
+	t *list.EBRThread
+}
+
+func (s *ebrSession) Insert(key uint64) bool {
+	return s.t.InsertAt(s.h.heads[hash(key, s.h.mask)], key)
+}
+func (s *ebrSession) Delete(key uint64) bool {
+	return s.t.DeleteAt(s.h.heads[hash(key, s.h.mask)], key)
+}
+func (s *ebrSession) Contains(key uint64) bool {
+	return s.t.ContainsAt(s.h.heads[hash(key, s.h.mask)], key)
+}
+
+// NoRecl is the hash table without reclamation.
+type NoRecl struct {
+	e     *list.NoReclEngine
+	heads []uint32
+	mask  uint32
+}
+
+// NewNoRecl builds a table with expected elements.
+func NewNoRecl(cfg norecl.Config, expected int) *NoRecl {
+	n := Buckets(expected, DefaultLoadFactor)
+	cfg.Capacity += n
+	e := list.NewNoReclEngine(cfg)
+	return &NoRecl{e: e, heads: newHeads(n, e.NewHead), mask: uint32(n - 1)}
+}
+
+// Engine exposes the underlying list engine.
+func (h *NoRecl) Engine() *list.NoReclEngine { return h.e }
+
+// Scheme implements smr.Set.
+func (h *NoRecl) Scheme() smr.Scheme { return smr.NoRecl }
+
+// Stats implements smr.Set.
+func (h *NoRecl) Stats() smr.Stats { return h.e.Manager().Stats() }
+
+// Session implements smr.Set.
+func (h *NoRecl) Session(tid int) smr.Session { return &noreclSession{h: h, t: h.e.Thread(tid)} }
+
+type noreclSession struct {
+	h *NoRecl
+	t *list.NoReclThread
+}
+
+func (s *noreclSession) Insert(key uint64) bool {
+	return s.t.InsertAt(s.h.heads[hash(key, s.h.mask)], key)
+}
+func (s *noreclSession) Delete(key uint64) bool {
+	return s.t.DeleteAt(s.h.heads[hash(key, s.h.mask)], key)
+}
+func (s *noreclSession) Contains(key uint64) bool {
+	return s.t.ContainsAt(s.h.heads[hash(key, s.h.mask)], key)
+}
+
+// An Anchors hash table is intentionally absent: the paper does not
+// implement one because bucket lists average under one node, where anchors'
+// amortization has nothing to amortize (§5).
+
+// PauseReport renders the OA reclamation-pause histogram (see package
+// metrics); used by oabench's pause experiment.
+func (h *OA) PauseReport() string { return h.e.Manager().PhasePauses().String() }

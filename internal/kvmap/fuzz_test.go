@@ -1,0 +1,56 @@
+package kvmap
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzMapVsModel drives the OA map (including the in-place value update
+// path) with a byte-encoded operation sequence against a model map. Byte
+// layout: three bytes per op — opcode%4, key, value.
+func FuzzMapVsModel(f *testing.F) {
+	f.Add([]byte{0, 1, 10, 3, 1, 0, 1, 1, 20, 3, 1, 0, 2, 1, 0})
+	f.Add([]byte{1, 7, 1, 1, 7, 2, 2, 7, 0, 3, 7, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := New(core.Config{MaxThreads: 1, Capacity: 512, LocalPool: 4}, 64)
+		s := m.Session(0)
+		model := map[uint64]uint64{}
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] % 4
+			k := uint64(data[i+1]) + 1
+			v := uint64(data[i+2])
+			switch op {
+			case 0: // Put
+				wantPrev, wantHad := model[k]
+				prev, had := s.Put(k, v)
+				if had != wantHad || (had && prev != wantPrev) {
+					t.Fatalf("op %d: Put(%d,%d) = %d,%v want %d,%v", i/3, k, v, prev, had, wantPrev, wantHad)
+				}
+				model[k] = v
+			case 1: // PutIfAbsent
+				_, present := model[k]
+				if got := s.PutIfAbsent(k, v); got != !present {
+					t.Fatalf("op %d: PutIfAbsent(%d) = %v", i/3, k, got)
+				}
+				if !present {
+					model[k] = v
+				}
+			case 2: // Remove
+				want, wantOk := model[k]
+				got, ok := s.Remove(k)
+				if ok != wantOk || (ok && got != want) {
+					t.Fatalf("op %d: Remove(%d) = %d,%v want %d,%v", i/3, k, got, ok, want, wantOk)
+				}
+				delete(model, k)
+			default: // Get
+				want, wantOk := model[k]
+				got, ok := s.Get(k)
+				if ok != wantOk || (ok && got != want) {
+					t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", i/3, k, got, ok, want, wantOk)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,279 @@
+// Package kvmap extends the paper's set structures into a key→value hash
+// map under the optimistic access scheme — the extension a downstream user
+// of the library most often needs. The bucket lists are Harris-Michael
+// lists whose nodes carry a value word; Get/Put/PutIfAbsent/Remove follow
+// the same normalized-form discipline as the sets:
+//
+//   - Get is read-only: loads plus warning checks, no fences (Algorithm 1).
+//   - Put updates in place with a CAS on the value word — an observable
+//     CAS, so it runs under the Algorithm 2 write barrier; an update on a
+//     concurrently deleted node linearizes before the delete.
+//   - PutIfAbsent/Remove mirror the set's Insert/Delete generators.
+package kvmap
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/normalized"
+	"repro/internal/smr"
+)
+
+// Node is a map node: key, value, successor. All fields atomic (stale
+// reads under OA).
+type Node struct {
+	Key  atomic.Uint64
+	Val  atomic.Uint64
+	Next atomic.Uint64
+}
+
+// ResetNode zeroes a node (the allocation memset hook).
+func ResetNode(n *Node) {
+	n.Key.Store(0)
+	n.Val.Store(0)
+	n.Next.Store(0)
+}
+
+// Map is a lock-free hash map of uint64→uint64 under optimistic access.
+type Map struct {
+	mgr   *core.Manager[Node]
+	heads []uint32
+	mask  uint32
+}
+
+// loadFactor matches the paper's hash benchmarks.
+const loadFactor = 0.75
+
+// New builds a map sized for expected entries. cfg.Capacity is the node
+// budget (live entries + reclamation slack δ); bucket sentinels are added
+// on top automatically.
+func New(cfg core.Config, expected int) *Map {
+	want := int(float64(expected)/loadFactor) + 1
+	n := 1
+	for n < want {
+		n <<= 1
+	}
+	cfg.Capacity += n
+	cfg.OwnerHPs = 3
+	m := &Map{mgr: core.NewManager[Node](cfg, ResetNode), mask: uint32(n - 1)}
+	t := m.mgr.Thread(0)
+	m.heads = make([]uint32, n)
+	for i := range m.heads {
+		m.heads[i] = t.Alloc()
+	}
+	return m
+}
+
+// Manager exposes the underlying optimistic access manager.
+func (m *Map) Manager() *core.Manager[Node] { return m.mgr }
+
+// Stats returns reclamation counters.
+func (m *Map) Stats() smr.Stats { return m.mgr.Stats() }
+
+func (m *Map) bucket(key uint64) uint32 {
+	return m.heads[uint32((key*0x9E3779B97F4A7C15)>>33)&m.mask]
+}
+
+// Session binds the map to worker tid; one session per goroutine.
+func (m *Map) Session(tid int) *Session {
+	return &Session{m: m, t: m.mgr.Thread(tid), pending: arena.NoSlot}
+}
+
+// Session is the per-thread handle of a Map.
+type Session struct {
+	m       *Map
+	t       *core.Thread[Node]
+	pending uint32
+}
+
+// Get returns the value stored under key.
+func (s *Session) Get(key uint64) (uint64, bool) {
+	th := s.t
+	head := s.m.bucket(key)
+restart:
+	for {
+		cur := arena.Ptr(th.Node(head).Next.Load())
+		if th.Check() {
+			continue restart
+		}
+		for !cur.IsNil() {
+			n := th.Node(cur.Unmark().Slot())
+			next := arena.Ptr(n.Next.Load())
+			ckey := n.Key.Load()
+			val := n.Val.Load()
+			if th.Check() {
+				continue restart
+			}
+			if ckey >= key {
+				if ckey == key && !next.Marked() {
+					return val, true
+				}
+				return 0, false
+			}
+			cur = next.Unmark()
+		}
+		return 0, false
+	}
+}
+
+// search mirrors the set engines' generator search (with helping physical
+// deletes under the write barrier).
+func (s *Session) search(head uint32, key uint64) (prevSlot uint32, cur, next arena.Ptr, ckey uint64, ok, restart bool) {
+	th := s.t
+	prevSlot = head
+	cur = arena.Ptr(th.Node(head).Next.Load())
+	if th.Check() {
+		return 0, 0, 0, 0, false, true
+	}
+	for {
+		if cur.IsNil() {
+			return prevSlot, cur, 0, 0, false, false
+		}
+		curSlot := cur.Slot()
+		n := th.Node(curSlot)
+		next = arena.Ptr(n.Next.Load())
+		ckey = n.Key.Load()
+		tmp := arena.Ptr(th.Node(prevSlot).Next.Load())
+		if th.Check() {
+			return 0, 0, 0, 0, false, true
+		}
+		if tmp != cur {
+			return 0, 0, 0, 0, false, true
+		}
+		if !next.Marked() {
+			if ckey >= key {
+				return prevSlot, cur, next, ckey, true, false
+			}
+			prevSlot = curSlot
+		} else {
+			if th.ProtectCAS(arena.MakePtr(prevSlot), cur, next.Unmark()) {
+				return 0, 0, 0, 0, false, true
+			}
+			if th.Node(prevSlot).Next.CompareAndSwap(uint64(cur), uint64(next.Unmark())) {
+				th.ClearCAS()
+				th.Retire(curSlot)
+			} else {
+				th.ClearCAS()
+				return 0, 0, 0, 0, false, true
+			}
+		}
+		cur = next.Unmark()
+	}
+}
+
+// PutIfAbsent stores val under key unless key is present; it reports
+// whether the store happened.
+func (s *Session) PutIfAbsent(key, val uint64) bool {
+	inserted, _ := s.put(key, val, false)
+	return inserted
+}
+
+// Put stores val under key, inserting or overwriting. It returns the
+// previous value and whether one existed.
+func (s *Session) Put(key, val uint64) (uint64, bool) {
+	_, prev := s.put(key, val, true)
+	return prev.val, prev.had
+}
+
+type prevVal struct {
+	val uint64
+	had bool
+}
+
+func (s *Session) put(key, val uint64, overwrite bool) (bool, prevVal) {
+	th := s.t
+	head := s.m.bucket(key)
+	var dl normalized.DescList
+	for {
+		// --- CAS generator ---
+		prevSlot, cur, _, ckey, found, restart := s.search(head, key)
+		if restart {
+			continue
+		}
+		if found && ckey == key {
+			if !overwrite {
+				return false, prevVal{}
+			}
+			// In-place value update: one observable CAS on the value word
+			// (Algorithm 2 protects the node against recycling).
+			n := th.Node(cur.Slot())
+			old := n.Val.Load()
+			if th.Check() {
+				continue
+			}
+			if th.ProtectCAS(cur, arena.NilPtr, arena.NilPtr) {
+				continue
+			}
+			swapped := n.Val.CompareAndSwap(old, val)
+			th.ClearCAS()
+			if !swapped {
+				continue // value raced; regenerate
+			}
+			return false, prevVal{val: old, had: true}
+		}
+		if s.pending == arena.NoSlot {
+			s.pending = th.Alloc()
+		}
+		n := th.Node(s.pending)
+		n.Key.Store(key)
+		n.Val.Store(val)
+		n.Next.Store(uint64(cur))
+		dl.Reset()
+		dl.Append(&th.Node(prevSlot).Next, uint64(cur), uint64(arena.MakePtr(s.pending)))
+		th.SetOwnerHP(0, arena.MakePtr(prevSlot))
+		th.SetOwnerHP(1, cur)
+		th.SetOwnerHP(2, arena.MakePtr(s.pending))
+		if th.SealGenerator() {
+			continue
+		}
+		// --- CAS executor ---
+		failed := normalized.Execute(&dl)
+		// --- wrap-up ---
+		th.ClearOwnerHPs()
+		if failed != 0 {
+			continue
+		}
+		s.pending = arena.NoSlot
+		return true, prevVal{}
+	}
+}
+
+// Remove deletes key, returning the removed value and whether key existed.
+func (s *Session) Remove(key uint64) (uint64, bool) {
+	th := s.t
+	head := s.m.bucket(key)
+	var dl normalized.DescList
+	for {
+		// --- CAS generator ---
+		_, cur, next, ckey, found, restart := s.search(head, key)
+		if restart {
+			continue
+		}
+		if !found || ckey != key {
+			return 0, false
+		}
+		n := th.Node(cur.Slot())
+		dl.Reset()
+		dl.Append(&n.Next, uint64(next), uint64(next.Mark()))
+		th.SetOwnerHP(0, cur)
+		th.SetOwnerHP(1, next)
+		if th.SealGenerator() {
+			continue
+		}
+		// --- CAS executor ---
+		failed := normalized.Execute(&dl)
+		// --- wrap-up ---
+		if failed != 0 {
+			th.ClearOwnerHPs()
+			continue
+		}
+		// Read the removed value *after* winning the mark, while the owner
+		// hazard pointer still pins the node: an in-place Put that lands
+		// between the generator's read and the mark linearizes before this
+		// Remove, so the post-mark value is the one removed.
+		val := n.Val.Load()
+		th.ClearOwnerHPs()
+		return val, true
+	}
+}

@@ -1,0 +1,171 @@
+// Package linearize checks recorded concurrent histories of set operations
+// for linearizability. It is the strongest correctness oracle in this
+// repository: rather than checking conservation invariants after the fact,
+// it verifies that an actual interleaving of Insert/Delete/Contains calls
+// — with their real-time ordering — is explainable by some sequential set.
+//
+// The checker exploits that a set is a *per-key independent* object: a
+// history is linearizable iff its projection onto every key is
+// linearizable against a single boolean (present/absent). Each per-key
+// projection is decided with the Wing & Gong algorithm, memoized on the
+// subset of already-linearized operations — sound and complete, with
+// O(2^n) worst-case work per key, so recorders used with it should keep
+// per-key operation counts modest (the tests use ≤ ~20, far past what is
+// needed to catch reclamation bugs, which manifest as impossible results
+// like Contains observing a deleted-and-recycled key).
+package linearize
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpKind is the operation type.
+type OpKind uint8
+
+// The three set operations.
+const (
+	Insert OpKind = iota
+	Delete
+	Contains
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case Insert:
+		return "Insert"
+	case Delete:
+		return "Delete"
+	default:
+		return "Contains"
+	}
+}
+
+// Op is one completed operation with its invocation/response timestamps.
+// Timestamps come from a shared logical clock: Start and End of different
+// operations never collide, and a.End < b.Start means a really preceded b.
+type Op struct {
+	Kind   OpKind
+	Key    uint64
+	Result bool
+	Thread int
+	Start  int64
+	End    int64
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("T%d %v(%d)=%v @[%d,%d]", o.Thread, o.Kind, o.Key, o.Result, o.Start, o.End)
+}
+
+// apply returns the post-state and whether the op is legal in state
+// (initial state: absent=false).
+func apply(o Op, present bool) (bool, bool) {
+	switch o.Kind {
+	case Insert:
+		if o.Result {
+			return true, !present // succeeds iff absent
+		}
+		return present, present // fails iff present
+	case Delete:
+		if o.Result {
+			return false, present
+		}
+		return present, !present
+	default: // Contains
+		return present, o.Result == present
+	}
+}
+
+// Result reports the outcome of a check.
+type Result struct {
+	Ok bool
+	// Key is the first key whose projection failed (when !Ok).
+	Key uint64
+	// Witness is that key's projected history, sorted by invocation.
+	Witness []Op
+}
+
+// maxPerKey bounds the per-key search; histories past it are rejected
+// with an explanatory panic rather than silently taking exponential time.
+const maxPerKey = 26
+
+// Check decides whether the history is linearizable as a set that starts
+// empty.
+func Check(history []Op) Result {
+	byKey := make(map[uint64][]Op)
+	for _, o := range history {
+		byKey[o.Key] = append(byKey[o.Key], o)
+	}
+	// Deterministic key order for reproducible failure reports.
+	keys := make([]uint64, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		ops := byKey[k]
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+		if len(ops) > maxPerKey {
+			panic(fmt.Sprintf(
+				"linearize: %d ops on key %d exceeds the checker bound %d; "+
+					"use a wider key space or fewer ops per key", len(ops), k, maxPerKey))
+		}
+		if !checkKey(ops) {
+			return Result{Ok: false, Key: k, Witness: ops}
+		}
+	}
+	return Result{Ok: true}
+}
+
+// checkKey runs memoized Wing-Gong on one key's projection. The boolean
+// object state is fully determined by which successful updates are in the
+// linearized prefix, so memoizing on the bitmask alone is sound.
+func checkKey(ops []Op) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	full := uint32(1)<<n - 1
+	visited := make(map[uint32]bool, 1<<uint(min(n, 20)))
+
+	// pred[i] = bitmask of ops that strictly precede i in real time.
+	pred := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if ops[j].End < ops[i].Start {
+				pred[i] |= 1 << j
+			}
+		}
+	}
+
+	var dfs func(mask uint32, present bool) bool
+	dfs = func(mask uint32, present bool) bool {
+		if mask == full {
+			return true
+		}
+		if visited[mask] {
+			return false
+		}
+		visited[mask] = true
+		for i := 0; i < n; i++ {
+			bit := uint32(1) << i
+			if mask&bit != 0 {
+				continue
+			}
+			// i may linearize next only if every op that precedes it in
+			// real time is already linearized.
+			if pred[i]&^mask != 0 {
+				continue
+			}
+			next, ok := apply(ops[i], present)
+			if !ok {
+				continue
+			}
+			if dfs(mask|bit, next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(0, false)
+}

@@ -1,0 +1,79 @@
+package linearize
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/smr"
+)
+
+// Recorder wraps an smr.Set, recording every operation with logical
+// invocation/response timestamps from a shared atomic clock. Sessions
+// append to private logs; History merges them after the workers quiesce.
+type Recorder struct {
+	inner smr.Set
+	clock atomic.Int64
+	mu    sync.Mutex
+	logs  []*[]Op
+}
+
+// NewRecorder wraps set.
+func NewRecorder(set smr.Set) *Recorder {
+	return &Recorder{inner: set}
+}
+
+// Scheme implements smr.Set.
+func (r *Recorder) Scheme() smr.Scheme { return r.inner.Scheme() }
+
+// Stats implements smr.Set.
+func (r *Recorder) Stats() smr.Stats { return r.inner.Stats() }
+
+// Session implements smr.Set; each recorded session owns a private log.
+func (r *Recorder) Session(tid int) smr.Session {
+	log := new([]Op)
+	r.mu.Lock()
+	r.logs = append(r.logs, log)
+	r.mu.Unlock()
+	return &recSession{r: r, tid: tid, inner: r.inner.Session(tid), log: log}
+}
+
+// History returns all recorded operations. Call only after every recorded
+// session has quiesced.
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var all []Op
+	for _, log := range r.logs {
+		all = append(all, *log...)
+	}
+	return all
+}
+
+type recSession struct {
+	r     *Recorder
+	tid   int
+	inner smr.Session
+	log   *[]Op
+}
+
+func (s *recSession) record(kind OpKind, key uint64, call func(uint64) bool) bool {
+	start := s.r.clock.Add(1)
+	res := call(key)
+	end := s.r.clock.Add(1)
+	*s.log = append(*s.log, Op{
+		Kind: kind, Key: key, Result: res, Thread: s.tid, Start: start, End: end,
+	})
+	return res
+}
+
+func (s *recSession) Insert(key uint64) bool {
+	return s.record(Insert, key, s.inner.Insert)
+}
+
+func (s *recSession) Delete(key uint64) bool {
+	return s.record(Delete, key, s.inner.Delete)
+}
+
+func (s *recSession) Contains(key uint64) bool {
+	return s.record(Contains, key, s.inner.Contains)
+}

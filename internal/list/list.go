@@ -1,0 +1,40 @@
+// Package list implements the Harris-Michael lock-free linked list
+// (Michael, SPAA 2002) in the normalized form of Listing 1 / Appendix C of
+// the paper, once per reclamation scheme:
+//
+//	OAEngine      — optimistic access barriers (Algorithms 1-3)
+//	HPEngine      — Michael's hazard pointers (protect + fence + validate per hop)
+//	EBREngine     — epoch-based reclamation (announce per operation)
+//	NoReclEngine  — no reclamation
+//	AnchorsEngine — the anchors cost model (one fence per K hops)
+//
+// Engines expose head-relative operations (InsertAt/DeleteAt/ContainsAt) so
+// the hash table can run one engine across many bucket lists; the List
+// types at the bottom of the package bind an engine to a single head and
+// implement smr.Set.
+//
+// The list is an ordered set of uint64 keys. Each bucket/list starts with a
+// sentinel head node that is never marked, never retired and never
+// reclaimed — so traversals may read it without protection (Appendix E,
+// optimization 1).
+package list
+
+import "sync/atomic"
+
+// Node is the list node. Every field is atomic: under the optimistic
+// access scheme a thread may read a node after its slot was recycled and
+// rewritten, so all cross-thread accesses must be data-race-free.
+type Node struct {
+	// Key is the node's key; written only between allocation and linking.
+	Key atomic.Uint64
+	// Next holds arena.Ptr bits: successor handle plus the logical-delete
+	// mark in bit 0 (Harris' marked pointer).
+	Next atomic.Uint64
+}
+
+// ResetNode zeroes a node; it is every engine's allocation reset hook
+// (Algorithm 5's memset).
+func ResetNode(n *Node) {
+	n.Key.Store(0)
+	n.Next.Store(0)
+}

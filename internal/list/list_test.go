@@ -1,0 +1,161 @@
+package list_test
+
+import (
+	"testing"
+
+	"repro/internal/anchors"
+	"repro/internal/core"
+	"repro/internal/dstest"
+	"repro/internal/ebr"
+	"repro/internal/hpscheme"
+	"repro/internal/list"
+	"repro/internal/norecl"
+	"repro/internal/smr"
+)
+
+// Factories sized so reclamation triggers frequently during the suites —
+// tight capacities are deliberate: they maximize recycling churn and hence
+// the chance of catching unsafe reclamation.
+func factories(tight bool) map[string]struct {
+	mk     dstest.Factory
+	scheme smr.Scheme
+} {
+	capacity := 1 << 16
+	if tight {
+		capacity = 4096
+	}
+	return map[string]struct {
+		mk     dstest.Factory
+		scheme smr.Scheme
+	}{
+		"NoRecl": {
+			mk: func(threads int) smr.Set {
+				return list.NewNoRecl(norecl.Config{MaxThreads: threads, Capacity: capacity})
+			},
+			scheme: smr.NoRecl,
+		},
+		"OA": {
+			mk: func(threads int) smr.Set {
+				return list.NewOA(core.Config{MaxThreads: threads, Capacity: capacity, LocalPool: 16})
+			},
+			scheme: smr.OA,
+		},
+		"HP": {
+			mk: func(threads int) smr.Set {
+				return list.NewHP(hpscheme.Config{MaxThreads: threads, Capacity: capacity, ScanThreshold: 64})
+			},
+			scheme: smr.HP,
+		},
+		"EBR": {
+			mk: func(threads int) smr.Set {
+				return list.NewEBR(ebr.Config{MaxThreads: threads, Capacity: capacity, OpsPerScan: 32})
+			},
+			scheme: smr.EBR,
+		},
+		"Anchors": {
+			mk: func(threads int) smr.Set {
+				return list.NewAnchors(anchors.Config{MaxThreads: threads, Capacity: capacity, K: 8, ScanThreshold: 64})
+			},
+			scheme: smr.Anchors,
+		},
+	}
+}
+
+func TestListSequential(t *testing.T) {
+	for name, f := range factories(true) {
+		t.Run(name, func(t *testing.T) { dstest.RunSequentialSuite(t, f.mk) })
+	}
+}
+
+func TestListConcurrent(t *testing.T) {
+	for name, f := range factories(false) {
+		t.Run(name, func(t *testing.T) { dstest.RunConcurrentSuite(t, f.mk) })
+	}
+}
+
+func TestListStats(t *testing.T) {
+	for name, f := range factories(true) {
+		t.Run(name, func(t *testing.T) { dstest.RunStats(t, f.mk, f.scheme) })
+	}
+}
+
+// OA-specific: heavy churn on a tiny capacity forces constant phase
+// changes; the suite above catches stale-read bugs, this one checks the
+// scheme is actually being exercised (phases and restarts happen).
+func TestOAListPhasesHappen(t *testing.T) {
+	l := list.NewOA(core.Config{MaxThreads: 2, Capacity: 512, LocalPool: 8})
+	s := l.Session(0)
+	for i := 0; i < 20000; i++ {
+		k := uint64(i%64) + 1
+		s.Insert(k)
+		s.Delete(k)
+	}
+	st := l.Stats()
+	if st.Phases == 0 {
+		t.Fatalf("no reclamation phases under churn: %+v", st)
+	}
+	if st.Recycled == 0 {
+		t.Fatalf("nothing recycled under churn: %+v", st)
+	}
+}
+
+// HP-specific: traversal restarts occur under churn (validation failures),
+// proving the protect/validate protocol is active.
+func TestHPListValidates(t *testing.T) {
+	l := list.NewHP(hpscheme.Config{MaxThreads: 4, Capacity: 4096, ScanThreshold: 32})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s := l.Session(1)
+		for i := 0; i < 30000; i++ {
+			k := uint64(i%128) + 1
+			s.Insert(k)
+			s.Delete(k)
+		}
+	}()
+	s := l.Session(0)
+	for i := 0; i < 30000; i++ {
+		s.Contains(uint64(i%128) + 1)
+	}
+	<-done
+	if st := l.Stats(); st.Recycled == 0 {
+		t.Fatalf("HP never recycled: %+v", st)
+	}
+}
+
+// Anchors-specific: with a tiny K every traversal drops anchors; recycling
+// still proceeds and semantics hold (covered by suites); here we check the
+// anchor machinery ran.
+func TestAnchorsListScans(t *testing.T) {
+	l := list.NewAnchors(anchors.Config{MaxThreads: 2, Capacity: 2048, K: 4, ScanThreshold: 16})
+	s := l.Session(0)
+	for i := 0; i < 10000; i++ {
+		k := uint64(i%64) + 1
+		s.Insert(k)
+		s.Delete(k)
+	}
+	st := l.Stats()
+	if st.Phases == 0 || st.Recycled == 0 {
+		t.Fatalf("anchors reclamation inactive: %+v", st)
+	}
+}
+
+// NoRecl leaks by definition: deleted nodes are never reused.
+func TestNoReclLeaks(t *testing.T) {
+	l := list.NewNoRecl(norecl.Config{MaxThreads: 1, Capacity: 64})
+	s := l.Session(0)
+	for i := 0; i < 1000; i++ {
+		k := uint64(i%8) + 1
+		s.Insert(k)
+		s.Delete(k)
+	}
+	if l.Engine().Manager().Leaked() == 0 {
+		t.Fatal("NoRecl reported no leaked nodes under churn")
+	}
+}
+
+func TestListLinearizability(t *testing.T) {
+	for name, f := range factories(true) {
+		t.Run(name, func(t *testing.T) { dstest.RunLinearizability(t, f.mk) })
+	}
+}

@@ -1,0 +1,163 @@
+package list
+
+import (
+	"repro/internal/arena"
+	"repro/internal/norecl"
+	"repro/internal/smr"
+)
+
+// NoReclEngine runs Harris-Michael lists with no reclamation — the paper's
+// baseline and the denominator of every throughput ratio. Traversals are
+// raw loads; retire is a counter.
+type NoReclEngine struct {
+	mgr *norecl.Manager[Node]
+}
+
+// NewNoReclEngine builds an engine.
+func NewNoReclEngine(cfg norecl.Config) *NoReclEngine {
+	return &NoReclEngine{mgr: norecl.NewManager[Node](cfg, ResetNode)}
+}
+
+// Manager exposes the underlying manager.
+func (e *NoReclEngine) Manager() *norecl.Manager[Node] { return e.mgr }
+
+// NewHead allocates a sentinel head (single-threaded setup, context 0).
+func (e *NoReclEngine) NewHead() uint32 { return e.mgr.Thread(0).Alloc() }
+
+// NoReclThread is the per-worker handle.
+type NoReclThread struct {
+	e       *NoReclEngine
+	t       *norecl.Thread[Node]
+	pending uint32
+}
+
+// Thread binds worker id to the engine.
+func (e *NoReclEngine) Thread(id int) *NoReclThread {
+	return &NoReclThread{e: e, t: e.mgr.Thread(id), pending: arena.NoSlot}
+}
+
+func (t *NoReclThread) search(head uint32, key uint64) (prevSlot uint32, cur, next arena.Ptr, ckey uint64, ok, restart bool) {
+	th := t.t
+	prevSlot = head
+	cur = arena.Ptr(th.Node(head).Next.Load())
+	for {
+		if cur.IsNil() {
+			return prevSlot, cur, 0, 0, false, false
+		}
+		n := th.Node(cur.Slot())
+		next = arena.Ptr(n.Next.Load())
+		ckey = n.Key.Load()
+		if arena.Ptr(th.Node(prevSlot).Next.Load()) != cur {
+			return 0, 0, 0, 0, false, true
+		}
+		if !next.Marked() {
+			if ckey >= key {
+				return prevSlot, cur, next, ckey, true, false
+			}
+			prevSlot = cur.Slot()
+		} else {
+			if th.Node(prevSlot).Next.CompareAndSwap(uint64(cur), uint64(next.Unmark())) {
+				th.Retire(cur.Slot())
+			} else {
+				return 0, 0, 0, 0, false, true
+			}
+		}
+		cur = next.Unmark()
+	}
+}
+
+// ContainsAt reports membership.
+func (t *NoReclThread) ContainsAt(head uint32, key uint64) bool {
+	th := t.t
+	cur := arena.Ptr(th.Node(head).Next.Load())
+	for !cur.IsNil() {
+		n := th.Node(cur.Unmark().Slot())
+		next := arena.Ptr(n.Next.Load())
+		ckey := n.Key.Load()
+		if ckey >= key {
+			return ckey == key && !next.Marked()
+		}
+		cur = next.Unmark()
+	}
+	return false
+}
+
+// InsertAt adds key; false if present.
+func (t *NoReclThread) InsertAt(head uint32, key uint64) bool {
+	th := t.t
+	for {
+		prevSlot, cur, _, ckey, ok, restart := t.search(head, key)
+		if restart {
+			continue
+		}
+		if ok && ckey == key {
+			return false
+		}
+		if t.pending == arena.NoSlot {
+			t.pending = th.Alloc()
+		}
+		n := th.Node(t.pending)
+		n.Key.Store(key)
+		n.Next.Store(uint64(cur))
+		if th.Node(prevSlot).Next.CompareAndSwap(uint64(cur), uint64(arena.MakePtr(t.pending))) {
+			t.pending = arena.NoSlot
+			return true
+		}
+	}
+}
+
+// DeleteAt removes key; false if absent.
+func (t *NoReclThread) DeleteAt(head uint32, key uint64) bool {
+	th := t.t
+	for {
+		prevSlot, cur, next, ckey, ok, restart := t.search(head, key)
+		if restart {
+			continue
+		}
+		if !ok || ckey != key {
+			return false
+		}
+		if !th.Node(cur.Slot()).Next.CompareAndSwap(uint64(next), uint64(next.Mark())) {
+			continue
+		}
+		if th.Node(prevSlot).Next.CompareAndSwap(uint64(cur), uint64(next)) {
+			th.Retire(cur.Slot())
+		}
+		return true
+	}
+}
+
+// NoRecl is a single linked-list set without reclamation.
+type NoRecl struct {
+	e    *NoReclEngine
+	head uint32
+}
+
+// NewNoRecl builds an empty list sized by cfg.
+func NewNoRecl(cfg norecl.Config) *NoRecl {
+	e := NewNoReclEngine(cfg)
+	return &NoRecl{e: e, head: e.NewHead()}
+}
+
+// Engine exposes the underlying engine.
+func (l *NoRecl) Engine() *NoReclEngine { return l.e }
+
+// Scheme implements smr.Set.
+func (l *NoRecl) Scheme() smr.Scheme { return smr.NoRecl }
+
+// Stats implements smr.Set.
+func (l *NoRecl) Stats() smr.Stats { return l.e.mgr.Stats() }
+
+// Session implements smr.Set.
+func (l *NoRecl) Session(tid int) smr.Session {
+	return &noreclSession{t: l.e.Thread(tid), head: l.head}
+}
+
+type noreclSession struct {
+	t    *NoReclThread
+	head uint32
+}
+
+func (s *noreclSession) Insert(key uint64) bool   { return s.t.InsertAt(s.head, key) }
+func (s *noreclSession) Delete(key uint64) bool   { return s.t.DeleteAt(s.head, key) }
+func (s *noreclSession) Contains(key uint64) bool { return s.t.ContainsAt(s.head, key) }

@@ -1,0 +1,247 @@
+package list
+
+import (
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/normalized"
+	"repro/internal/smr"
+)
+
+// OAEngine runs Harris-Michael lists under the optimistic access scheme.
+// One operation executes at most one CAS (the generator's list has length
+// ≤ 1), so three owner hazard pointers suffice (Algorithm 3 with C = 1).
+type OAEngine struct {
+	mgr *core.Manager[Node]
+}
+
+// OAOwnerHPs is 3·C for the list's C = 1.
+const OAOwnerHPs = 3
+
+// NewOAEngine builds an engine; cfg.OwnerHPs is forced to the list's need.
+func NewOAEngine(cfg core.Config) *OAEngine {
+	cfg.OwnerHPs = OAOwnerHPs
+	return &OAEngine{mgr: core.NewManager[Node](cfg, ResetNode)}
+}
+
+// Manager exposes the underlying optimistic access manager.
+func (e *OAEngine) Manager() *core.Manager[Node] { return e.mgr }
+
+// NewHead allocates a sentinel head for a new (empty) list. Called during
+// single-threaded setup; it borrows thread context 0.
+func (e *OAEngine) NewHead() uint32 {
+	return e.mgr.Thread(0).Alloc()
+}
+
+// OAThread is the per-worker handle.
+type OAThread struct {
+	e       *OAEngine
+	t       *core.Thread[Node]
+	pending uint32 // node allocated for an insert, reused across restarts
+}
+
+// Thread binds worker id to the engine.
+func (e *OAEngine) Thread(id int) *OAThread {
+	return &OAThread{e: e, t: e.mgr.Thread(id), pending: arena.NoSlot}
+}
+
+// ContainsAt reports whether key is in the list rooted at head. It is the
+// wait-free contains of the Harris-Michael list: a pure read-only
+// normalized operation — no hazard pointers, no fences; each hop costs two
+// loads plus one warning check (the paper's Algorithm 1, with the
+// independent-reads optimization of Appendix E batching the key and next
+// reads under one check).
+func (t *OAThread) ContainsAt(head uint32, key uint64) bool {
+	th := t.t
+restart:
+	for {
+		cur := arena.Ptr(th.Node(head).Next.Load())
+		if th.Check() {
+			continue restart
+		}
+		for !cur.IsNil() {
+			n := th.Node(cur.Unmark().Slot())
+			next := arena.Ptr(n.Next.Load())
+			ckey := n.Key.Load()
+			if th.Check() {
+				continue restart
+			}
+			if ckey >= key {
+				return ckey == key && !next.Marked()
+			}
+			cur = next.Unmark()
+		}
+		return false
+	}
+}
+
+// search is the shared CAS-generator search loop of Listing 1: it returns
+// with cur positioned on the first unmarked node with key ≥ key (curSlot
+// valid, ok=true) or reports the key absent past the end (ok=false). It
+// helps physically delete marked nodes (write barrier of Algorithm 2) and
+// retires the nodes it unlinks. restart=true means the caller must restart
+// the generator.
+func (t *OAThread) search(head uint32, key uint64) (prevSlot uint32, cur, next arena.Ptr, ckey uint64, ok, restart bool) {
+	th := t.t
+	prevSlot = head
+	cur = arena.Ptr(th.Node(head).Next.Load())
+	if th.Check() {
+		return 0, 0, 0, 0, false, true
+	}
+	for {
+		if cur.IsNil() {
+			return prevSlot, cur, 0, 0, false, false
+		}
+		curSlot := cur.Slot()
+		n := th.Node(curSlot)
+		next = arena.Ptr(n.Next.Load())
+		ckey = n.Key.Load()
+		tmp := arena.Ptr(th.Node(prevSlot).Next.Load())
+		if th.Check() {
+			return 0, 0, 0, 0, false, true
+		}
+		if tmp != cur {
+			return 0, 0, 0, 0, false, true // Listing 1 line 14: goto start
+		}
+		if !next.Marked() {
+			if ckey >= key {
+				return prevSlot, cur, next, ckey, true, false
+			}
+			prevSlot = curSlot
+		} else {
+			// Physical delete of a logically deleted node — an observable
+			// CAS, so Algorithm 2 applies.
+			if th.ProtectCAS(arena.MakePtr(prevSlot), cur, next.Unmark()) {
+				return 0, 0, 0, 0, false, true
+			}
+			if th.Node(prevSlot).Next.CompareAndSwap(uint64(cur), uint64(next.Unmark())) {
+				th.ClearCAS()
+				th.Retire(curSlot) // proper: now unlinked, single unlinker
+			} else {
+				th.ClearCAS()
+				return 0, 0, 0, 0, false, true
+			}
+		}
+		cur = next.Unmark()
+	}
+}
+
+// InsertAt adds key to the list rooted at head; false if already present.
+//
+// Normalized structure: the generator searches and emits one CAS linking
+// the pending node; owner hazard pointers pin the CAS operands across the
+// executor and wrap-up (Algorithm 3); the wrap-up retries on CAS failure.
+func (t *OAThread) InsertAt(head uint32, key uint64) bool {
+	th := t.t
+	var dl normalized.DescList
+	for {
+		// --- CAS generator ---
+		prevSlot, cur, _, ckey, found, restart := t.search(head, key)
+		if restart {
+			continue
+		}
+		if found && ckey == key {
+			return false // empty CAS list; wrap-up reports "already present"
+		}
+		if t.pending == arena.NoSlot {
+			t.pending = th.Alloc()
+		}
+		n := th.Node(t.pending)
+		n.Key.Store(key)
+		n.Next.Store(uint64(cur))
+		dl.Reset()
+		dl.Append(&th.Node(prevSlot).Next, uint64(cur), uint64(arena.MakePtr(t.pending)))
+		// Algorithm 3: protect O=prev, A2=cur, A3=new node.
+		th.SetOwnerHP(0, arena.MakePtr(prevSlot))
+		th.SetOwnerHP(1, cur)
+		th.SetOwnerHP(2, arena.MakePtr(t.pending))
+		if th.SealGenerator() {
+			continue
+		}
+		// --- CAS executor ---
+		failed := normalized.Execute(&dl)
+		// --- wrap-up ---
+		th.ClearOwnerHPs()
+		if failed != 0 {
+			continue // RESTART_GENERATOR
+		}
+		t.pending = arena.NoSlot
+		return true
+	}
+}
+
+// DeleteAt removes key from the list rooted at head; false if absent.
+// This is Listing 1 / Appendix C verbatim: the generator emits the logical
+// delete (marking the next pointer); the physical delete is left to future
+// searches, which retire the node when they unlink it.
+func (t *OAThread) DeleteAt(head uint32, key uint64) bool {
+	th := t.t
+	var dl normalized.DescList
+	for {
+		// --- CAS generator ---
+		_, cur, next, ckey, found, restart := t.search(head, key)
+		if restart {
+			continue
+		}
+		if !found || ckey != key {
+			return false // empty CAS list; wrap-up reports FALSE
+		}
+		dl.Reset()
+		dl.Append(&th.Node(cur.Slot()).Next, uint64(next), uint64(next.Mark()))
+		// Algorithm 3 / Listing 4: HP[3]=cur, HP[4]=next; the new value
+		// mark(next) dedups with next (basic optimization).
+		th.SetOwnerHP(0, cur)
+		th.SetOwnerHP(1, next)
+		if th.SealGenerator() {
+			continue
+		}
+		// --- CAS executor ---
+		failed := normalized.Execute(&dl)
+		// --- wrap-up ---
+		th.ClearOwnerHPs()
+		if failed != 0 {
+			continue // RESTART_GENERATOR
+		}
+		return true
+	}
+}
+
+// FlushRetired pushes locally buffered retired nodes onward (used when a
+// worker finishes).
+func (t *OAThread) FlushRetired() { t.t.FlushRetired() }
+
+// OA is a single linked-list set under optimistic access.
+type OA struct {
+	e    *OAEngine
+	head uint32
+}
+
+// NewOA builds an empty list sized by cfg.
+func NewOA(cfg core.Config) *OA {
+	e := NewOAEngine(cfg)
+	return &OA{e: e, head: e.NewHead()}
+}
+
+// Engine exposes the underlying engine (stats, manager).
+func (l *OA) Engine() *OAEngine { return l.e }
+
+// Scheme implements smr.Set.
+func (l *OA) Scheme() smr.Scheme { return smr.OA }
+
+// Stats implements smr.Set.
+func (l *OA) Stats() smr.Stats { return l.e.mgr.Stats() }
+
+// Session implements smr.Set.
+func (l *OA) Session(tid int) smr.Session { return &oaSession{t: l.e.Thread(tid), head: l.head} }
+
+type oaSession struct {
+	t    *OAThread
+	head uint32
+}
+
+func (s *oaSession) Insert(key uint64) bool   { return s.t.InsertAt(s.head, key) }
+func (s *oaSession) Delete(key uint64) bool   { return s.t.DeleteAt(s.head, key) }
+func (s *oaSession) Contains(key uint64) bool { return s.t.ContainsAt(s.head, key) }
+
+// PauseReport renders the OA reclamation-pause histogram (see package
+// metrics).
+func (l *OA) PauseReport() string { return l.e.Manager().PhasePauses().String() }

@@ -1,0 +1,113 @@
+// Package metrics provides a tiny lock-free log₂ histogram used to record
+// reclamation-phase pause times. The paper's evaluation reports only
+// throughput; pause behaviour is the operational question a library user
+// asks next ("how long does Algorithm 6 stall my thread?"), so the core
+// manager records every Recycling call's duration here.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Buckets is the number of log₂ buckets: bucket i counts samples in
+// [2^i, 2^(i+1)) nanoseconds; the last bucket absorbs the tail.
+const Buckets = 40
+
+// Histogram is a fixed-shape concurrent histogram. The zero value is
+// ready to use.
+type Histogram struct {
+	counts [Buckets]atomic.Uint64
+	sum    atomic.Uint64
+	n      atomic.Uint64
+	max    atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if d < 0 {
+		ns = 0
+	}
+	b := bits.Len64(ns)
+	if b >= Buckets {
+		b = Buckets - 1
+	}
+	h.counts[b].Add(1)
+	h.sum.Add(ns)
+	h.n.Add(1)
+	for {
+		m := h.max.Load()
+		if ns <= m || h.max.CompareAndSwap(m, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Mean returns the mean sample duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest sample observed.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1), using
+// each bucket's upper edge.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(n))
+	if target == 0 {
+		target = 1
+	}
+	var acc uint64
+	for i := 0; i < Buckets; i++ {
+		acc += h.counts[i].Load()
+		if acc >= target {
+			return time.Duration(uint64(1)<<uint(i) - 1)
+		}
+	}
+	return h.Max()
+}
+
+// String renders the non-empty buckets for reports.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p99<=%v max=%v", h.Count(), h.Mean(), h.Quantile(0.99), h.Max())
+	for i := 0; i < Buckets; i++ {
+		if c := h.counts[i].Load(); c != 0 {
+			fmt.Fprintf(&b, " [<%v]=%d", time.Duration(uint64(1)<<uint(i)), c)
+		}
+	}
+	return b.String()
+}
+
+// Merge adds o's samples into h (max is kept as the pairwise max).
+func (h *Histogram) Merge(o *Histogram) {
+	for i := 0; i < Buckets; i++ {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+	h.n.Add(o.n.Load())
+	for {
+		m, om := h.max.Load(), o.max.Load()
+		if om <= m || h.max.CompareAndSwap(m, om) {
+			break
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestObserveBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero histogram not zero")
+	}
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(200 * time.Nanosecond)
+	h.Observe(300 * time.Nanosecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 200*time.Nanosecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := h.Max(); got != 300*time.Nanosecond {
+		t.Fatalf("Max = %v", got)
+	}
+	if h.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample mishandled: max=%v n=%d", h.Max(), h.Count())
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * time.Microsecond)
+	}
+	p50 := h.Quantile(0.5)
+	p99 := h.Quantile(0.99)
+	if p50 > p99 {
+		t.Fatalf("p50 %v > p99 %v", p50, p99)
+	}
+	// Bucket upper bounds: p50 of 1..100µs must be within [50µs, 128µs).
+	if p50 < 50*time.Microsecond || p50 >= 128*time.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	b.Observe(time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	if a.Max() != time.Millisecond {
+		t.Fatalf("Max = %v", a.Max())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+// Property: quantile upper bound always ≥ the true quantile sample.
+func TestQuickQuantileUpperBound(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		maxS := time.Duration(0)
+		for _, s := range samples {
+			d := time.Duration(s)
+			h.Observe(d)
+			if d > maxS {
+				maxS = d
+			}
+		}
+		return h.Quantile(1.0) >= maxS/2 && h.Max() == maxS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

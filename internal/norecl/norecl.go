@@ -1,0 +1,99 @@
+// Package norecl is the paper's NoRecl baseline: allocation from the shared
+// object pool, retire as a no-op. It is the throughput denominator of every
+// ratio the evaluation reports. Memory grows without bound, which is
+// exactly the behaviour the paper ascribes to it ("only applicable to
+// short-running programs", §1).
+package norecl
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/arena"
+	"repro/internal/smr"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// MaxThreads is the fixed number of thread contexts.
+	MaxThreads int
+	// Capacity pre-charges the pool; the arena grows past it as needed.
+	Capacity int
+	// LocalPool is the allocation block-transfer size.
+	LocalPool int
+}
+
+// Manager owns the pool and thread contexts.
+type Manager[T any] struct {
+	cfg     Config
+	pool    *alloc.Pool[T]
+	threads []*Thread[T]
+}
+
+// NewManager builds a manager; reset zeroes a node at allocation.
+func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = 1
+	}
+	m := &Manager[T]{
+		cfg:  cfg,
+		pool: alloc.New(cfg.Capacity, cfg.LocalPool, reset),
+	}
+	m.threads = make([]*Thread[T], cfg.MaxThreads)
+	for i := range m.threads {
+		m.threads[i] = &Thread[T]{mgr: m, id: i}
+	}
+	return m
+}
+
+// Arena exposes node storage.
+func (m *Manager[T]) Arena() *arena.Arena[T] { return m.pool.Arena() }
+
+// Thread returns thread context id.
+func (m *Manager[T]) Thread(id int) *Thread[T] { return m.threads[id] }
+
+// MaxThreads returns the configured thread count.
+func (m *Manager[T]) MaxThreads() int { return m.cfg.MaxThreads }
+
+// Stats aggregates counters across threads.
+func (m *Manager[T]) Stats() smr.Stats {
+	var s smr.Stats
+	for _, t := range m.threads {
+		s.Add(smr.Stats{Allocs: t.allocs, Retires: t.retires})
+	}
+	return s
+}
+
+// Leaked reports slots retired but (by design) never recycled.
+func (m *Manager[T]) Leaked() uint64 {
+	var n uint64
+	for _, t := range m.threads {
+		n += t.retires
+	}
+	return n
+}
+
+// Thread is a per-thread NoRecl context.
+type Thread[T any] struct {
+	mgr     *Manager[T]
+	id      int
+	local   alloc.Local
+	allocs  uint64
+	retires uint64
+
+	_ [6]uint64 // false-sharing pad
+}
+
+// ID returns the thread index.
+func (t *Thread[T]) ID() int { return t.id }
+
+// Node dereferences a slot handle. NoRecl never recycles, so every handle
+// stays valid.
+func (t *Thread[T]) Node(slot uint32) *T { return t.mgr.pool.Arena().At(slot) }
+
+// Alloc returns a zeroed slot.
+func (t *Thread[T]) Alloc() uint32 {
+	t.allocs++
+	return t.mgr.pool.Alloc(&t.local)
+}
+
+// Retire only counts; the slot is never reused.
+func (t *Thread[T]) Retire(uint32) { t.retires++ }

@@ -1,0 +1,42 @@
+package norecl
+
+import "testing"
+
+type tnode struct{ key, next uint64 }
+
+func reset(n *tnode) { n.key, n.next = 0, 0 }
+
+func TestRetireNeverRecycles(t *testing.T) {
+	m := NewManager[tnode](Config{MaxThreads: 1, Capacity: 16}, reset)
+	th := m.Thread(0)
+	seen := map[uint32]bool{}
+	for i := 0; i < 1000; i++ {
+		s := th.Alloc()
+		if seen[s] {
+			t.Fatalf("NoRecl reused slot %d", s)
+		}
+		seen[s] = true
+		th.Retire(s)
+		if m.Arena().Gen(s) != 0 {
+			t.Fatal("NoRecl must never bump generations")
+		}
+	}
+	if m.Leaked() != 1000 {
+		t.Fatalf("Leaked = %d, want 1000", m.Leaked())
+	}
+	st := m.Stats()
+	if st.Allocs != 1000 || st.Retires != 1000 || st.Recycled != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	m := NewManager[tnode](Config{}, reset)
+	if m.MaxThreads() != 1 || m.Thread(0).ID() != 0 {
+		t.Fatal("defaults")
+	}
+	s := m.Thread(0).Alloc()
+	if m.Thread(0).Node(s).key != 0 {
+		t.Fatal("dirty node")
+	}
+}

@@ -1,0 +1,66 @@
+// Package normalized provides the normalized-form machinery of Timnat &
+// Petrank (PPoPP 2014) that the optimistic access paper assumes of its data
+// structures (§3.2, Appendix A).
+//
+// A normalized operation runs as three methods:
+//
+//  1. CAS generator — produces a list of CAS descriptors; restartable at
+//     any time (parallelizable).
+//  2. CAS executor — the fixed method below (Execute): attempts the CASes
+//     one by one until the first failure.
+//  3. Wrap-up — inspects how many CASes succeeded and either returns the
+//     operation's result or sends the operation back to the generator;
+//     also restartable at any time.
+//
+// The optimistic access scheme leans on this structure: stale reads
+// detected by the warning bit abort the generator or wrap-up back to their
+// beginnings, while the executor — which is never allowed to touch
+// reclaimed memory — runs under the protection of the owner hazard
+// pointers installed at the end of the generator (Algorithm 3).
+package normalized
+
+import "sync/atomic"
+
+// MaxCas bounds the CAS descriptors one operation may produce. The largest
+// consumer is the skip list's delete, which marks every level of a node:
+// MaxLevel+1 descriptors (§5).
+const MaxCas = 40
+
+// CasDesc describes one pending compare-and-swap on a node word
+// (address, expectedVal, newVal) — Appendix A's descriptor tuple.
+type CasDesc struct {
+	Addr     *atomic.Uint64
+	Expected uint64
+	New      uint64
+}
+
+// DescList is the CAS generator's output: a fixed-capacity descriptor list
+// (fixed so that it lives on the operation's stack, never in shared
+// memory).
+type DescList struct {
+	Len   int
+	Descs [MaxCas]CasDesc
+}
+
+// Reset empties the list for reuse across generator restarts.
+func (l *DescList) Reset() { l.Len = 0 }
+
+// Append adds one descriptor.
+func (l *DescList) Append(addr *atomic.Uint64, expected, newval uint64) {
+	l.Descs[l.Len] = CasDesc{Addr: addr, Expected: expected, New: newval}
+	l.Len++
+}
+
+// Execute is the CAS executor method, common to all data structures and
+// algorithms (Appendix A, method 2): it attempts the CASes one by one and
+// returns the 1-based index of the first CAS that failed, or 0 if every
+// CAS succeeded.
+func Execute(l *DescList) int {
+	for i := 0; i < l.Len; i++ {
+		d := &l.Descs[i]
+		if !d.Addr.CompareAndSwap(d.Expected, d.New) {
+			return i + 1
+		}
+	}
+	return 0
+}

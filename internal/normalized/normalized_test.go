@@ -1,0 +1,109 @@
+package normalized
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestExecuteAllSucceed(t *testing.T) {
+	var words [5]atomic.Uint64
+	var dl DescList
+	for i := range words {
+		words[i].Store(uint64(i))
+		dl.Append(&words[i], uint64(i), uint64(i)+100)
+	}
+	if failed := Execute(&dl); failed != 0 {
+		t.Fatalf("Execute = %d, want 0", failed)
+	}
+	for i := range words {
+		if got := words[i].Load(); got != uint64(i)+100 {
+			t.Fatalf("word %d = %d", i, got)
+		}
+	}
+}
+
+func TestExecuteStopsAtFirstFailure(t *testing.T) {
+	var words [4]atomic.Uint64
+	var dl DescList
+	for i := range words {
+		words[i].Store(uint64(i))
+	}
+	dl.Append(&words[0], 0, 10)
+	dl.Append(&words[1], 999, 11) // wrong expected: fails
+	dl.Append(&words[2], 2, 12)   // must not run
+	if failed := Execute(&dl); failed != 2 {
+		t.Fatalf("Execute = %d, want 2 (1-based index)", failed)
+	}
+	if words[0].Load() != 10 {
+		t.Fatal("first CAS should have applied")
+	}
+	if words[2].Load() != 2 {
+		t.Fatal("executor ran past the first failure")
+	}
+}
+
+func TestResetReuses(t *testing.T) {
+	var w atomic.Uint64
+	var dl DescList
+	dl.Append(&w, 0, 1)
+	dl.Reset()
+	if dl.Len != 0 {
+		t.Fatalf("Len = %d after Reset", dl.Len)
+	}
+	dl.Append(&w, 0, 2)
+	if failed := Execute(&dl); failed != 0 {
+		t.Fatalf("Execute = %d", failed)
+	}
+	if w.Load() != 2 {
+		t.Fatal("reused list executed stale descriptor")
+	}
+}
+
+func TestEmptyListExecutes(t *testing.T) {
+	var dl DescList
+	if failed := Execute(&dl); failed != 0 {
+		t.Fatalf("empty Execute = %d", failed)
+	}
+}
+
+// Property: for any prefix of matching expectations followed by a mismatch,
+// Execute applies exactly the prefix.
+func TestExecuteQuickPrefix(t *testing.T) {
+	f := func(vals []uint64, cut uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > MaxCas {
+			vals = vals[:MaxCas]
+		}
+		k := int(cut) % len(vals) // index of the first failing CAS
+		words := make([]atomic.Uint64, len(vals))
+		var dl DescList
+		for i, v := range vals {
+			words[i].Store(v)
+			exp := v
+			if i == k {
+				exp = v + 1 // guaranteed mismatch
+			}
+			dl.Append(&words[i], exp, v+7)
+		}
+		failed := Execute(&dl)
+		if failed != k+1 {
+			return false
+		}
+		for i := range vals {
+			want := vals[i]
+			if i < k {
+				want += 7
+			}
+			if words[i].Load() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

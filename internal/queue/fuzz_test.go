@@ -1,0 +1,51 @@
+package queue_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/queue"
+)
+
+// FuzzOAQueueVsModel drives the OA Michael-Scott queue with a byte-encoded
+// enqueue/dequeue sequence against a model slice, on a tiny arena so that
+// sentinels recycle constantly.
+func FuzzOAQueueVsModel(f *testing.F) {
+	f.Add([]byte{1, 1, 1, 0, 0, 0, 1, 0})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 1, 0, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := queue.NewOA(core.Config{MaxThreads: 1, Capacity: 300, LocalPool: 4})
+		s := q.QueueSession(0)
+		var model []uint64
+		next := uint64(1)
+		for i, b := range data {
+			if b&1 == 1 && len(model) < 256 {
+				s.Enqueue(next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := s.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("op %d: dequeued %d from empty queue", i, v)
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					t.Fatalf("op %d: Dequeue = %d,%v want %d", i, v, ok, model[0])
+				}
+				model = model[1:]
+			}
+		}
+		for _, want := range model {
+			v, ok := s.Dequeue()
+			if !ok || v != want {
+				t.Fatalf("drain: Dequeue = %d,%v want %d", v, ok, want)
+			}
+		}
+		if _, ok := s.Dequeue(); ok {
+			t.Fatal("queue not empty after drain")
+		}
+	})
+}

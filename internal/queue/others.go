@@ -1,0 +1,299 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/ebr"
+	"repro/internal/hpscheme"
+	"repro/internal/norecl"
+	"repro/internal/smr"
+)
+
+// HPQueue is the Michael-Scott queue under hazard pointers — the worked
+// example of Michael's TPDS 2004 paper, using two hazard pointers.
+type HPQueue struct {
+	mgr  *hpscheme.Manager[Node]
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// NewHP builds an empty queue sized by cfg.
+func NewHP(cfg hpscheme.Config) *HPQueue {
+	cfg.HPsPerThread = 2
+	q := &HPQueue{mgr: hpscheme.NewManager[Node](cfg, ResetNode)}
+	s := q.mgr.Thread(0).Alloc()
+	q.head.Store(uint64(arena.MakePtr(s)))
+	q.tail.Store(uint64(arena.MakePtr(s)))
+	return q
+}
+
+// Manager exposes the underlying manager.
+func (q *HPQueue) Manager() *hpscheme.Manager[Node] { return q.mgr }
+
+// Scheme implements smr.Queue.
+func (q *HPQueue) Scheme() smr.Scheme { return smr.HP }
+
+// Stats implements smr.Queue.
+func (q *HPQueue) Stats() smr.Stats { return q.mgr.Stats() }
+
+// QueueSession implements smr.Queue.
+func (q *HPQueue) QueueSession(tid int) smr.QueueSession {
+	return &hpQSession{q: q, t: q.mgr.Thread(tid), pending: arena.NoSlot}
+}
+
+type hpQSession struct {
+	q       *HPQueue
+	t       *hpscheme.Thread[Node]
+	pending uint32
+}
+
+// Enqueue follows Michael's published HP protocol: protect last, validate
+// tail unchanged, then operate.
+func (s *hpQSession) Enqueue(v uint64) {
+	th := s.t
+	if s.pending == arena.NoSlot {
+		s.pending = th.Alloc()
+	}
+	n := th.Node(s.pending)
+	n.Val.Store(v)
+	n.Next.Store(0)
+	newPtr := arena.MakePtr(s.pending)
+	for {
+		last := arena.Ptr(s.q.tail.Load())
+		th.Protect(0, last)
+		if arena.Ptr(s.q.tail.Load()) != last {
+			th.CountRestart()
+			continue
+		}
+		next := arena.Ptr(th.Node(last.Slot()).Next.Load())
+		if arena.Ptr(s.q.tail.Load()) != last {
+			th.CountRestart()
+			continue
+		}
+		if !next.IsNil() {
+			s.q.tail.CompareAndSwap(uint64(last), uint64(next))
+			continue
+		}
+		if th.Node(last.Slot()).Next.CompareAndSwap(0, uint64(newPtr)) {
+			s.q.tail.CompareAndSwap(uint64(last), uint64(newPtr))
+			th.ClearAll()
+			s.pending = arena.NoSlot
+			return
+		}
+		th.CountRestart()
+	}
+}
+
+// Dequeue follows Michael's published HP protocol with hp0=first, hp1=next.
+func (s *hpQSession) Dequeue() (uint64, bool) {
+	th := s.t
+	for {
+		first := arena.Ptr(s.q.head.Load())
+		th.Protect(0, first)
+		if arena.Ptr(s.q.head.Load()) != first {
+			th.CountRestart()
+			continue
+		}
+		last := arena.Ptr(s.q.tail.Load())
+		next := arena.Ptr(th.Node(first.Slot()).Next.Load())
+		th.Protect(1, next)
+		if arena.Ptr(s.q.head.Load()) != first {
+			th.CountRestart()
+			continue
+		}
+		if first == last {
+			if next.IsNil() {
+				th.ClearAll()
+				return 0, false
+			}
+			s.q.tail.CompareAndSwap(uint64(last), uint64(next))
+			continue
+		}
+		v := th.Node(next.Slot()).Val.Load()
+		if s.q.head.CompareAndSwap(uint64(first), uint64(next)) {
+			th.ClearAll()
+			th.Retire(first.Slot())
+			return v, true
+		}
+		th.CountRestart()
+	}
+}
+
+// EBRQueue is the Michael-Scott queue under epoch-based reclamation.
+type EBRQueue struct {
+	mgr  *ebr.Manager[Node]
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// NewEBR builds an empty queue sized by cfg.
+func NewEBR(cfg ebr.Config) *EBRQueue {
+	q := &EBRQueue{mgr: ebr.NewManager[Node](cfg, ResetNode)}
+	s := q.mgr.Thread(0).Alloc()
+	q.head.Store(uint64(arena.MakePtr(s)))
+	q.tail.Store(uint64(arena.MakePtr(s)))
+	return q
+}
+
+// Manager exposes the underlying manager.
+func (q *EBRQueue) Manager() *ebr.Manager[Node] { return q.mgr }
+
+// Scheme implements smr.Queue.
+func (q *EBRQueue) Scheme() smr.Scheme { return smr.EBR }
+
+// Stats implements smr.Queue.
+func (q *EBRQueue) Stats() smr.Stats { return q.mgr.Stats() }
+
+// QueueSession implements smr.Queue.
+func (q *EBRQueue) QueueSession(tid int) smr.QueueSession {
+	return &ebrQSession{q: q, t: q.mgr.Thread(tid), pending: arena.NoSlot}
+}
+
+type ebrQSession struct {
+	q       *EBRQueue
+	t       *ebr.Thread[Node]
+	pending uint32
+}
+
+func (s *ebrQSession) Enqueue(v uint64) {
+	th := s.t
+	th.OnOpStart()
+	defer th.OnOpEnd()
+	if s.pending == arena.NoSlot {
+		s.pending = th.Alloc()
+	}
+	n := th.Node(s.pending)
+	n.Val.Store(v)
+	n.Next.Store(0)
+	newPtr := arena.MakePtr(s.pending)
+	for {
+		last := arena.Ptr(s.q.tail.Load())
+		next := arena.Ptr(th.Node(last.Slot()).Next.Load())
+		if arena.Ptr(s.q.tail.Load()) != last {
+			continue
+		}
+		if !next.IsNil() {
+			s.q.tail.CompareAndSwap(uint64(last), uint64(next))
+			continue
+		}
+		if th.Node(last.Slot()).Next.CompareAndSwap(0, uint64(newPtr)) {
+			s.q.tail.CompareAndSwap(uint64(last), uint64(newPtr))
+			s.pending = arena.NoSlot
+			return
+		}
+	}
+}
+
+func (s *ebrQSession) Dequeue() (uint64, bool) {
+	th := s.t
+	th.OnOpStart()
+	defer th.OnOpEnd()
+	for {
+		first := arena.Ptr(s.q.head.Load())
+		last := arena.Ptr(s.q.tail.Load())
+		next := arena.Ptr(th.Node(first.Slot()).Next.Load())
+		if arena.Ptr(s.q.head.Load()) != first {
+			continue
+		}
+		if first == last {
+			if next.IsNil() {
+				return 0, false
+			}
+			s.q.tail.CompareAndSwap(uint64(last), uint64(next))
+			continue
+		}
+		v := th.Node(next.Slot()).Val.Load()
+		if s.q.head.CompareAndSwap(uint64(first), uint64(next)) {
+			th.Retire(first.Slot())
+			return v, true
+		}
+	}
+}
+
+// NoReclQueue is the Michael-Scott queue without reclamation.
+type NoReclQueue struct {
+	mgr  *norecl.Manager[Node]
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// NewNoRecl builds an empty queue sized by cfg.
+func NewNoRecl(cfg norecl.Config) *NoReclQueue {
+	q := &NoReclQueue{mgr: norecl.NewManager[Node](cfg, ResetNode)}
+	s := q.mgr.Thread(0).Alloc()
+	q.head.Store(uint64(arena.MakePtr(s)))
+	q.tail.Store(uint64(arena.MakePtr(s)))
+	return q
+}
+
+// Manager exposes the underlying manager.
+func (q *NoReclQueue) Manager() *norecl.Manager[Node] { return q.mgr }
+
+// Scheme implements smr.Queue.
+func (q *NoReclQueue) Scheme() smr.Scheme { return smr.NoRecl }
+
+// Stats implements smr.Queue.
+func (q *NoReclQueue) Stats() smr.Stats { return q.mgr.Stats() }
+
+// QueueSession implements smr.Queue.
+func (q *NoReclQueue) QueueSession(tid int) smr.QueueSession {
+	return &nrQSession{q: q, t: q.mgr.Thread(tid), pending: arena.NoSlot}
+}
+
+type nrQSession struct {
+	q       *NoReclQueue
+	t       *norecl.Thread[Node]
+	pending uint32
+}
+
+func (s *nrQSession) Enqueue(v uint64) {
+	th := s.t
+	if s.pending == arena.NoSlot {
+		s.pending = th.Alloc()
+	}
+	n := th.Node(s.pending)
+	n.Val.Store(v)
+	n.Next.Store(0)
+	newPtr := arena.MakePtr(s.pending)
+	for {
+		last := arena.Ptr(s.q.tail.Load())
+		next := arena.Ptr(th.Node(last.Slot()).Next.Load())
+		if arena.Ptr(s.q.tail.Load()) != last {
+			continue
+		}
+		if !next.IsNil() {
+			s.q.tail.CompareAndSwap(uint64(last), uint64(next))
+			continue
+		}
+		if th.Node(last.Slot()).Next.CompareAndSwap(0, uint64(newPtr)) {
+			s.q.tail.CompareAndSwap(uint64(last), uint64(newPtr))
+			s.pending = arena.NoSlot
+			return
+		}
+	}
+}
+
+func (s *nrQSession) Dequeue() (uint64, bool) {
+	th := s.t
+	for {
+		first := arena.Ptr(s.q.head.Load())
+		last := arena.Ptr(s.q.tail.Load())
+		next := arena.Ptr(th.Node(first.Slot()).Next.Load())
+		if arena.Ptr(s.q.head.Load()) != first {
+			continue
+		}
+		if first == last {
+			if next.IsNil() {
+				return 0, false
+			}
+			s.q.tail.CompareAndSwap(uint64(last), uint64(next))
+			continue
+		}
+		v := th.Node(next.Slot()).Val.Load()
+		if s.q.head.CompareAndSwap(uint64(first), uint64(next)) {
+			th.Retire(first.Slot())
+			return v, true
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package skiplist
+
+import (
+	"repro/internal/arena"
+	"repro/internal/hpscheme"
+	"repro/internal/smr"
+)
+
+// Hazard pointer layout for the skip list: one pred and one succ per level
+// (they must stay protected until the operation's CASes are done), two
+// traversal scratch pointers, and one for the victim/new node. Total
+// 2·MaxLevel+3, the figure the paper quotes for its HP skip list (§5).
+const (
+	hpSLPred      = 0            // MaxLevel entries: preds[level]
+	hpSLSucc      = MaxLevel     // MaxLevel entries: succs[level]
+	hpSLCur       = 2 * MaxLevel // traversal scratch: current node
+	hpSLNext      = 2*MaxLevel + 1
+	hpSLExtra     = 2*MaxLevel + 2 // victim (delete) / new node (insert)
+	hpSLPerThread = 2*MaxLevel + 3
+)
+
+// HPSkipList is the skip list under hazard pointers: every traversal hop
+// pays two publish-fence-validate sequences (current node and its
+// successor), the cost Figure 1 reports as 2x-2.5x.
+type HPSkipList struct {
+	mgr  *hpscheme.Manager[Node]
+	head uint32
+}
+
+// NewHP builds an empty skip list sized by cfg; HPsPerThread is forced to
+// the skip list's requirement.
+func NewHP(cfg hpscheme.Config) *HPSkipList {
+	cfg.HPsPerThread = hpSLPerThread
+	m := hpscheme.NewManager[Node](cfg, ResetNode)
+	head := m.Thread(0).Alloc()
+	m.Arena().At(head).Height.Store(MaxLevel)
+	return &HPSkipList{mgr: m, head: head}
+}
+
+// Manager exposes the underlying manager.
+func (s *HPSkipList) Manager() *hpscheme.Manager[Node] { return s.mgr }
+
+// Scheme implements smr.Set.
+func (s *HPSkipList) Scheme() smr.Scheme { return smr.HP }
+
+// Stats implements smr.Set.
+func (s *HPSkipList) Stats() smr.Stats { return s.mgr.Stats() }
+
+// Session implements smr.Set.
+func (s *HPSkipList) Session(tid int) smr.Session {
+	return &hpSession{
+		s:       s,
+		t:       s.mgr.Thread(tid),
+		rng:     newLevelRng(uint64(tid)*0x2545F4914F6CDD1D + 1),
+		pending: arena.NoSlot,
+	}
+}
+
+type hpSession struct {
+	s       *HPSkipList
+	t       *hpscheme.Thread[Node]
+	rng     levelRng
+	pending uint32
+	preds   [MaxLevel]uint32
+	succs   [MaxLevel]arena.Ptr
+}
+
+// find positions s.preds/s.succs around key under the full hazard-pointer
+// protocol. The validation "pred.next[level] holds exactly the unmarked
+// handle of curr" implies pred is not marked at that level, hence still the
+// unique in-list predecessor, hence curr is linked and cannot yet be
+// retired — the publication therefore races no scan (see package hpscheme).
+func (s *hpSession) find(key uint64) bool {
+	th := s.t
+retry:
+	for {
+		predSlot := s.s.head
+		for level := MaxLevel - 1; level >= 0; level-- {
+			curr := arena.Ptr(th.Node(predSlot).Next[level].Load()).Unmark()
+			for !curr.IsNil() {
+				th.Protect(hpSLCur, curr)
+				if arena.Ptr(th.Node(predSlot).Next[level].Load()) != curr {
+					th.CountRestart()
+					continue retry
+				}
+				n := th.Node(curr.Slot())
+				succ := arena.Ptr(n.Next[level].Load())
+				th.Protect(hpSLNext, succ)
+				if arena.Ptr(n.Next[level].Load()) != succ {
+					th.CountRestart()
+					continue retry
+				}
+				if succ.Marked() {
+					if !th.Node(predSlot).Next[level].CompareAndSwap(uint64(curr), uint64(succ.Unmark())) {
+						th.CountRestart()
+						continue retry
+					}
+					curr = succ.Unmark()
+					continue
+				}
+				if n.Key.Load() < key {
+					predSlot = curr.Slot()
+					th.Protect(hpSLPred+level, curr)
+					curr = succ
+				} else {
+					break
+				}
+			}
+			s.preds[level] = predSlot
+			s.succs[level] = curr
+			th.Protect(hpSLSucc+level, curr)
+		}
+		f := s.succs[0]
+		return !f.IsNil() && th.Node(f.Slot()).Key.Load() == key
+	}
+}
+
+// Contains delegates to find, as in Michael's hazard-pointer algorithms:
+// traversing *through* a marked node would break the validation chain (a
+// deleted node's frozen next pointer cannot vouch for its successor's
+// liveness), so the read-only operation pays the full snipping protocol —
+// precisely the HP overhead the paper measures on read-mostly workloads.
+func (s *hpSession) Contains(key uint64) bool {
+	found := s.find(key)
+	s.t.ClearAll()
+	return found
+}
+
+// Insert adds key; false if present.
+func (s *hpSession) Insert(key uint64) bool {
+	th := s.t
+	defer th.ClearAll()
+	height := s.rng.next()
+	for {
+		if s.find(key) {
+			return false
+		}
+		if s.pending == arena.NoSlot {
+			s.pending = th.Alloc()
+		}
+		n := th.Node(s.pending)
+		n.Key.Store(key)
+		n.Height.Store(height)
+		for l := uint32(0); l < height; l++ {
+			n.Next[l].Store(uint64(s.succs[l]))
+		}
+		newPtr := arena.MakePtr(s.pending)
+		th.Protect(hpSLExtra, newPtr) // survives the re-finds below
+		if !th.Node(s.preds[0]).Next[0].CompareAndSwap(uint64(s.succs[0]), uint64(newPtr)) {
+			th.CountRestart()
+			continue
+		}
+		s.pending = arena.NoSlot
+		s.linkUpper(n, newPtr, height, key)
+		return true
+	}
+}
+
+func (s *hpSession) linkUpper(n *Node, newPtr arena.Ptr, height uint32, key uint64) {
+	th := s.t
+	for l := uint32(1); l < height; l++ {
+		for {
+			nl := arena.Ptr(n.Next[l].Load())
+			if nl.Marked() {
+				return
+			}
+			succ := s.succs[l]
+			if succ == newPtr {
+				break
+			}
+			if nl != succ {
+				if !n.Next[l].CompareAndSwap(uint64(nl), uint64(succ)) {
+					return
+				}
+			}
+			if th.Node(s.preds[l]).Next[l].CompareAndSwap(uint64(succ), uint64(newPtr)) {
+				break
+			}
+			th.CountRestart()
+			s.find(key)
+			if s.succs[0] != newPtr {
+				return
+			}
+		}
+	}
+}
+
+// Delete removes key; false if absent.
+func (s *hpSession) Delete(key uint64) bool {
+	th := s.t
+	defer th.ClearAll()
+	for {
+		if !s.find(key) {
+			return false
+		}
+		victim := s.succs[0]
+		th.Protect(hpSLExtra, victim) // survives the cleanup find
+		n := th.Node(victim.Slot())
+		height := n.Height.Load()
+		for l := int(height) - 1; l >= 1; l-- {
+			for {
+				sl := arena.Ptr(n.Next[l].Load())
+				if sl.Marked() {
+					break
+				}
+				n.Next[l].CompareAndSwap(uint64(sl), uint64(sl.Mark()))
+			}
+		}
+		for {
+			sl := arena.Ptr(n.Next[0].Load())
+			if sl.Marked() {
+				return false
+			}
+			if n.Next[0].CompareAndSwap(uint64(sl), uint64(sl.Mark())) {
+				s.find(key) // snip from every level
+				th.ClearAll()
+				th.Retire(victim.Slot())
+				return true
+			}
+		}
+	}
+}

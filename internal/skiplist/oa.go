@@ -1,0 +1,358 @@
+package skiplist
+
+import (
+	"fmt"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/normalized"
+	"repro/internal/smr"
+)
+
+// OAOwnerHPs is the owner hazard-pointer budget per thread: the delete
+// generator's CAS list shares one modified object (the victim) and one
+// expected/new pointer per level, so with the paper's dedup optimization
+// MaxLevel+5 hazard pointers suffice (§5).
+const OAOwnerHPs = MaxLevel + 5
+
+// OASkipList is the skip list under the optimistic access scheme.
+//
+// The normalized decomposition (§3.2) maps onto the operations as follows:
+//   - Contains: a read-only generator (empty CAS list) — two loads and one
+//     warning check per hop, no fences, no hazard pointers.
+//   - Delete: the generator finds the victim and emits mark-CASes for every
+//     still-unmarked level, top down — at most MaxLevel+1 descriptors, the
+//     paper's "MAXLEN+1 CASes"; the wrap-up restarts the generator on any
+//     executor failure, and the winner of the bottom mark runs one clean
+//     (instrumented) find to unlink the node everywhere before retiring it.
+//   - Insert: one generator round links the bottom level (linearization);
+//     subsequent rounds emit the upper-level link CASes one level at a
+//     time, each sealed by owner hazard pointers.
+type OASkipList struct {
+	mgr  *core.Manager[Node]
+	head uint32
+}
+
+// NewOA builds an empty skip list sized by cfg.
+func NewOA(cfg core.Config) *OASkipList {
+	cfg.OwnerHPs = OAOwnerHPs
+	m := core.NewManager[Node](cfg, ResetNode)
+	head := m.Thread(0).Alloc()
+	m.Arena().At(head).Height.Store(MaxLevel)
+	return &OASkipList{mgr: m, head: head}
+}
+
+// Manager exposes the underlying optimistic access manager.
+func (s *OASkipList) Manager() *core.Manager[Node] { return s.mgr }
+
+// Scheme implements smr.Set.
+func (s *OASkipList) Scheme() smr.Scheme { return smr.OA }
+
+// Stats implements smr.Set.
+func (s *OASkipList) Stats() smr.Stats { return s.mgr.Stats() }
+
+// Session implements smr.Set.
+func (s *OASkipList) Session(tid int) smr.Session {
+	return &oaSession{
+		s:       s,
+		t:       s.mgr.Thread(tid),
+		rng:     newLevelRng(uint64(tid)*0xD1B54A32D192ED03 + 1),
+		pending: arena.NoSlot,
+	}
+}
+
+type oaSession struct {
+	s       *OASkipList
+	t       *core.Thread[Node]
+	rng     levelRng
+	pending uint32
+	preds   [MaxLevel]uint32
+	succs   [MaxLevel]arena.Ptr
+}
+
+// loadHeight reads a node's height, tolerating stale values: an invalid
+// height can only come from a recycled slot, in which case the warning bit
+// is pending and the caller must restart.
+func (s *oaSession) loadHeight(n *Node) (uint32, bool) {
+	h := n.Height.Load()
+	if h >= 1 && h <= MaxLevel {
+		return h, false
+	}
+	if s.t.Check() {
+		return 0, true
+	}
+	panic(fmt.Sprintf("skiplist: invalid height %d on a non-stale node", h))
+}
+
+// find positions s.preds/s.succs around key. Every optimistic read is
+// followed by the Algorithm 1 warning check; the snip CASes run under the
+// Algorithm 2 write barrier. restart=true tells the caller to restart its
+// generator.
+func (s *oaSession) find(key uint64) (found, restart bool) {
+	th := s.t
+retry:
+	for {
+		predSlot := s.s.head
+		for level := MaxLevel - 1; level >= 0; level-- {
+			curr := arena.Ptr(th.Node(predSlot).Next[level].Load()).Unmark()
+			if th.Check() {
+				return false, true
+			}
+			for !curr.IsNil() {
+				n := th.Node(curr.Slot())
+				succ := arena.Ptr(n.Next[level].Load())
+				ckey := n.Key.Load()
+				if th.Check() {
+					return false, true
+				}
+				if succ.Marked() {
+					// curr is deleted at this level: snip (observable CAS,
+					// Algorithm 2). Snips never retire here — the winning
+					// deleter retires after the node is fully unlinked.
+					if th.ProtectCAS(arena.MakePtr(predSlot), curr, succ.Unmark()) {
+						return false, true
+					}
+					if th.Node(predSlot).Next[level].CompareAndSwap(uint64(curr), uint64(succ.Unmark())) {
+						th.ClearCAS()
+						curr = succ.Unmark()
+						continue
+					}
+					th.ClearCAS()
+					continue retry
+				}
+				if ckey < key {
+					predSlot = curr.Slot()
+					curr = succ
+				} else {
+					break
+				}
+			}
+			s.preds[level] = predSlot
+			s.succs[level] = curr
+		}
+		f := s.succs[0]
+		if f.IsNil() {
+			return false, false
+		}
+		k := th.Node(f.Slot()).Key.Load()
+		if th.Check() {
+			return false, true
+		}
+		return k == key, false
+	}
+}
+
+// Contains is the read-only normalized operation: empty CAS list, result
+// recorded before the final warning check validates everything it depends
+// on.
+func (s *oaSession) Contains(key uint64) bool {
+	th := s.t
+restart:
+	for {
+		predSlot := s.s.head
+		var curr arena.Ptr
+		for level := MaxLevel - 1; level >= 0; level-- {
+			curr = arena.Ptr(th.Node(predSlot).Next[level].Load()).Unmark()
+			if th.Check() {
+				continue restart
+			}
+			var ckey uint64
+			for !curr.IsNil() {
+				n := th.Node(curr.Slot())
+				succ := arena.Ptr(n.Next[level].Load())
+				ckey = n.Key.Load()
+				if th.Check() {
+					continue restart
+				}
+				if succ.Marked() {
+					curr = succ.Unmark()
+					continue
+				}
+				if ckey < key {
+					predSlot = curr.Slot()
+					curr = succ
+				} else {
+					break
+				}
+			}
+			if !curr.IsNil() && ckey == key {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Insert adds key; false if present.
+func (s *oaSession) Insert(key uint64) bool {
+	th := s.t
+	height := s.rng.next()
+	var dl normalized.DescList
+
+	// Phase 1: link the bottom level (the linearization point).
+	for {
+		// --- CAS generator ---
+		found, restart := s.find(key)
+		if restart {
+			continue
+		}
+		if found {
+			return false
+		}
+		if s.pending == arena.NoSlot {
+			s.pending = th.Alloc()
+		}
+		n := th.Node(s.pending)
+		n.Key.Store(key)
+		n.Height.Store(height)
+		for l := uint32(0); l < height; l++ {
+			n.Next[l].Store(uint64(s.succs[l]))
+		}
+		newPtr := arena.MakePtr(s.pending)
+		dl.Reset()
+		dl.Append(&th.Node(s.preds[0]).Next[0], uint64(s.succs[0]), uint64(newPtr))
+		th.SetOwnerHP(0, arena.MakePtr(s.preds[0]))
+		th.SetOwnerHP(1, s.succs[0])
+		th.SetOwnerHP(2, newPtr)
+		if th.SealGenerator() {
+			continue
+		}
+		// --- CAS executor ---
+		failed := normalized.Execute(&dl)
+		// --- wrap-up ---
+		th.ClearOwnerHPs()
+		if failed != 0 {
+			continue
+		}
+		s.pending = arena.NoSlot
+		s.linkUpper(n, newPtr, height, key)
+		return true
+	}
+}
+
+// linkUpper runs one generator round per upper level: re-point the node's
+// own next and link it at preds[level], both as an executor CAS list pinned
+// by owner hazard pointers.
+func (s *oaSession) linkUpper(n *Node, newPtr arena.Ptr, height uint32, key uint64) {
+	th := s.t
+	var dl normalized.DescList
+	valid := true // preds/succs still usable from the previous round
+	for l := uint32(1); l < height; l++ {
+		for {
+			// --- CAS generator ---
+			if !valid {
+				found, restart := s.find(key)
+				if restart {
+					continue
+				}
+				if !found || s.succs[0] != newPtr {
+					return // deleted while linking
+				}
+				valid = true
+			}
+			nl := arena.Ptr(n.Next[l].Load())
+			if th.Check() {
+				valid = false
+				continue
+			}
+			if nl.Marked() {
+				return // deletion started: stop linking
+			}
+			succ := s.succs[l]
+			if succ == newPtr {
+				break // refreshed search already sees us at this level
+			}
+			dl.Reset()
+			if nl != succ {
+				dl.Append(&n.Next[l], uint64(nl), uint64(succ))
+			}
+			dl.Append(&th.Node(s.preds[l]).Next[l], uint64(succ), uint64(newPtr))
+			th.SetOwnerHP(0, arena.MakePtr(s.preds[l]))
+			th.SetOwnerHP(1, succ)
+			th.SetOwnerHP(2, newPtr)
+			th.SetOwnerHP(3, nl)
+			if th.SealGenerator() {
+				valid = false
+				continue
+			}
+			// --- CAS executor ---
+			failed := normalized.Execute(&dl)
+			// --- wrap-up ---
+			th.ClearOwnerHPs()
+			if failed != 0 {
+				valid = false
+				continue
+			}
+			break
+		}
+	}
+}
+
+// Delete removes key; false if absent.
+func (s *oaSession) Delete(key uint64) bool {
+	th := s.t
+	var dl normalized.DescList
+	var levelSucc [MaxLevel]arena.Ptr
+	for {
+		// --- CAS generator ---
+		found, restart := s.find(key)
+		if restart {
+			continue
+		}
+		if !found {
+			return false
+		}
+		victim := s.succs[0]
+		n := th.Node(victim.Slot())
+		height, restart := s.loadHeight(n)
+		if restart {
+			continue
+		}
+		for l := uint32(0); l < height; l++ {
+			levelSucc[l] = arena.Ptr(n.Next[l].Load())
+		}
+		if th.Check() {
+			continue
+		}
+		if levelSucc[0].Marked() {
+			return false // another deleter won the bottom level
+		}
+		// Emit mark CASes top-down for every still-unmarked level; the
+		// bottom mark comes last and decides the operation.
+		dl.Reset()
+		th.SetOwnerHP(0, victim)
+		hpIdx := 1
+		for l := int(height) - 1; l >= 0; l-- {
+			sl := levelSucc[l]
+			if sl.Marked() {
+				continue
+			}
+			dl.Append(&n.Next[l], uint64(sl), uint64(sl.Mark()))
+			th.SetOwnerHP(hpIdx, sl) // new value mark(sl) dedups with sl
+			hpIdx++
+		}
+		if th.SealGenerator() {
+			continue
+		}
+		// --- CAS executor ---
+		failed := normalized.Execute(&dl)
+		// --- wrap-up ---
+		th.ClearOwnerHPs()
+		if failed != 0 {
+			continue // some level changed: regenerate
+		}
+		// We won the bottom mark: one clean find unlinks the node from
+		// every level, after which retiring is proper (§3.3).
+		for {
+			if _, restart := s.find(key); !restart {
+				break
+			}
+		}
+		th.Retire(victim.Slot())
+		return true
+	}
+}
+
+// PauseReport renders the OA reclamation-pause histogram (see package
+// metrics).
+func (s *OASkipList) PauseReport() string { return s.mgr.PhasePauses().String() }

@@ -1,0 +1,128 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRangeScanSequential(t *testing.T) {
+	sl := NewOA(core.Config{MaxThreads: 1, Capacity: 8192, LocalPool: 16})
+	s := sl.ScanSession(0)
+	want := []uint64{}
+	for k := uint64(2); k <= 200; k += 2 {
+		s.Insert(k)
+		want = append(want, k)
+	}
+	var got []uint64
+	s.RangeScan(1, 500, func(k uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRangeScanBounds(t *testing.T) {
+	sl := NewOA(core.Config{MaxThreads: 1, Capacity: 4096, LocalPool: 16})
+	s := sl.ScanSession(0)
+	for _, k := range []uint64{5, 10, 15, 20, 25} {
+		s.Insert(k)
+	}
+	var got []uint64
+	s.RangeScan(10, 20, func(k uint64) bool { got = append(got, k); return true })
+	if len(got) != 3 || got[0] != 10 || got[1] != 15 || got[2] != 20 {
+		t.Fatalf("scan [10,20] = %v", got)
+	}
+	got = nil
+	s.RangeScan(21, 24, func(k uint64) bool { got = append(got, k); return true })
+	if len(got) != 0 {
+		t.Fatalf("empty range scan = %v", got)
+	}
+	// Early stop.
+	got = nil
+	s.RangeScan(1, 100, func(k uint64) bool { got = append(got, k); return len(got) < 2 })
+	if len(got) != 2 {
+		t.Fatalf("early-stop scan = %v", got)
+	}
+}
+
+func TestRangeScanExtremeKeys(t *testing.T) {
+	sl := NewOA(core.Config{MaxThreads: 1, Capacity: 4096, LocalPool: 16})
+	s := sl.ScanSession(0)
+	maxKey := ^uint64(0)
+	s.Insert(maxKey)
+	s.Insert(maxKey - 1)
+	var got []uint64
+	s.RangeScan(maxKey-1, maxKey, func(k uint64) bool { got = append(got, k); return true })
+	if len(got) != 2 || got[1] != maxKey {
+		t.Fatalf("extreme scan = %v", got)
+	}
+}
+
+// Weak consistency under churn: a concurrent scan must deliver keys in
+// strictly ascending order, without duplicates, and every delivered key
+// must be one that was (at some point) inserted; keys outside the churn
+// window that stay put must always be delivered.
+func TestRangeScanConcurrentChurn(t *testing.T) {
+	sl := NewOA(core.Config{MaxThreads: 2, Capacity: 1 << 14, LocalPool: 16})
+	writer := sl.Session(1)
+	// Stable keys every 10; churn keys in between.
+	for k := uint64(10); k <= 1000; k += 10 {
+		writer.Insert(k)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(5))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := uint64(rng.Intn(1000)) + 1
+			if k%10 == 0 {
+				continue // never touch stable keys
+			}
+			writer.Insert(k)
+			writer.Delete(k)
+		}
+	}()
+
+	s := sl.ScanSession(0)
+	for round := 0; round < 200; round++ {
+		var got []uint64
+		s.RangeScan(1, 1000, func(k uint64) bool { got = append(got, k); return true })
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("round %d: scan out of order: %v", round, got)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				t.Fatalf("round %d: duplicate key %d", round, got[i])
+			}
+		}
+		stable := 0
+		for _, k := range got {
+			if k%10 == 0 {
+				stable++
+			}
+		}
+		if stable != 100 {
+			t.Fatalf("round %d: saw %d stable keys, want 100", round, stable)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

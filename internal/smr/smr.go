@@ -1,0 +1,131 @@
+// Package smr defines the small set of types shared by every safe-memory-
+// reclamation scheme in this repository: scheme identifiers, aggregate
+// statistics, and the session-based data-structure interface the benchmark
+// harness and the shared test suites program against.
+package smr
+
+import "fmt"
+
+// Scheme identifies a memory reclamation scheme from the paper's
+// evaluation (§5).
+type Scheme int
+
+const (
+	// NoRecl performs no reclamation at all; it is the paper's baseline.
+	NoRecl Scheme = iota
+	// OA is the paper's contribution: the optimistic access scheme.
+	OA
+	// HP is Michael's hazard pointers scheme.
+	HP
+	// EBR is epoch-based reclamation (Fraser/Harris). Not lock-free.
+	EBR
+	// Anchors is the drop-the-anchor scheme of Braginsky et al.,
+	// implemented (as in the paper) for the linked list only.
+	Anchors
+)
+
+// Schemes lists all schemes in presentation order.
+var Schemes = []Scheme{NoRecl, OA, HP, EBR, Anchors}
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case NoRecl:
+		return "NoRecl"
+	case OA:
+		return "OA"
+	case HP:
+		return "HP"
+	case EBR:
+		return "EBR"
+	case Anchors:
+		return "Anchors"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme converts a name as printed by String back to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range Schemes {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("smr: unknown scheme %q", name)
+}
+
+// Stats aggregates the counters every scheme maintains. Fields that do not
+// apply to a scheme stay zero.
+type Stats struct {
+	Allocs    uint64 // successful allocations
+	Retires   uint64 // retire calls issued by the data structure
+	Recycled  uint64 // slots made available for reallocation
+	ReRetired uint64 // slots deferred to a later phase/scan (HP-protected)
+	Phases    uint64 // reclamation phases / scans / epoch advances
+	Restarts  uint64 // operation restarts caused by the scheme's barriers
+}
+
+// Unreclaimed estimates how many retired slots have not (yet) been made
+// available for reallocation — the space overhead axis of SMR comparisons
+// (unbounded under EBR with a stalled thread, bounded for HP and OA).
+func (s Stats) Unreclaimed() uint64 {
+	if s.Recycled > s.Retires {
+		return 0
+	}
+	return s.Retires - s.Recycled
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Allocs += o.Allocs
+	s.Retires += o.Retires
+	s.Recycled += o.Recycled
+	s.ReRetired += o.ReRetired
+	s.Phases += o.Phases
+	s.Restarts += o.Restarts
+}
+
+// Set is a concurrent integer set — the interface all benchmarked data
+// structures present. Sessions bind a structure to one worker thread;
+// a Session must only ever be used by the goroutine it was created for.
+type Set interface {
+	// Session returns the per-thread handle for thread tid
+	// (0 <= tid < the structure's configured MaxThreads).
+	Session(tid int) Session
+	// Stats returns scheme counters aggregated over all threads.
+	Stats() Stats
+	// Scheme reports which reclamation scheme backs the structure.
+	Scheme() Scheme
+}
+
+// Session is the per-thread view of a Set.
+type Session interface {
+	// Insert adds key; it returns false if key was already present.
+	Insert(key uint64) bool
+	// Delete removes key; it returns false if key was absent.
+	Delete(key uint64) bool
+	// Contains reports whether key is present.
+	Contains(key uint64) bool
+}
+
+// Queue is a concurrent FIFO queue of uint64 values — the second
+// data-structure shape this repository runs under the reclamation schemes
+// (the Michael-Scott queue, which is also the worked example of Michael's
+// hazard pointers paper).
+type Queue interface {
+	// QueueSession returns the per-thread handle for thread tid.
+	QueueSession(tid int) QueueSession
+	// Stats returns scheme counters aggregated over all threads.
+	Stats() Stats
+	// Scheme reports which reclamation scheme backs the queue.
+	Scheme() Scheme
+}
+
+// QueueSession is the per-thread view of a Queue.
+type QueueSession interface {
+	// Enqueue appends v at the tail.
+	Enqueue(v uint64)
+	// Dequeue removes the head value; ok is false when the queue is empty.
+	Dequeue() (v uint64, ok bool)
+}

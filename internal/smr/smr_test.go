@@ -1,0 +1,44 @@
+package smr
+
+import "testing"
+
+func TestSchemeStrings(t *testing.T) {
+	want := map[Scheme]string{
+		NoRecl: "NoRecl", OA: "OA", HP: "HP", EBR: "EBR", Anchors: "Anchors",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Fatalf("%d.String() = %q, want %q", int(s), s.String(), name)
+		}
+	}
+	if got := Scheme(42).String(); got != "Scheme(42)" {
+		t.Fatalf("unknown scheme String = %q", got)
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for _, s := range Schemes {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Fatal("ParseScheme must reject unknown names")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Allocs: 1, Retires: 2, Recycled: 3, ReRetired: 4, Phases: 5, Restarts: 6}
+	b := a
+	a.Add(b)
+	if a != (Stats{Allocs: 2, Retires: 4, Recycled: 6, ReRetired: 8, Phases: 10, Restarts: 12}) {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestSchemesOrder(t *testing.T) {
+	if len(Schemes) != 5 || Schemes[0] != NoRecl || Schemes[1] != OA {
+		t.Fatalf("Schemes = %v", Schemes)
+	}
+}

@@ -1,0 +1,44 @@
+// Package stack implements the Treiber stack under the repository's
+// reclamation schemes. The Treiber stack is the original motivating
+// example for safe memory reclamation: Pop reads top.next and CASes the
+// top pointer, so a recycled-and-reinserted top node (the ABA problem)
+// silently corrupts the stack unless the reclamation scheme intervenes.
+//
+//   - Under OA, Pop is a normalized operation: the generator reads top and
+//     top.next optimistically (Algorithm 1 checks), and the executor CAS
+//     is pinned by owner hazard pointers (Algorithm 3), which both detects
+//     stale reads and prevents the recycle-reuse ABA.
+//   - Under HP, the classic protect-validate protocol guards top.
+//   - Under EBR, the epoch bracket suffices.
+//   - Under NoRecl, nodes are never reused so ABA cannot occur.
+package stack
+
+import "sync/atomic"
+
+// Node is the stack node; all fields atomic (stale reads under OA).
+type Node struct {
+	Val  atomic.Uint64
+	Next atomic.Uint64 // arena.Ptr bits
+}
+
+// ResetNode zeroes a node (the allocation memset hook).
+func ResetNode(n *Node) {
+	n.Val.Store(0)
+	n.Next.Store(0)
+}
+
+// Stack is a concurrent LIFO stack of uint64 values.
+type Stack interface {
+	// StackSession returns the per-thread handle for thread tid.
+	StackSession(tid int) Session
+	// Scheme reports the backing reclamation scheme.
+	Scheme() string
+}
+
+// Session is the per-thread view of a Stack.
+type Session interface {
+	// Push adds v on top.
+	Push(v uint64)
+	// Pop removes the top value; ok is false when the stack is empty.
+	Pop() (v uint64, ok bool)
+}

@@ -1,0 +1,141 @@
+package stack_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ebr"
+	"repro/internal/hpscheme"
+	"repro/internal/norecl"
+	"repro/internal/stack"
+)
+
+func factories() map[string]func(threads int) stack.Stack {
+	const capacity = 1 << 14
+	return map[string]func(threads int) stack.Stack{
+		"NoRecl": func(threads int) stack.Stack {
+			return stack.NewNoRecl(norecl.Config{MaxThreads: threads, Capacity: capacity})
+		},
+		"OA": func(threads int) stack.Stack {
+			return stack.NewOA(core.Config{MaxThreads: threads, Capacity: capacity, LocalPool: 16})
+		},
+		"HP": func(threads int) stack.Stack {
+			return stack.NewHP(hpscheme.Config{MaxThreads: threads, Capacity: capacity, ScanThreshold: 32})
+		},
+		"EBR": func(threads int) stack.Stack {
+			return stack.NewEBR(ebr.Config{MaxThreads: threads, Capacity: capacity, OpsPerScan: 32})
+		},
+	}
+}
+
+func TestStackSequentialLIFO(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(1).StackSession(0)
+			if _, ok := s.Pop(); ok {
+				t.Fatal("empty stack popped")
+			}
+			for i := uint64(1); i <= 1000; i++ {
+				s.Push(i)
+			}
+			for i := uint64(1000); i >= 1; i-- {
+				v, ok := s.Pop()
+				if !ok || v != i {
+					t.Fatalf("Pop = %d,%v want %d", v, ok, i)
+				}
+			}
+			if _, ok := s.Pop(); ok {
+				t.Fatal("drained stack popped")
+			}
+		})
+	}
+}
+
+func TestStackInterleaved(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(1).StackSession(0)
+			for round := uint64(0); round < 2000; round++ {
+				s.Push(round)
+				s.Push(round + 1000000)
+				if v, ok := s.Pop(); !ok || v != round+1000000 {
+					t.Fatalf("round %d: %d,%v", round, v, ok)
+				}
+				if v, ok := s.Pop(); !ok || v != round {
+					t.Fatalf("round %d: %d,%v", round, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// Concurrent conservation: every pushed value pops exactly once; a tiny
+// arena keeps nodes recycling constantly — the ABA trap this structure is
+// famous for.
+func TestStackConcurrentConservation(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			const threads, per = 4, 15000
+			st := mk(threads)
+			var mu sync.Mutex
+			popped := make(map[uint64]int)
+			var wg sync.WaitGroup
+			for id := 0; id < threads; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					s := st.StackSession(id)
+					held := 0
+					for i := 0; i < per; i++ {
+						if held < 8 && i%3 != 2 {
+							s.Push(uint64(id)<<32 | uint64(i))
+							held++
+						} else if held > 0 {
+							v, ok := s.Pop()
+							if ok {
+								mu.Lock()
+								popped[v]++
+								mu.Unlock()
+								held--
+							}
+						}
+					}
+					for {
+						v, ok := s.Pop()
+						if !ok {
+							break
+						}
+						mu.Lock()
+						popped[v]++
+						mu.Unlock()
+					}
+				}(id)
+			}
+			wg.Wait()
+			for v, n := range popped {
+				if n != 1 {
+					t.Fatalf("value %#x popped %d times — ABA!", v, n)
+				}
+			}
+		})
+	}
+}
+
+func TestStackOARecycles(t *testing.T) {
+	st := stack.NewOA(core.Config{MaxThreads: 1, Capacity: 512, LocalPool: 8})
+	s := st.StackSession(0)
+	for i := 0; i < 20000; i++ {
+		s.Push(uint64(i))
+		if _, ok := s.Pop(); !ok {
+			t.Fatal("lost element")
+		}
+	}
+	stats := st.Stats()
+	if stats.Phases == 0 || stats.Recycled == 0 {
+		t.Fatalf("stack reclamation inactive: %+v", stats)
+	}
+	if st.Scheme() != "OA" {
+		t.Fatal("scheme")
+	}
+}

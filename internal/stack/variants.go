@@ -1,0 +1,324 @@
+package stack
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/ebr"
+	"repro/internal/hpscheme"
+	"repro/internal/norecl"
+	"repro/internal/normalized"
+	"repro/internal/smr"
+)
+
+// OAStack is the Treiber stack under optimistic access.
+type OAStack struct {
+	mgr *core.Manager[Node]
+	top atomic.Uint64 // arena.Ptr bits; 0 = empty
+}
+
+// NewOA builds an empty stack sized by cfg.
+func NewOA(cfg core.Config) *OAStack {
+	cfg.OwnerHPs = 3
+	return &OAStack{mgr: core.NewManager[Node](cfg, ResetNode)}
+}
+
+// Manager exposes the underlying manager.
+func (s *OAStack) Manager() *core.Manager[Node] { return s.mgr }
+
+// Stats returns reclamation counters.
+func (s *OAStack) Stats() smr.Stats { return s.mgr.Stats() }
+
+// Scheme implements Stack.
+func (s *OAStack) Scheme() string { return smr.OA.String() }
+
+// StackSession implements Stack.
+func (s *OAStack) StackSession(tid int) Session {
+	return &oaSession{s: s, t: s.mgr.Thread(tid), pending: arena.NoSlot}
+}
+
+type oaSession struct {
+	s       *OAStack
+	t       *core.Thread[Node]
+	pending uint32
+}
+
+// Push links a node at the top. The CAS target is the top word (a root),
+// its operands are node handles — Algorithm 3 protects them.
+func (ss *oaSession) Push(v uint64) {
+	th := ss.t
+	var dl normalized.DescList
+	for {
+		// --- CAS generator ---
+		top := arena.Ptr(ss.s.top.Load())
+		if th.Check() {
+			continue
+		}
+		if ss.pending == arena.NoSlot {
+			ss.pending = th.Alloc()
+		}
+		n := th.Node(ss.pending)
+		n.Val.Store(v)
+		n.Next.Store(uint64(top))
+		newPtr := arena.MakePtr(ss.pending)
+		dl.Reset()
+		dl.Append(&ss.s.top, uint64(top), uint64(newPtr))
+		th.SetOwnerHP(0, top)
+		th.SetOwnerHP(1, newPtr)
+		if th.SealGenerator() {
+			continue
+		}
+		// --- CAS executor / wrap-up ---
+		failed := normalized.Execute(&dl)
+		th.ClearOwnerHPs()
+		if failed == 0 {
+			ss.pending = arena.NoSlot
+			return
+		}
+	}
+}
+
+// Pop unlinks the top node. This is the textbook ABA case: the expected
+// top and the new top (its next) are both pinned by owner hazard pointers
+// across the executor, so a recycled top cannot masquerade.
+func (ss *oaSession) Pop() (uint64, bool) {
+	th := ss.t
+	var dl normalized.DescList
+	for {
+		// --- CAS generator ---
+		top := arena.Ptr(ss.s.top.Load())
+		if th.Check() {
+			continue
+		}
+		if top.IsNil() {
+			if th.Check() {
+				continue
+			}
+			return 0, false
+		}
+		n := th.Node(top.Slot())
+		next := arena.Ptr(n.Next.Load())
+		v := n.Val.Load()
+		if th.Check() {
+			continue
+		}
+		dl.Reset()
+		dl.Append(&ss.s.top, uint64(top), uint64(next))
+		th.SetOwnerHP(0, top)
+		th.SetOwnerHP(1, next)
+		if th.SealGenerator() {
+			continue
+		}
+		// --- CAS executor / wrap-up ---
+		failed := normalized.Execute(&dl)
+		th.ClearOwnerHPs()
+		if failed == 0 {
+			th.Retire(top.Slot())
+			return v, true
+		}
+	}
+}
+
+// HPStack is the Treiber stack under hazard pointers.
+type HPStack struct {
+	mgr *hpscheme.Manager[Node]
+	top atomic.Uint64
+}
+
+// NewHP builds an empty stack sized by cfg.
+func NewHP(cfg hpscheme.Config) *HPStack {
+	cfg.HPsPerThread = 1
+	return &HPStack{mgr: hpscheme.NewManager[Node](cfg, ResetNode)}
+}
+
+// Stats returns reclamation counters.
+func (s *HPStack) Stats() smr.Stats { return s.mgr.Stats() }
+
+// Scheme implements Stack.
+func (s *HPStack) Scheme() string { return smr.HP.String() }
+
+// StackSession implements Stack.
+func (s *HPStack) StackSession(tid int) Session {
+	return &hpSession{s: s, t: s.mgr.Thread(tid), pending: arena.NoSlot}
+}
+
+type hpSession struct {
+	s       *HPStack
+	t       *hpscheme.Thread[Node]
+	pending uint32
+}
+
+func (ss *hpSession) Push(v uint64) {
+	th := ss.t
+	if ss.pending == arena.NoSlot {
+		ss.pending = th.Alloc()
+	}
+	n := th.Node(ss.pending)
+	n.Val.Store(v)
+	newPtr := arena.MakePtr(ss.pending)
+	for {
+		top := arena.Ptr(ss.s.top.Load())
+		n.Next.Store(uint64(top))
+		if ss.s.top.CompareAndSwap(uint64(top), uint64(newPtr)) {
+			ss.pending = arena.NoSlot
+			return
+		}
+		th.CountRestart()
+	}
+}
+
+func (ss *hpSession) Pop() (uint64, bool) {
+	th := ss.t
+	for {
+		top := arena.Ptr(ss.s.top.Load())
+		if top.IsNil() {
+			return 0, false
+		}
+		th.Protect(0, top)
+		if arena.Ptr(ss.s.top.Load()) != top {
+			th.CountRestart()
+			continue
+		}
+		n := th.Node(top.Slot())
+		next := arena.Ptr(n.Next.Load())
+		v := n.Val.Load()
+		if ss.s.top.CompareAndSwap(uint64(top), uint64(next)) {
+			th.Clear(0)
+			th.Retire(top.Slot())
+			return v, true
+		}
+		th.CountRestart()
+	}
+}
+
+// EBRStack is the Treiber stack under epoch-based reclamation.
+type EBRStack struct {
+	mgr *ebr.Manager[Node]
+	top atomic.Uint64
+}
+
+// NewEBR builds an empty stack sized by cfg.
+func NewEBR(cfg ebr.Config) *EBRStack {
+	return &EBRStack{mgr: ebr.NewManager[Node](cfg, ResetNode)}
+}
+
+// Stats returns reclamation counters.
+func (s *EBRStack) Stats() smr.Stats { return s.mgr.Stats() }
+
+// Scheme implements Stack.
+func (s *EBRStack) Scheme() string { return smr.EBR.String() }
+
+// StackSession implements Stack.
+func (s *EBRStack) StackSession(tid int) Session {
+	return &ebrSession{s: s, t: s.mgr.Thread(tid), pending: arena.NoSlot}
+}
+
+type ebrSession struct {
+	s       *EBRStack
+	t       *ebr.Thread[Node]
+	pending uint32
+}
+
+func (ss *ebrSession) Push(v uint64) {
+	th := ss.t
+	th.OnOpStart()
+	defer th.OnOpEnd()
+	if ss.pending == arena.NoSlot {
+		ss.pending = th.Alloc()
+	}
+	n := th.Node(ss.pending)
+	n.Val.Store(v)
+	newPtr := arena.MakePtr(ss.pending)
+	for {
+		top := arena.Ptr(ss.s.top.Load())
+		n.Next.Store(uint64(top))
+		if ss.s.top.CompareAndSwap(uint64(top), uint64(newPtr)) {
+			ss.pending = arena.NoSlot
+			return
+		}
+	}
+}
+
+func (ss *ebrSession) Pop() (uint64, bool) {
+	th := ss.t
+	th.OnOpStart()
+	defer th.OnOpEnd()
+	for {
+		top := arena.Ptr(ss.s.top.Load())
+		if top.IsNil() {
+			return 0, false
+		}
+		n := th.Node(top.Slot())
+		next := arena.Ptr(n.Next.Load())
+		v := n.Val.Load()
+		if ss.s.top.CompareAndSwap(uint64(top), uint64(next)) {
+			th.Retire(top.Slot())
+			return v, true
+		}
+	}
+}
+
+// NoReclStack is the Treiber stack without reclamation. Because nodes are
+// never reused, ABA cannot occur and no protection is needed.
+type NoReclStack struct {
+	mgr *norecl.Manager[Node]
+	top atomic.Uint64
+}
+
+// NewNoRecl builds an empty stack sized by cfg.
+func NewNoRecl(cfg norecl.Config) *NoReclStack {
+	return &NoReclStack{mgr: norecl.NewManager[Node](cfg, ResetNode)}
+}
+
+// Stats returns reclamation counters.
+func (s *NoReclStack) Stats() smr.Stats { return s.mgr.Stats() }
+
+// Scheme implements Stack.
+func (s *NoReclStack) Scheme() string { return smr.NoRecl.String() }
+
+// StackSession implements Stack.
+func (s *NoReclStack) StackSession(tid int) Session {
+	return &nrSession{s: s, t: s.mgr.Thread(tid), pending: arena.NoSlot}
+}
+
+type nrSession struct {
+	s       *NoReclStack
+	t       *norecl.Thread[Node]
+	pending uint32
+}
+
+func (ss *nrSession) Push(v uint64) {
+	th := ss.t
+	if ss.pending == arena.NoSlot {
+		ss.pending = th.Alloc()
+	}
+	n := th.Node(ss.pending)
+	n.Val.Store(v)
+	newPtr := arena.MakePtr(ss.pending)
+	for {
+		top := arena.Ptr(ss.s.top.Load())
+		n.Next.Store(uint64(top))
+		if ss.s.top.CompareAndSwap(uint64(top), uint64(newPtr)) {
+			ss.pending = arena.NoSlot
+			return
+		}
+	}
+}
+
+func (ss *nrSession) Pop() (uint64, bool) {
+	th := ss.t
+	for {
+		top := arena.Ptr(ss.s.top.Load())
+		if top.IsNil() {
+			return 0, false
+		}
+		n := th.Node(top.Slot())
+		next := arena.Ptr(n.Next.Load())
+		v := n.Val.Load()
+		if ss.s.top.CompareAndSwap(uint64(top), uint64(next)) {
+			th.Retire(top.Slot())
+			return v, true
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package oamem_test
+
+import (
+	"fmt"
+
+	"repro/oamem"
+)
+
+// The canonical workflow: construct a structure with a scheme and a node
+// budget, then give each goroutine its own session.
+func ExampleNewHashSet() {
+	set, err := oamem.NewHashSet(oamem.OA, oamem.Options{
+		Threads:  2,
+		Capacity: 1 << 12,
+	}, 1024)
+	if err != nil {
+		panic(err)
+	}
+	s := set.Session(0)
+	fmt.Println(s.Insert(7))
+	fmt.Println(s.Contains(7))
+	fmt.Println(s.Delete(7))
+	fmt.Println(s.Contains(7))
+	// Output:
+	// true
+	// true
+	// true
+	// false
+}
+
+func ExampleNewList() {
+	// The anchors scheme exists for the linked list only, as in the paper.
+	set, err := oamem.NewList(oamem.Anchors, oamem.Options{
+		Threads:  1,
+		Capacity: 4096,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := set.Session(0)
+	s.Insert(3)
+	s.Insert(1)
+	s.Insert(2)
+	fmt.Println(s.Contains(1), s.Contains(2), s.Contains(3), s.Contains(4))
+	// Output:
+	// true true true false
+}
+
+func ExampleNewQueue() {
+	q, err := oamem.NewQueue(oamem.OA, oamem.Options{
+		Threads:  1,
+		Capacity: 1024,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := q.QueueSession(0)
+	s.Enqueue(10)
+	s.Enqueue(20)
+	v1, _ := s.Dequeue()
+	v2, _ := s.Dequeue()
+	_, ok := s.Dequeue()
+	fmt.Println(v1, v2, ok)
+	// Output:
+	// 10 20 false
+}
+
+func ExampleNewMap() {
+	m := oamem.NewMap(oamem.Options{Threads: 1, Capacity: 4096}, 256)
+	s := m.Session(0)
+	s.Put(1, 100)
+	prev, had := s.Put(1, 200)
+	v, ok := s.Get(1)
+	fmt.Println(prev, had, v, ok)
+	// Output:
+	// 100 true 200 true
+}

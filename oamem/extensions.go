@@ -1,0 +1,67 @@
+package oamem
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ebr"
+	"repro/internal/hpscheme"
+	"repro/internal/kvmap"
+	"repro/internal/norecl"
+	"repro/internal/queue"
+	"repro/internal/skiplist"
+	"repro/internal/smr"
+)
+
+// Queue is a concurrent FIFO queue of uint64 values (Michael-Scott).
+type Queue = smr.Queue
+
+// QueueSession is the per-goroutine handle of a Queue.
+type QueueSession = smr.QueueSession
+
+// NewQueue builds a Michael-Scott FIFO queue under the given scheme. Under
+// OA, Capacity bounds the element backlog (plus slack δ); producers must
+// apply admission control if consumers can fall arbitrarily behind.
+func NewQueue(scheme Scheme, o Options) (Queue, error) {
+	switch scheme {
+	case NoRecl:
+		return queue.NewNoRecl(norecl.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}), nil
+	case OA:
+		return queue.NewOA(core.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}), nil
+	case HP:
+		return queue.NewHP(hpscheme.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, ScanThreshold: o.ScanThreshold}), nil
+	case EBR:
+		return queue.NewEBR(ebr.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, OpsPerScan: 10 * o.ScanThreshold}), nil
+	case Anchors:
+		return nil, fmt.Errorf("oamem: anchors is implemented for the linked list only (as in the paper)")
+	default:
+		return nil, fmt.Errorf("oamem: unknown scheme %v", scheme)
+	}
+}
+
+// OrderedSet is the OA skip list with range-scan support: ScanSession(tid)
+// returns a session whose RangeScan visits keys in ascending order with
+// weak (snapshot-free) consistency.
+type OrderedSet = skiplist.OASkipList
+
+// NewOrderedSet builds an ordered set under the optimistic access scheme.
+func NewOrderedSet(o Options) *OrderedSet {
+	return skiplist.NewOA(core.Config{
+		MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool,
+	})
+}
+
+// Map is a lock-free uint64→uint64 hash map under the optimistic access
+// scheme (the library extension beyond the paper's sets).
+type Map = kvmap.Map
+
+// MapSession is the per-goroutine handle of a Map.
+type MapSession = kvmap.Session
+
+// NewMap builds a hash map under the optimistic access scheme, sized for
+// expected entries.
+func NewMap(o Options, expected int) *Map {
+	return kvmap.New(core.Config{
+		MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool,
+	}, expected)
+}

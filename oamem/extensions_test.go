@@ -1,0 +1,61 @@
+package oamem_test
+
+import (
+	"testing"
+
+	"repro/oamem"
+)
+
+func TestPublicQueue(t *testing.T) {
+	for _, scheme := range []oamem.Scheme{oamem.NoRecl, oamem.OA, oamem.HP, oamem.EBR} {
+		q, err := oamem.NewQueue(scheme, oamem.Options{Threads: 2, Capacity: 4096})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		s := q.QueueSession(0)
+		for i := uint64(1); i <= 100; i++ {
+			s.Enqueue(i)
+		}
+		for i := uint64(1); i <= 100; i++ {
+			v, ok := s.Dequeue()
+			if !ok || v != i {
+				t.Fatalf("%v: Dequeue = %d,%v want %d", scheme, v, ok, i)
+			}
+		}
+		if _, ok := s.Dequeue(); ok {
+			t.Fatalf("%v: drained queue not empty", scheme)
+		}
+		if q.Scheme() != scheme {
+			t.Fatalf("scheme = %v", q.Scheme())
+		}
+	}
+	if _, err := oamem.NewQueue(oamem.Anchors, oamem.Options{Threads: 1, Capacity: 256}); err == nil {
+		t.Fatal("anchors queue must be rejected")
+	}
+	if _, err := oamem.NewQueue(oamem.Scheme(99), oamem.Options{Threads: 1, Capacity: 256}); err == nil {
+		t.Fatal("unknown scheme must be rejected")
+	}
+}
+
+func TestPublicMap(t *testing.T) {
+	m := oamem.NewMap(oamem.Options{Threads: 2, Capacity: 8192}, 512)
+	s := m.Session(0)
+	if prev, had := s.Put(10, 1); had || prev != 0 {
+		t.Fatal("fresh Put")
+	}
+	if v, ok := s.Get(10); !ok || v != 1 {
+		t.Fatal("Get")
+	}
+	if prev, had := s.Put(10, 2); !had || prev != 1 {
+		t.Fatal("overwrite Put")
+	}
+	if v, ok := s.Remove(10); !ok || v != 2 {
+		t.Fatal("Remove")
+	}
+	if _, ok := s.Get(10); ok {
+		t.Fatal("zombie")
+	}
+	if m.Stats().Allocs == 0 {
+		t.Fatal("stats")
+	}
+}

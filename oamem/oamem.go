@@ -1,0 +1,158 @@
+// Package oamem is the public API of this repository: lock-free ordered
+// sets (linked list, hash set, skip list) with pluggable safe-memory-
+// reclamation, centered on the optimistic access scheme of Cohen & Petrank
+// ("Efficient Memory Management for Lock-Free Data Structures with
+// Optimistic Access", SPAA 2015).
+//
+// # Quick start
+//
+//	set, err := oamem.NewHashSet(oamem.OA, oamem.Options{Threads: 8, Capacity: 1 << 20}, 1<<16)
+//	if err != nil { ... }
+//	s := set.Session(0) // one session per goroutine, by thread id
+//	s.Insert(42)
+//	s.Contains(42)
+//	s.Delete(42)
+//
+// Sessions are not goroutine-safe; create one per worker with a distinct
+// thread id below Options.Threads. All structures are linearizable sets of
+// uint64 keys and are lock-free under every scheme except EBR (whose
+// reclamation — not its operations — can be stalled by a preempted thread).
+//
+// Beyond the paper's sets, the package provides NewQueue (Michael-Scott
+// FIFO), NewMap (uint64→uint64 hash map under OA) and NewOrderedSet (skip
+// list with ordered RangeScan) — see extensions.go.
+//
+// # Choosing a scheme
+//
+//   - OA: the paper's contribution. Near-zero read overhead (one local
+//     check per read), hazard pointers only around writes, lock-free
+//     reclamation. Requires a fixed memory Capacity (live set + slack δ).
+//   - HP: Michael's hazard pointers. Strong bounds on unreclaimed memory,
+//     but a fence per traversal hop (2x-5x slower traversals).
+//   - EBR: epoch-based reclamation. Fast, but a single stalled thread
+//     stops reclamation; memory use is unbounded under stalls.
+//   - Anchors: amortized hazard pointers for linked lists (one fence per K
+//     hops); see internal/anchors for this implementation's cost-model
+//     simplifications.
+//   - NoRecl: no reclamation (baseline; leaks deleted nodes).
+package oamem
+
+import (
+	"fmt"
+
+	"repro/internal/anchors"
+	"repro/internal/core"
+	"repro/internal/ebr"
+	"repro/internal/hashtable"
+	"repro/internal/hpscheme"
+	"repro/internal/list"
+	"repro/internal/norecl"
+	"repro/internal/skiplist"
+	"repro/internal/smr"
+)
+
+// Scheme selects the memory reclamation scheme.
+type Scheme = smr.Scheme
+
+// Re-exported scheme constants.
+const (
+	NoRecl  = smr.NoRecl
+	OA      = smr.OA
+	HP      = smr.HP
+	EBR     = smr.EBR
+	Anchors = smr.Anchors
+)
+
+// Set is a concurrent set of uint64 keys; Session binds it to one worker.
+type Set = smr.Set
+
+// Session is the per-goroutine handle of a Set.
+type Session = smr.Session
+
+// Stats aggregates reclamation counters.
+type Stats = smr.Stats
+
+// Options sizes a structure.
+type Options struct {
+	// Threads is the maximum number of concurrent sessions (thread ids
+	// 0..Threads-1). Fixed at construction.
+	Threads int
+	// Capacity is the node budget. For OA this is a hard limit: size it
+	// as the peak live set plus a reclamation slack δ (the paper uses
+	// δ ≈ 8,000-50,000; more δ means fewer reclamation phases). Other
+	// schemes grow past it on demand.
+	Capacity int
+	// LocalPool is the per-thread transfer block size, 1..126
+	// (126 default, the paper's choice).
+	LocalPool int
+	// ScanThreshold tunes HP (retires per scan) and Anchors; EBR uses
+	// 10× this as its operations-per-scan. Zero picks scheme defaults.
+	ScanThreshold int
+	// AnchorsK is the anchors scheme's fence amortization distance
+	// (1000 default, as in the paper).
+	AnchorsK int
+}
+
+func (o Options) threads() int {
+	if o.Threads <= 0 {
+		return 1
+	}
+	return o.Threads
+}
+
+// NewList builds a sorted linked-list set (Harris-Michael) under the given
+// scheme. Best for small sets; operations are O(n).
+func NewList(scheme Scheme, o Options) (Set, error) {
+	switch scheme {
+	case NoRecl:
+		return list.NewNoRecl(norecl.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}), nil
+	case OA:
+		return list.NewOA(core.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}), nil
+	case HP:
+		return list.NewHP(hpscheme.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, ScanThreshold: o.ScanThreshold}), nil
+	case EBR:
+		return list.NewEBR(ebr.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, OpsPerScan: 10 * o.ScanThreshold}), nil
+	case Anchors:
+		return list.NewAnchors(anchors.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, ScanThreshold: o.ScanThreshold, K: o.AnchorsK}), nil
+	default:
+		return nil, fmt.Errorf("oamem: unknown scheme %v", scheme)
+	}
+}
+
+// NewHashSet builds a hash set (Michael's lock-free hash table, load
+// factor 0.75) sized for expected elements. O(1) operations.
+func NewHashSet(scheme Scheme, o Options, expected int) (Set, error) {
+	switch scheme {
+	case NoRecl:
+		return hashtable.NewNoRecl(norecl.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}, expected), nil
+	case OA:
+		return hashtable.NewOA(core.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}, expected), nil
+	case HP:
+		return hashtable.NewHP(hpscheme.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, ScanThreshold: o.ScanThreshold}, expected), nil
+	case EBR:
+		return hashtable.NewEBR(ebr.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, OpsPerScan: 10 * o.ScanThreshold}, expected), nil
+	case Anchors:
+		return nil, fmt.Errorf("oamem: anchors is implemented for the linked list only (as in the paper)")
+	default:
+		return nil, fmt.Errorf("oamem: unknown scheme %v", scheme)
+	}
+}
+
+// NewSkipListSet builds a skip-list set (Herlihy-Shavit). O(log n)
+// operations over an ordered key space.
+func NewSkipListSet(scheme Scheme, o Options) (Set, error) {
+	switch scheme {
+	case NoRecl:
+		return skiplist.NewNoRecl(norecl.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}), nil
+	case OA:
+		return skiplist.NewOA(core.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}), nil
+	case HP:
+		return skiplist.NewHP(hpscheme.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, ScanThreshold: o.ScanThreshold}), nil
+	case EBR:
+		return skiplist.NewEBR(ebr.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, OpsPerScan: 10 * o.ScanThreshold}), nil
+	case Anchors:
+		return nil, fmt.Errorf("oamem: anchors is implemented for the linked list only (as in the paper)")
+	default:
+		return nil, fmt.Errorf("oamem: unknown scheme %v", scheme)
+	}
+}

@@ -1,0 +1,100 @@
+package oamem_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/oamem"
+)
+
+func constructors() map[string]func(oamem.Scheme) (oamem.Set, error) {
+	opt := oamem.Options{Threads: 4, Capacity: 1 << 14}
+	return map[string]func(oamem.Scheme) (oamem.Set, error){
+		"List":     func(s oamem.Scheme) (oamem.Set, error) { return oamem.NewList(s, opt) },
+		"HashSet":  func(s oamem.Scheme) (oamem.Set, error) { return oamem.NewHashSet(s, opt, 1024) },
+		"SkipList": func(s oamem.Scheme) (oamem.Set, error) { return oamem.NewSkipListSet(s, opt) },
+	}
+}
+
+func TestAllConstructors(t *testing.T) {
+	for name, mk := range constructors() {
+		for _, scheme := range []oamem.Scheme{oamem.NoRecl, oamem.OA, oamem.HP, oamem.EBR} {
+			set, err := mk(scheme)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, scheme, err)
+			}
+			s := set.Session(0)
+			if !s.Insert(7) || !s.Contains(7) || s.Insert(7) || !s.Delete(7) || s.Contains(7) {
+				t.Fatalf("%s/%v: set semantics broken", name, scheme)
+			}
+			if set.Scheme() != scheme {
+				t.Fatalf("%s/%v: reports scheme %v", name, scheme, set.Scheme())
+			}
+		}
+	}
+}
+
+func TestAnchorsListOnly(t *testing.T) {
+	opt := oamem.Options{Threads: 2, Capacity: 4096}
+	if _, err := oamem.NewList(oamem.Anchors, opt); err != nil {
+		t.Fatalf("anchors list: %v", err)
+	}
+	if _, err := oamem.NewHashSet(oamem.Anchors, opt, 128); err == nil {
+		t.Fatal("anchors hash set must be rejected")
+	}
+	if _, err := oamem.NewSkipListSet(oamem.Anchors, opt); err == nil {
+		t.Fatal("anchors skip list must be rejected")
+	}
+}
+
+func TestUnknownScheme(t *testing.T) {
+	opt := oamem.Options{Threads: 1, Capacity: 1024}
+	if _, err := oamem.NewList(oamem.Scheme(99), opt); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+	if _, err := oamem.NewHashSet(oamem.Scheme(99), opt, 16); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+	if _, err := oamem.NewSkipListSet(oamem.Scheme(99), opt); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func TestConcurrentSessionsThroughPublicAPI(t *testing.T) {
+	set, err := oamem.NewHashSet(oamem.OA, oamem.Options{Threads: 4, Capacity: 1 << 14}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := set.Session(id)
+			base := uint64(id) << 32
+			for i := uint64(1); i <= 2000; i++ {
+				k := base + i
+				if !s.Insert(k) {
+					t.Errorf("insert %d", k)
+					return
+				}
+				if !s.Delete(k) {
+					t.Errorf("delete %d", k)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if set.Stats().Allocs == 0 {
+		t.Fatal("stats not plumbed")
+	}
+}
+
+func TestStatsTypeAlias(t *testing.T) {
+	var s oamem.Stats
+	s.Add(oamem.Stats{Allocs: 2})
+	if s.Allocs != 2 {
+		t.Fatal("Stats alias broken")
+	}
+}

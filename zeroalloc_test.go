@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kvmap"
+	"repro/internal/list"
+	"repro/internal/queue"
+	"repro/internal/skiplist"
+)
+
+// The data-structure hot paths must not allocate Go heap memory: all node
+// storage comes from the arena, descriptor lists live on the stack, and
+// the only allowed allocation is inside (rare) Recycling calls, whose
+// hazard-pointer snapshot reuses a scratch map. A steady-state operation
+// therefore performs zero allocations — checked here, because a stray
+// escape would silently put Go's GC back into the benchmark loop the
+// paper's scheme exists to avoid.
+func TestSteadyStateOpsDoNotAllocate(t *testing.T) {
+	const capacity = 1 << 14
+
+	t.Run("ListOA", func(t *testing.T) {
+		l := list.NewOA(core.Config{MaxThreads: 1, Capacity: capacity})
+		s := l.Session(0)
+		for k := uint64(1); k <= 512; k++ {
+			s.Insert(k)
+		}
+		k := uint64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			k++
+			s.Contains(k%512 + 1)
+			s.Insert(k%512 + 600)
+			s.Delete(k%512 + 600)
+		}); avg > 0.05 {
+			t.Fatalf("list ops allocate %.2f objects/op", avg)
+		}
+	})
+
+	t.Run("SkipListOA", func(t *testing.T) {
+		sl := skiplist.NewOA(core.Config{MaxThreads: 1, Capacity: capacity})
+		s := sl.Session(0)
+		for k := uint64(1); k <= 512; k++ {
+			s.Insert(k)
+		}
+		k := uint64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			k++
+			s.Contains(k%512 + 1)
+			s.Insert(k%512 + 600)
+			s.Delete(k%512 + 600)
+		}); avg > 0.05 {
+			t.Fatalf("skip list ops allocate %.2f objects/op", avg)
+		}
+	})
+
+	t.Run("MapOA", func(t *testing.T) {
+		m := kvmap.New(core.Config{MaxThreads: 1, Capacity: capacity}, 512)
+		s := m.Session(0)
+		k := uint64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			k++
+			s.Put(k%512+1, k)
+			s.Get(k%512 + 1)
+			s.Remove(k%512 + 1)
+		}); avg > 0.05 {
+			t.Fatalf("map ops allocate %.2f objects/op", avg)
+		}
+	})
+
+	t.Run("QueueOA", func(t *testing.T) {
+		q := queue.NewOA(core.Config{MaxThreads: 1, Capacity: capacity})
+		s := q.QueueSession(0)
+		k := uint64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			k++
+			s.Enqueue(k)
+			s.Dequeue()
+		}); avg > 0.05 {
+			t.Fatalf("queue ops allocate %.2f objects/op", avg)
+		}
+	})
+}
