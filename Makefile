@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race cover fuzz bench experiments stress clean
+.PHONY: all ci build test race cover fuzz bench benchjson experiments stress clean
 
 all: build test
+
+# Everything a merge gate needs: compile+vet, tests, race detector.
+ci: build test race
 
 build:
 	$(GO) build ./...
@@ -28,6 +31,19 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable Figure 1 snapshot for cross-commit perf tracking. The
+# note pins the pre-fast-path seed numbers this file is diffed against.
+BASELINE_NOTE = baseline (seed, pre fast-path PR, same 1-vCPU host, 100ms x2): \
+NoRecl Mops/s LL5K 0.052 LL128 2.48 Hash 22.2 SkipList 2.6; \
+OA ratio LL5K 0.98-1.01 LL128 0.97-1.00 Hash 0.85-0.88 SkipList 0.89-0.96; \
+HP 0.29-0.33/0.24-0.26/0.60-0.62/0.35-0.37; \
+EBR 0.79-1.02/0.97-1.00/0.77-0.84/0.86-0.98; \
+Anchors LL5K 0.94-0.98 LL128 0.85-0.87
+
+benchjson:
+	$(GO) run ./cmd/oabench -experiment fig1 -duration 100ms -reps 2 \
+		-json BENCH_1.json -notes "$(BASELINE_NOTE)"
 
 # Full figure regeneration (paper settings: -duration 1s -reps 20).
 experiments:

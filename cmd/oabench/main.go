@@ -35,6 +35,8 @@ type options struct {
 	threads    []int
 	delta      int
 	quick      bool
+	jsonPath   string
+	notes      string
 }
 
 func main() {
@@ -48,6 +50,9 @@ func main() {
 	flag.StringVar(&threadsFlag, "threads", "1,2,4,8,16,32,64", "thread counts to sweep")
 	flag.IntVar(&o.delta, "delta", 50000, "δ: allocations between reclamation phases (Figure 1 default)")
 	flag.BoolVar(&o.quick, "quick", false, "tiny sweep for smoke testing")
+	flag.StringVar(&o.jsonPath, "json", "",
+		"also write the figure-family results as JSON to this file")
+	flag.StringVar(&o.notes, "notes", "", "free-form note embedded in the JSON report")
 	flag.Parse()
 
 	for _, part := range strings.Split(threadsFlag, ",") {
@@ -67,19 +72,29 @@ func main() {
 	fmt.Printf("# oabench: GOMAXPROCS=%d, duration=%v, reps=%d, δ=%d\n\n",
 		runtime.GOMAXPROCS(0), o.duration, o.reps, o.delta)
 
+	var rep *Report
+	if o.jsonPath != "" {
+		rep = newReport(o, o.notes)
+	}
+	record := func(f Figure) {
+		if rep != nil {
+			rep.Figures = append(rep.Figures, f)
+		}
+	}
+
 	switch o.experiment {
 	case "fig1":
-		figureSweep(o, "Figure 1: throughput ratio vs NoRecl (80% reads)", 0.8, false, 64)
+		record(figureSweep(o, "fig1", "Figure 1: throughput ratio vs NoRecl (80% reads)", 0.8, false, 64))
 	case "fig4":
-		figureSweep(o, "Figure 4: absolute throughput in Mops/s (80% reads)", 0.8, true, 64)
+		record(figureSweep(o, "fig4", "Figure 4: absolute throughput in Mops/s (80% reads)", 0.8, true, 64))
 	case "fig5":
-		figureSweep(o, "Figure 5: second-platform ratios (sweep capped at 32 threads)", 0.8, false, 32)
+		record(figureSweep(o, "fig5", "Figure 5: second-platform ratios (sweep capped at 32 threads)", 0.8, false, 32))
 	case "fig6":
-		figureSweep(o, "Figure 6: second-platform absolute throughput (capped at 32)", 0.8, true, 32)
+		record(figureSweep(o, "fig6", "Figure 6: second-platform absolute throughput (capped at 32)", 0.8, true, 32))
 	case "fig7":
-		figureSweep(o, "Figure 7: ratios at 40% mutation (60% reads)", 0.6, false, 64)
+		record(figureSweep(o, "fig7", "Figure 7: ratios at 40% mutation (60% reads)", 0.6, false, 64))
 	case "fig8":
-		figureSweep(o, "Figure 8: ratios at 2/3 mutation (1/3 reads)", 1.0/3.0, false, 64)
+		record(figureSweep(o, "fig8", "Figure 8: ratios at 2/3 mutation (1/3 reads)", 1.0/3.0, false, 64))
 	case "fig2":
 		fig2(o)
 	case "fig3":
@@ -102,19 +117,31 @@ func main() {
 		zipf(o)
 		pauses(o)
 	case "all":
-		figureSweep(o, "Figure 1: throughput ratio vs NoRecl (80% reads)", 0.8, false, 64)
+		record(figureSweep(o, "fig1", "Figure 1: throughput ratio vs NoRecl (80% reads)", 0.8, false, 64))
 		fig2(o)
 		fig3(o)
-		figureSweep(o, "Figure 4: absolute throughput in Mops/s (80% reads)", 0.8, true, 64)
-		figureSweep(o, "Figure 5: second-platform ratios (capped at 32 threads)", 0.8, false, 32)
-		figureSweep(o, "Figure 6: second-platform absolute throughput (capped at 32)", 0.8, true, 32)
-		figureSweep(o, "Figure 7: ratios at 40% mutation (60% reads)", 0.6, false, 64)
-		figureSweep(o, "Figure 8: ratios at 2/3 mutation (1/3 reads)", 1.0/3.0, false, 64)
+		record(figureSweep(o, "fig4", "Figure 4: absolute throughput in Mops/s (80% reads)", 0.8, true, 64))
+		record(figureSweep(o, "fig5", "Figure 5: second-platform ratios (capped at 32 threads)", 0.8, false, 32))
+		record(figureSweep(o, "fig6", "Figure 6: second-platform absolute throughput (capped at 32)", 0.8, true, 32))
+		record(figureSweep(o, "fig7", "Figure 7: ratios at 40% mutation (60% reads)", 0.6, false, 64))
+		record(figureSweep(o, "fig8", "Figure 8: ratios at 2/3 mutation (1/3 reads)", 1.0/3.0, false, 64))
 		sanity(o)
 		ablation(o)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", o.experiment)
 		os.Exit(2)
+	}
+
+	if rep != nil {
+		if len(rep.Figures) == 0 {
+			fmt.Fprintf(os.Stderr,
+				"-json: experiment %q records no figure tables; nothing written\n", o.experiment)
+			os.Exit(2)
+		}
+		if err := rep.write(o.jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "-json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -139,14 +166,18 @@ func measure(o options, st harness.Structure, sc smr.Scheme, threads int,
 }
 
 // figureSweep renders the Figure 1/4/5/6/7/8 family: per structure, a
-// threads × schemes table of ratios (or Mops when absolute).
-func figureSweep(o options, title string, readFraction float64, absolute bool, capThreads int) {
+// threads × schemes table of ratios (or Mops when absolute). Every cell is
+// also recorded — with both Mops and ratio, regardless of which the table
+// printed — into the returned Figure for the -json report.
+func figureSweep(o options, name, title string, readFraction float64, absolute bool, capThreads int) Figure {
+	fig := Figure{Name: name, Title: title, ReadFraction: readFraction}
 	fmt.Printf("== %s ==\n", title)
 	for _, st := range harness.Structures {
 		schemes := []smr.Scheme{smr.OA, smr.HP, smr.EBR}
 		if st.Supports(smr.Anchors) {
 			schemes = append(schemes, smr.Anchors)
 		}
+		sr := StructureResult{Structure: string(st)}
 		fmt.Printf("\n-- %s --\n", st)
 		fmt.Printf("%8s %10s", "threads", "NoRecl")
 		for _, sc := range schemes {
@@ -158,9 +189,17 @@ func figureSweep(o options, title string, readFraction float64, absolute bool, c
 				continue
 			}
 			base := measure(o, st, smr.NoRecl, n, readFraction, o.delta, 126, false)
+			row := Row{Threads: n, NoReclMops: base}
 			fmt.Printf("%8d %10.3f", n, base)
 			for _, sc := range schemes {
 				v := measure(o, st, sc, n, readFraction, o.delta, 126, false)
+				ratio := 0.0
+				if base > 0 {
+					ratio = v / base
+				}
+				row.Schemes = append(row.Schemes, SchemeCell{
+					Scheme: sc.String(), Mops: v, RatioVsNoRecl: ratio,
+				})
 				if absolute {
 					fmt.Printf(" %10.3f", v)
 				} else {
@@ -168,14 +207,17 @@ func figureSweep(o options, title string, readFraction float64, absolute bool, c
 				}
 			}
 			fmt.Println()
+			sr.Rows = append(sr.Rows, row)
 		}
 		if absolute {
 			fmt.Println("   (all columns in Mops/s)")
 		} else {
 			fmt.Println("   (NoRecl column in Mops/s; scheme columns are throughput ratios)")
 		}
+		fig.Structures = append(fig.Structures, sr)
 	}
 	fmt.Println()
+	return fig
 }
 
 // fig2 sweeps the local pool size at 32 threads, phase every ~16,000

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable mirror of the figure tables oabench
+// prints. Tracking tools diff these files across commits, so every cell
+// carries both the absolute throughput and the ratio against the NoRecl
+// baseline measured in the same row — the paper's headline metric.
+type Report struct {
+	// Generated is the RFC 3339 wall-clock time of the run.
+	Generated string `json:"generated"`
+	// GoMaxProcs, Duration, Reps and Delta pin the run configuration the
+	// numbers were collected under.
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Duration   string `json:"duration"`
+	Reps       int    `json:"reps"`
+	Delta      int    `json:"delta"`
+	// Notes carries free-form context, e.g. the pre-change baseline the
+	// run is meant to be compared against.
+	Notes   string   `json:"notes,omitempty"`
+	Figures []Figure `json:"figures"`
+}
+
+// Figure is one figure-family sweep (fig1, fig4, ...).
+type Figure struct {
+	Name         string            `json:"name"`
+	Title        string            `json:"title"`
+	ReadFraction float64           `json:"read_fraction"`
+	Structures   []StructureResult `json:"structures"`
+}
+
+// StructureResult is the per-structure threads × schemes table.
+type StructureResult struct {
+	Structure string `json:"structure"`
+	Rows      []Row  `json:"rows"`
+}
+
+// Row is one thread count: the NoRecl baseline plus every scheme cell.
+type Row struct {
+	Threads    int          `json:"threads"`
+	NoReclMops float64      `json:"norecl_mops"`
+	Schemes    []SchemeCell `json:"schemes"`
+}
+
+// SchemeCell is one (scheme, threads) measurement.
+type SchemeCell struct {
+	Scheme        string  `json:"scheme"`
+	Mops          float64 `json:"mops"`
+	RatioVsNoRecl float64 `json:"ratio_vs_norecl"`
+}
+
+// newReport snapshots the run configuration.
+func newReport(o options, notes string) *Report {
+	return &Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Duration:   o.duration.String(),
+		Reps:       o.reps,
+		Delta:      o.delta,
+		Notes:      notes,
+	}
+}
+
+// write emits the report as indented JSON at path.
+func (r *Report) write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s (%d figures)\n", path, len(r.Figures))
+	return nil
+}

@@ -83,6 +83,10 @@ type Manager[T any] struct {
 	// retired entries owned by the scan lock holder.
 	retired []retiredSlot
 	retMu   sync.Mutex // guards handoff of thread buffers into retired
+
+	// protected is the reclaimer's reusable sorted anchored-segment set;
+	// only the scanMu holder touches it.
+	protected smr.SlotSet
 }
 
 type retiredSlot struct {
@@ -101,7 +105,7 @@ func NewManager[T any](cfg Config, reset func(*T), succ Succ) *Manager[T] {
 	}
 	m.threads = make([]*Thread[T], cfg.MaxThreads)
 	for i := range m.threads {
-		m.threads[i] = &Thread[T]{mgr: m, id: i, k: cfg.K}
+		m.threads[i] = &Thread[T]{mgr: m, id: i, k: cfg.K, view: m.pool.Arena().View()}
 	}
 	return m
 }
@@ -144,6 +148,7 @@ type Thread[T any] struct {
 
 	buf   []retiredSlot
 	local alloc.Local
+	view  arena.View[T] // chunk-directory snapshot: atomic-free Node
 
 	allocs    uint64
 	retires   uint64
@@ -158,8 +163,9 @@ type Thread[T any] struct {
 // ID returns the thread index.
 func (t *Thread[T]) ID() int { return t.id }
 
-// Node dereferences a slot handle.
-func (t *Thread[T]) Node(slot uint32) *T { return t.mgr.pool.Arena().At(slot) }
+// Node dereferences a slot handle. The lookup goes through the thread's
+// directory view: two plain loads, no atomics.
+func (t *Thread[T]) Node(slot uint32) *T { return t.view.At(slot) }
 
 // OnOpStart announces the current era and resets the anchor budget; the
 // first anchor of the traversal is published by the structure on the list
@@ -228,8 +234,11 @@ func (t *Thread[T]) Scan() {
 	t.scans++
 	era := m.era.Add(1)
 
-	// Protected set 1: nodes within K hops of any anchor.
-	protected := make(map[uint32]struct{}, m.cfg.MaxThreads*4)
+	// Protected set 1: nodes within K hops of any anchor, collected into
+	// the reusable sorted set (the batch below probes it once per retired
+	// slot, so binary search beats map hashing).
+	protected := &m.protected
+	protected.Reset()
 	for _, other := range m.threads {
 		a := other.anchor.Load()
 		if a == 0 {
@@ -237,10 +246,11 @@ func (t *Thread[T]) Scan() {
 		}
 		p := arena.MakePtr(uint32(a - 1))
 		for hop := 0; hop <= m.cfg.K && !p.IsNil(); hop++ {
-			protected[p.Unmark().Slot()] = struct{}{}
+			protected.Add(p.Unmark().Slot())
 			p = m.succ(p.Unmark().Slot())
 		}
 	}
+	protected.Seal()
 	// Condition 2: a node is freeable only when retired before every
 	// currently running operation's era (grace period).
 	minEra := era
@@ -258,7 +268,7 @@ func (t *Thread[T]) Scan() {
 
 	kept := batch[:0]
 	for _, r := range batch {
-		_, anchored := protected[r.slot]
+		anchored := protected.Contains(r.slot)
 		if !anchored && r.era < minEra {
 			m.pool.Free(&t.local, r.slot)
 			t.recycled++

@@ -1,0 +1,73 @@
+package arena
+
+// View is a per-thread snapshot of the arena's chunk directory (and of the
+// parallel generation-counter directory). It exists to take the atomic
+// table load off the node-dereference hot path: Arena.At pays one atomic
+// load plus a double indirection per call, which is exactly the kind of
+// per-read overhead the optimistic access scheme is designed to avoid.
+//
+// A stale snapshot is always safe to dereference. The chunk table is
+// copy-on-write and grow-only, and published chunks are never moved or
+// freed (Assumption 3.1 of the paper), so a snapshot simply covers a
+// prefix of the slot space. When a slot index falls beyond the snapshot's
+// capacity the view re-loads the directory — one atomic load amortized
+// over growth events, which cease once the arena reaches its steady-state
+// size. A slot handle can only be obtained after the growth that backs it
+// was published (Reserve publishes the table before the slot index), and
+// handles travel between threads through sequentially consistent node
+// words, so a refresh triggered by an out-of-range slot always observes a
+// table that covers it.
+//
+// A View must be used by a single goroutine at a time, like the scheme
+// thread contexts that embed it.
+type View[T any] struct {
+	src   *Arena[T]
+	table []*[ChunkSize]T
+	gens  []*genChunk
+}
+
+// View returns a snapshot of the arena's current directories.
+func (a *Arena[T]) View() View[T] {
+	return View[T]{src: a, table: *a.table.Load(), gens: *a.gens.Load()}
+}
+
+// refresh re-snapshots both directories from the arena.
+func (v *View[T]) refresh() {
+	v.table = *v.src.table.Load()
+	v.gens = *v.src.gens.Load()
+}
+
+// At returns the node stored in slot, like Arena.At, but with zero atomic
+// loads on the fast path.
+func (v *View[T]) At(slot uint32) *T {
+	c := slot >> ChunkShift
+	if c >= uint32(len(v.table)) {
+		v.refresh()
+	}
+	return &v.table[c][slot&chunkMask]
+}
+
+// Gen returns the generation counter of slot, like Arena.Gen.
+func (v *View[T]) Gen(slot uint32) uint32 {
+	c := slot >> ChunkShift
+	if c >= uint32(len(v.gens)) {
+		v.refresh()
+	}
+	return v.gens[c][slot&chunkMask].Load()
+}
+
+// BumpGen increments the generation counter of slot, like Arena.BumpGen.
+func (v *View[T]) BumpGen(slot uint32) {
+	c := slot >> ChunkShift
+	if c >= uint32(len(v.gens)) {
+		v.refresh()
+	}
+	v.gens[c][slot&chunkMask].Add(1)
+}
+
+// Cap returns the number of slots covered by the snapshot without a
+// refresh.
+func (v *View[T]) Cap() uint32 { return uint32(len(v.table)) << ChunkShift }
+
+// Arena returns the arena the view snapshots.
+func (v *View[T]) Arena() *Arena[T] { return v.src }

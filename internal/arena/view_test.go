@@ -1,0 +1,179 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+// A view taken before growth must (a) serve slots it covers without
+// refreshing, (b) transparently refresh for slots published later, and
+// (c) return pointers identical to Arena.At.
+func TestViewSeesGrowth(t *testing.T) {
+	a := New[testNode](ChunkSize)
+	v := a.View()
+	base := a.Reserve(8)
+	for i := uint32(0); i < 8; i++ {
+		a.At(base + i).key = uint64(100 + i)
+	}
+	for i := uint32(0); i < 8; i++ {
+		if v.At(base+i) != a.At(base+i) {
+			t.Fatalf("slot %d: view and arena disagree on address", base+i)
+		}
+		if got := v.At(base + i).key; got != uint64(100+i) {
+			t.Fatalf("slot %d: key = %d", base+i, got)
+		}
+	}
+	if v.Cap() != ChunkSize {
+		t.Fatalf("Cap = %d, want %d", v.Cap(), ChunkSize)
+	}
+
+	// Force growth past the snapshot; the stale view must refresh.
+	grown := a.Reserve(3 * ChunkSize)
+	far := grown + 2*ChunkSize + 17
+	a.At(far).key = 777
+	if got := v.At(far).key; got != 777 {
+		t.Fatalf("stale view read %d after growth, want 777", got)
+	}
+	if v.Cap() < far {
+		t.Fatalf("view did not refresh: Cap = %d <= slot %d", v.Cap(), far)
+	}
+	if v.Arena() != a {
+		t.Fatal("view lost its arena")
+	}
+}
+
+func TestViewGens(t *testing.T) {
+	a := New[testNode](ChunkSize)
+	v := a.View()
+	base := a.Reserve(4)
+	if g := v.Gen(base); g != 0 {
+		t.Fatalf("fresh gen = %d", g)
+	}
+	v.BumpGen(base)
+	a.BumpGen(base)
+	if got := v.Gen(base); got != 2 {
+		t.Fatalf("gen = %d after view+arena bump, want 2 (shared counter)", got)
+	}
+	// Gen access beyond the snapshot refreshes too.
+	grown := a.Reserve(2 * ChunkSize)
+	v2 := v // stale copy
+	v2.BumpGen(grown + ChunkSize + 5)
+	if got := a.Gen(grown + ChunkSize + 5); got != 1 {
+		t.Fatalf("gen = %d after stale-view bump, want 1", got)
+	}
+}
+
+// Stale views on many goroutines must converge on slots published by a
+// concurrently growing arena (exercised under -race).
+func TestViewConcurrentGrowth(t *testing.T) {
+	a := New[testNode](ChunkSize)
+	const workers = 4
+	const rounds = 64
+	slots := make(chan uint32, workers*rounds)
+	var wg sync.WaitGroup
+	wg.Add(workers + 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < workers*rounds; i++ {
+			s := a.Reserve(ChunkSize / 2)
+			a.At(s).key = uint64(s) + 1
+			slots <- s
+		}
+		close(slots)
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			v := a.View()
+			for s := range slots {
+				if got := v.At(s).key; got != uint64(s)+1 {
+					t.Errorf("slot %d: key = %d, want %d", s, got, uint64(s)+1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// The benchmark contexts replicate the exact before/after shape of the
+// scheme threads' Node method: the old path chases thread → manager →
+// arena and pays the atomic table load on every dereference; the new path
+// reads the directory snapshot embedded in the thread itself.
+type benchMgr struct{ nodes *Arena[testNode] }
+
+type benchThreadAtomic struct{ mgr *benchMgr }
+
+func (t *benchThreadAtomic) Node(slot uint32) *testNode { return t.mgr.nodes.At(slot) }
+
+type benchThreadView struct{ view View[testNode] }
+
+func (t *benchThreadView) Node(slot uint32) *testNode { return t.view.At(slot) }
+
+// BenchmarkArenaAt compares the two Thread.Node implementations on the
+// hottest operation in the repository — one hop of a traversal. "Walk"
+// chases next links through a shuffled cycle (dependent loads, list-like);
+// "Sum" touches independent slots (throughput-bound, hash-bucket-like).
+func BenchmarkArenaAt(b *testing.B) {
+	const n = 1 << 12 // cache-resident: isolates dereference cost from DRAM
+	const mask = n - 1
+	a := New[testNode](n)
+	base := a.Reserve(n)
+	// next links form one shuffled cycle through all n slots.
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	rng := splitmix(12345)
+	for i := n - 1; i > 0; i-- {
+		j := rng.next() % uint64(i+1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := range perm {
+		a.At(base + perm[i]).next = uint64(base + perm[(i+1)%n])
+	}
+
+	atomicTh := &benchThreadAtomic{mgr: &benchMgr{nodes: a}}
+	viewTh := &benchThreadView{view: a.View()}
+
+	b.Run("Walk/Atomic", func(b *testing.B) {
+		slot := base
+		for i := 0; i < b.N; i++ {
+			slot = uint32(atomicTh.Node(slot).next)
+		}
+		sinkHole = uint64(slot)
+	})
+	b.Run("Walk/View", func(b *testing.B) {
+		slot := base
+		for i := 0; i < b.N; i++ {
+			slot = uint32(viewTh.Node(slot).next)
+		}
+		sinkHole = uint64(slot)
+	})
+	b.Run("Sum/Atomic", func(b *testing.B) {
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink += atomicTh.Node(base + uint32(i)&mask).key
+		}
+		sinkHole = sink
+	})
+	b.Run("Sum/View", func(b *testing.B) {
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink += viewTh.Node(base + uint32(i)&mask).key
+		}
+		sinkHole = sink
+	})
+}
+
+type splitmix uint64
+
+func (s *splitmix) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+var sinkHole uint64

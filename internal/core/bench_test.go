@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkHPSnapshot compares the sorted-array hazard-pointer snapshot
+// that Recycling now uses with the map-based one it replaced: build the
+// snapshot from every thread's published hazard pointers, then answer one
+// membership probe per (simulated) retired slot — the exact work profile
+// of drain. The sorted array must win at ≥ 64 hazard pointers.
+func BenchmarkHPSnapshot(b *testing.B) {
+	const probes = 1024
+	for _, threads := range []int{4, 16, 64} {
+		const hpsPerThread = 8 // WriteHPs + 5 owner HPs
+		totalHPs := threads * hpsPerThread
+		m := NewManager[node](Config{
+			MaxThreads: threads, Capacity: 1 << 14, OwnerHPs: hpsPerThread - WriteHPs,
+		}, resetNode)
+		for ti, th := range m.threads {
+			for i := range th.hps {
+				th.hps[i].Store(uint64(ti*131+i*17) + 1)
+			}
+		}
+		t0 := m.threads[0]
+
+		b.Run(fmt.Sprintf("sorted/hps=%d", totalHPs), func(b *testing.B) {
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				hp := t0.snapshotHPs()
+				for p := uint32(0); p < probes; p++ {
+					if hp.Contains(p * 7) {
+						hits++
+					}
+				}
+			}
+			sinkInt = hits
+		})
+		b.Run(fmt.Sprintf("map/hps=%d", totalHPs), func(b *testing.B) {
+			scratch := make(map[uint32]struct{}, totalHPs)
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				clear(scratch)
+				for _, other := range m.threads {
+					for j := range other.hps {
+						if w := other.hps[j].Load(); w != 0 {
+							scratch[uint32(w-1)] = struct{}{}
+						}
+					}
+				}
+				for p := uint32(0); p < probes; p++ {
+					if _, ok := scratch[p*7]; ok {
+						hits++
+					}
+				}
+			}
+			sinkInt = hits
+		})
+	}
+}
+
+// BenchmarkRecyclingDrain measures the full retire → phase swap → drain
+// pipeline on one thread: per iteration it retires four blocks' worth of
+// slots and runs the phases needed to recycle them, exercising the hoisted
+// block pointers, the gens-view BumpGen and the sorted snapshot probe.
+func BenchmarkRecyclingDrain(b *testing.B) {
+	const localPool = 126
+	m := NewManager[node](Config{
+		MaxThreads: 4, Capacity: 1 << 14, LocalPool: localPool, OwnerHPs: 5,
+	}, resetNode)
+	// Publish hazard pointers on the other threads so drain exercises both
+	// the protected and unprotected routes.
+	for _, th := range m.threads[1:] {
+		for i := range th.hps {
+			th.hps[i].Store(uint64(i*localPool) + 1)
+		}
+	}
+	t0 := m.Thread(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4*localPool; j++ {
+			t0.Retire(t0.Alloc())
+		}
+		t0.FlushRetired()
+		t0.Recycling()
+		t0.Recycling()
+	}
+	b.ReportMetric(float64(4*localPool), "slots/op")
+}
+
+var sinkInt int

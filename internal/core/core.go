@@ -158,7 +158,7 @@ func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 			hps:       make([]atomic.Uint64, WriteHPs+cfg.OwnerHPs),
 			allocBlk:  pools.NoBlock,
 			retireBlk: pools.NoBlock,
-			scratchHP: make(map[uint32]struct{}, 8*cfg.MaxThreads),
+			view:      m.nodes.View(),
 		}
 		m.threads[i] = t
 	}

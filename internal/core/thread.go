@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/pools"
+	"repro/internal/smr"
 )
 
 // Thread is the per-thread context of the optimistic access scheme. It
@@ -35,7 +36,12 @@ type Thread[T any] struct {
 	allocBlk  uint32 // current allocation block, NoBlock if none
 	retireBlk uint32 // current local retire block, NoBlock if none
 
-	scratchHP map[uint32]struct{} // reused hazard-pointer snapshot
+	// view snapshots the arena's grow-only chunk directory so the node
+	// dereference hot path (every hop of every traversal) pays zero atomic
+	// loads; see arena.View for the staleness-safety argument.
+	view arena.View[T]
+
+	scratchHP smr.SlotSet // reused sorted hazard-pointer snapshot
 
 	// Monotonic per-thread counters (single writer; read via Stats after
 	// workers quiesce).
@@ -52,8 +58,9 @@ type Thread[T any] struct {
 func (t *Thread[T]) ID() int { return t.id }
 
 // Node dereferences a slot handle. The result may alias recycled memory;
-// callers must follow every read with Check per Algorithm 1.
-func (t *Thread[T]) Node(slot uint32) *T { return t.mgr.nodes.At(slot) }
+// callers must follow every read with Check per Algorithm 1. The lookup
+// goes through the thread's directory view: two plain loads, no atomics.
+func (t *Thread[T]) Node(slot uint32) *T { return t.view.At(slot) }
 
 // Warning reports whether the warning bit is set (a recycling phase started
 // since the thread last cleared it).
@@ -146,7 +153,7 @@ func (t *Thread[T]) Alloc() uint32 {
 			b := m.ba.B(t.allocBlk)
 			if !b.Empty() {
 				slot := b.Pop()
-				m.reset(m.nodes.At(slot))
+				m.reset(t.view.At(slot))
 				t.allocs++
 				return slot
 			}
@@ -249,25 +256,32 @@ func (t *Thread[T]) Recycling() {
 }
 
 // snapshotHPs collects every thread's hazard pointers into the reusable
-// scratch set (Algorithm 6 lines 16–18; the paper also uses a hash table).
-func (t *Thread[T]) snapshotHPs() map[uint32]struct{} {
-	clear(t.scratchHP)
+// sorted scratch set (Algorithm 6 lines 16–18; the paper uses a hash
+// table, but with at most threads·HPs entries a sorted array + binary
+// search makes both the build and each drain probe cheaper).
+func (t *Thread[T]) snapshotHPs() *smr.SlotSet {
+	hp := &t.scratchHP
+	hp.Reset()
 	for _, other := range t.mgr.threads {
 		for i := range other.hps {
 			if w := other.hps[i].Load(); w != 0 {
-				t.scratchHP[uint32(w-1)] = struct{}{}
+				hp.Add(uint32(w - 1))
 			}
 		}
 	}
-	return t.scratchHP
+	hp.Seal()
+	return hp
 }
 
 // drain processes the processingPool for phase t.localVer (Algorithm 6
-// lines 20–30).
-func (t *Thread[T]) drain(hp map[uint32]struct{}) {
+// lines 20–30). The active ready/re-retire block pointers are resolved
+// once per block swap, and generation bumps go through the thread's gens
+// view, so the per-slot loop performs no block-table or chunk-table loads.
+func (t *Thread[T]) drain(hp *smr.SlotSet) {
 	m := t.mgr
 	readyBlk := pools.NoBlock
 	reBlk := pools.NoBlock
+	var readyB, reB *pools.Block
 	limit := int32(m.cfg.LocalPool)
 	for {
 		blk, st := m.process.Pop(m.ba, t.localVer)
@@ -277,29 +291,33 @@ func (t *Thread[T]) drain(hp map[uint32]struct{}) {
 		b := m.ba.B(blk)
 		for i := int32(0); i < b.N; i++ {
 			slot := b.Slots[i]
-			if _, protected := hp[slot]; protected {
+			if hp.Contains(slot) {
 				// Protected: back to the retire pool for the next phase.
 				if reBlk == pools.NoBlock {
 					reBlk = m.ba.Get()
+					reB = m.ba.B(reBlk)
 				}
-				m.ba.B(reBlk).Push(slot)
+				reB.Push(slot)
 				t.reRetired++
-				if m.ba.B(reBlk).Full(limit) {
+				if reB.Full(limit) {
 					t.pushRetireAnyPhase(reBlk)
 					reBlk = pools.NoBlock
+					reB = nil
 				}
 			} else {
 				// Unprotected: recycled. Bump the debug generation so tests
 				// can detect (HP/EBR) or account for (OA) stale accesses.
-				m.nodes.BumpGen(slot)
+				t.view.BumpGen(slot)
 				if readyBlk == pools.NoBlock {
 					readyBlk = m.ba.Get()
+					readyB = m.ba.B(readyBlk)
 				}
-				m.ba.B(readyBlk).Push(slot)
+				readyB.Push(slot)
 				t.recycled++
-				if m.ba.B(readyBlk).Full(limit) {
+				if readyB.Full(limit) {
 					m.ready.Push(m.ba, readyBlk)
 					readyBlk = pools.NoBlock
+					readyB = nil
 				}
 			}
 		}
@@ -307,14 +325,14 @@ func (t *Thread[T]) drain(hp map[uint32]struct{}) {
 		m.ba.Put(blk)
 	}
 	if readyBlk != pools.NoBlock {
-		if m.ba.B(readyBlk).Empty() {
+		if readyB.Empty() {
 			m.ba.Put(readyBlk)
 		} else {
 			m.ready.Push(m.ba, readyBlk)
 		}
 	}
 	if reBlk != pools.NoBlock {
-		if m.ba.B(reBlk).Empty() {
+		if reB.Empty() {
 			m.ba.Put(reBlk)
 		} else {
 			t.pushRetireAnyPhase(reBlk)

@@ -61,7 +61,7 @@ func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 	}
 	m.threads = make([]*Thread[T], cfg.MaxThreads)
 	for i := range m.threads {
-		m.threads[i] = &Thread[T]{mgr: m, id: i}
+		m.threads[i] = &Thread[T]{mgr: m, id: i, view: m.pool.Arena().View()}
 	}
 	return m
 }
@@ -115,6 +115,7 @@ type Thread[T any] struct {
 	state atomic.Uint64
 	limbo [3][]uint32 // retired slots by epoch % 3
 	local alloc.Local
+	view  arena.View[T] // chunk-directory snapshot: atomic-free Node
 	ops   int
 
 	allocs   uint64
@@ -128,8 +129,9 @@ type Thread[T any] struct {
 func (t *Thread[T]) ID() int { return t.id }
 
 // Node dereferences a slot handle; legal only between OnOpStart/OnOpEnd for
-// slots that were reachable when the operation started.
-func (t *Thread[T]) Node(slot uint32) *T { return t.mgr.pool.Arena().At(slot) }
+// slots that were reachable when the operation started. The lookup goes
+// through the thread's directory view: two plain loads, no atomics.
+func (t *Thread[T]) Node(slot uint32) *T { return t.view.At(slot) }
 
 // OnOpStart announces the current epoch and marks the thread active. Every
 // data-structure operation must be bracketed by OnOpStart/OnOpEnd; the

@@ -79,7 +79,7 @@ func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 			id:      i,
 			hps:     make([]atomic.Uint64, cfg.HPsPerThread),
 			retired: make([]uint32, 0, cfg.ScanThreshold+8),
-			scratch: make(map[uint32]struct{}, cfg.MaxThreads*cfg.HPsPerThread),
+			view:    m.pool.Arena().View(),
 		}
 	}
 	return m
@@ -118,7 +118,8 @@ type Thread[T any] struct {
 	hps     []atomic.Uint64 // slot+1; 0 = empty
 	retired []uint32        // local retired list awaiting scan
 	local   alloc.Local
-	scratch map[uint32]struct{}
+	view    arena.View[T] // chunk-directory snapshot: atomic-free Node
+	scratch smr.SlotSet   // reused sorted hazard-pointer snapshot
 
 	allocs    uint64
 	retires   uint64
@@ -134,8 +135,9 @@ type Thread[T any] struct {
 func (t *Thread[T]) ID() int { return t.id }
 
 // Node dereferences a slot handle. Under hazard pointers a dereference is
-// only legal while the slot is protected and validated.
-func (t *Thread[T]) Node(slot uint32) *T { return t.mgr.pool.Arena().At(slot) }
+// only legal while the slot is protected and validated. The lookup goes
+// through the thread's directory view: two plain loads, no atomics.
+func (t *Thread[T]) Node(slot uint32) *T { return t.view.At(slot) }
 
 // Protect publishes hazard pointer i on p (unmarked automatically). The
 // sequentially consistent store is the fence; the caller must validate by
@@ -179,20 +181,25 @@ func (t *Thread[T]) Retire(slot uint32) {
 }
 
 // Scan frees every locally retired slot not currently protected by any
-// thread's hazard pointer; protected slots stay buffered for the next scan.
+// thread's hazard pointer; protected slots stay buffered for the next
+// scan. Per Michael's paper the snapshot is a sorted array probed by
+// binary search — with ScanThreshold retired slots per pass, hashing each
+// probe into a map dominates the scan, sorting threads·HPs words does not.
 func (t *Thread[T]) Scan() {
 	t.scans++
-	clear(t.scratch)
+	hp := &t.scratch
+	hp.Reset()
 	for _, other := range t.mgr.threads {
 		for i := range other.hps {
 			if w := other.hps[i].Load(); w != 0 {
-				t.scratch[uint32(w-1)] = struct{}{}
+				hp.Add(uint32(w - 1))
 			}
 		}
 	}
+	hp.Seal()
 	kept := t.retired[:0]
 	for _, slot := range t.retired {
-		if _, protected := t.scratch[slot]; protected {
+		if hp.Contains(slot) {
 			kept = append(kept, slot)
 			t.reRetired++
 		} else {

@@ -2,6 +2,7 @@ package list_test
 
 import (
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -44,6 +45,12 @@ func TestOAListWarningStorm(t *testing.T) {
 	model := map[uint64]bool{}
 	rng := rand.New(rand.NewSource(31337))
 	for i := 0; i < 40000; i++ {
+		if i%512 == 0 {
+			// On a single-CPU runner the op loop can finish inside one
+			// scheduler timeslice, before the storm goroutine ever runs;
+			// yield so warnings actually land between operations.
+			runtime.Gosched()
+		}
 		k := uint64(rng.Intn(128)) + 1
 		switch rng.Intn(3) {
 		case 0:

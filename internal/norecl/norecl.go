@@ -39,7 +39,7 @@ func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 	}
 	m.threads = make([]*Thread[T], cfg.MaxThreads)
 	for i := range m.threads {
-		m.threads[i] = &Thread[T]{mgr: m, id: i}
+		m.threads[i] = &Thread[T]{mgr: m, id: i, view: m.pool.Arena().View()}
 	}
 	return m
 }
@@ -76,6 +76,7 @@ type Thread[T any] struct {
 	mgr     *Manager[T]
 	id      int
 	local   alloc.Local
+	view    arena.View[T] // chunk-directory snapshot: atomic-free Node
 	allocs  uint64
 	retires uint64
 
@@ -86,8 +87,9 @@ type Thread[T any] struct {
 func (t *Thread[T]) ID() int { return t.id }
 
 // Node dereferences a slot handle. NoRecl never recycles, so every handle
-// stays valid.
-func (t *Thread[T]) Node(slot uint32) *T { return t.mgr.pool.Arena().At(slot) }
+// stays valid. The lookup goes through the thread's directory view: two
+// plain loads, no atomics.
+func (t *Thread[T]) Node(slot uint32) *T { return t.view.At(slot) }
 
 // Alloc returns a zeroed slot.
 func (t *Thread[T]) Alloc() uint32 {

@@ -2,6 +2,7 @@ package skiplist
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -37,6 +38,12 @@ func TestOASkipListWarningStorm(t *testing.T) {
 	model := map[uint64]bool{}
 	rng := rand.New(rand.NewSource(424242))
 	for i := 0; i < 30000; i++ {
+		if i%512 == 0 {
+			// On a single-CPU runner the op loop can finish inside one
+			// scheduler timeslice, before the storm goroutine ever runs;
+			// yield so warnings actually land between operations.
+			runtime.Gosched()
+		}
 		k := uint64(rng.Intn(128)) + 1
 		switch rng.Intn(3) {
 		case 0:

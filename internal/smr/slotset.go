@@ -1,0 +1,50 @@
+package smr
+
+import "slices"
+
+// SlotSet is a reusable sorted-array set of slot indices, used by the
+// reclamation scans (OA's Recycling, HP's Scan, the anchors reclaimer) to
+// snapshot hazard pointers. Michael's hazard-pointers paper and Brown's
+// survey both organize the scan this way — collect, sort once, then answer
+// each membership probe with a binary search — because hashing every probe
+// into a map dominates scan cost once the retired list is long. The
+// backing array is retained across scans, so steady-state use allocates
+// nothing.
+//
+// Usage: Reset, Add each candidate (duplicates fine), Seal once, then any
+// number of Contains probes. A SlotSet must be used by a single goroutine
+// at a time.
+type SlotSet struct {
+	slots []uint32
+}
+
+// Reset empties the set, keeping its capacity.
+func (s *SlotSet) Reset() { s.slots = s.slots[:0] }
+
+// Add appends a candidate slot. Duplicates are removed by Seal.
+func (s *SlotSet) Add(slot uint32) { s.slots = append(s.slots, slot) }
+
+// Seal sorts the collected slots and removes duplicates, enabling
+// Contains. Sorting is in place and allocation-free.
+func (s *SlotSet) Seal() {
+	slices.Sort(s.slots)
+	s.slots = slices.Compact(s.slots)
+}
+
+// Contains reports whether slot is in the sealed set via binary search.
+func (s *SlotSet) Contains(slot uint32) bool {
+	lo, hi := 0, len(s.slots)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.slots[mid] < slot {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s.slots) && s.slots[lo] == slot
+}
+
+// Len returns the number of distinct slots after Seal (or the number of
+// pending candidates before it).
+func (s *SlotSet) Len() int { return len(s.slots) }

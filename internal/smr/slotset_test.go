@@ -1,0 +1,77 @@
+package smr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSlotSetBasic(t *testing.T) {
+	var s SlotSet
+	if s.Contains(0) {
+		t.Fatal("empty set contains 0")
+	}
+	s.Reset()
+	for _, v := range []uint32{5, 1, 9, 5, 3, 1, 1 << 30} {
+		s.Add(v)
+	}
+	s.Seal()
+	if got, want := s.Len(), 5; got != want {
+		t.Fatalf("Len = %d after dedup, want %d", got, want)
+	}
+	for _, v := range []uint32{1, 3, 5, 9, 1 << 30} {
+		if !s.Contains(v) {
+			t.Errorf("Contains(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []uint32{0, 2, 4, 8, 10, 1<<30 + 1, ^uint32(0)} {
+		if s.Contains(v) {
+			t.Errorf("Contains(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestSlotSetReuseMatchesMap(t *testing.T) {
+	var s SlotSet
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 50; round++ {
+		s.Reset()
+		ref := make(map[uint32]struct{})
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			v := uint32(rng.Intn(300))
+			s.Add(v)
+			ref[v] = struct{}{}
+		}
+		s.Seal()
+		if s.Len() != len(ref) {
+			t.Fatalf("round %d: Len = %d, map has %d", round, s.Len(), len(ref))
+		}
+		for v := uint32(0); v < 310; v++ {
+			_, want := ref[v]
+			if got := s.Contains(v); got != want {
+				t.Fatalf("round %d: Contains(%d) = %v, want %v", round, v, got, want)
+			}
+		}
+	}
+}
+
+// The scan hot loop must not allocate once the backing array has grown.
+func TestSlotSetSteadyStateZeroAlloc(t *testing.T) {
+	var s SlotSet
+	for i := 0; i < 512; i++ {
+		s.Add(uint32(i * 7 % 512))
+	}
+	s.Seal()
+	if avg := testing.AllocsPerRun(100, func() {
+		s.Reset()
+		for i := 0; i < 512; i++ {
+			s.Add(uint32(i * 13 % 512))
+		}
+		s.Seal()
+		for i := 0; i < 512; i++ {
+			s.Contains(uint32(i))
+		}
+	}); avg > 0 {
+		t.Fatalf("steady-state scan allocates %.2f objects/run", avg)
+	}
+}

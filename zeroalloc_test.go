@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/hpscheme"
 	"repro/internal/kvmap"
 	"repro/internal/list"
 	"repro/internal/queue"
@@ -11,12 +12,12 @@ import (
 )
 
 // The data-structure hot paths must not allocate Go heap memory: all node
-// storage comes from the arena, descriptor lists live on the stack, and
-// the only allowed allocation is inside (rare) Recycling calls, whose
-// hazard-pointer snapshot reuses a scratch map. A steady-state operation
-// therefore performs zero allocations — checked here, because a stray
-// escape would silently put Go's GC back into the benchmark loop the
-// paper's scheme exists to avoid.
+// storage comes from the arena, descriptor lists live on the stack, the
+// per-thread directory views refresh by re-slicing the COW chunk table,
+// and the hazard-pointer snapshots reuse a sorted scratch slice. A
+// steady-state operation therefore performs zero allocations — checked
+// here, because a stray escape would silently put Go's GC back into the
+// benchmark loop the paper's scheme exists to avoid.
 func TestSteadyStateOpsDoNotAllocate(t *testing.T) {
 	const capacity = 1 << 14
 
@@ -78,6 +79,62 @@ func TestSteadyStateOpsDoNotAllocate(t *testing.T) {
 			s.Dequeue()
 		}); avg > 0.05 {
 			t.Fatalf("queue ops allocate %.2f objects/op", avg)
+		}
+	})
+}
+
+// Reclamation passes must stay (amortized) allocation-free too: Recycling
+// snapshots hazard pointers into a reusable sorted slice and moves slots
+// between pooled blocks, and the directory views refresh without copying.
+// A few warm-up phases grow the scratch slice and the block freelist to
+// steady state; after that, mutating ops plus a full Recycling call per
+// run must not touch the Go heap.
+func TestRecyclingDoesNotAllocate(t *testing.T) {
+	const capacity = 1 << 14
+
+	t.Run("ListOARecycling", func(t *testing.T) {
+		l := list.NewOA(core.Config{MaxThreads: 1, Capacity: capacity})
+		s := l.Session(0)
+		for k := uint64(1); k <= 512; k++ {
+			s.Insert(k)
+		}
+		th := l.Engine().Manager().Thread(0)
+		k := uint64(0)
+		warm := func() {
+			k++
+			s.Insert(k%512 + 600)
+			s.Delete(k%512 + 600)
+			th.Recycling()
+		}
+		for i := 0; i < 64; i++ {
+			warm()
+		}
+		if avg := testing.AllocsPerRun(500, warm); avg > 0.05 {
+			t.Fatalf("ops + Recycling allocate %.2f objects/run", avg)
+		}
+	})
+
+	t.Run("ListHPScan", func(t *testing.T) {
+		l := list.NewHP(hpscheme.Config{
+			MaxThreads: 1, Capacity: capacity, ScanThreshold: 64,
+		})
+		s := l.Session(0)
+		for k := uint64(1); k <= 512; k++ {
+			s.Insert(k)
+		}
+		k := uint64(0)
+		warm := func() {
+			// Each insert+delete retires one slot, so ScanThreshold=64
+			// triggers a full Scan (sorted snapshot + probes) every 64 runs.
+			k++
+			s.Insert(k%512 + 600)
+			s.Delete(k%512 + 600)
+		}
+		for i := 0; i < 512; i++ {
+			warm()
+		}
+		if avg := testing.AllocsPerRun(2000, warm); avg > 0.05 {
+			t.Fatalf("ops + amortized Scan allocate %.2f objects/run", avg)
 		}
 	})
 }
