@@ -148,6 +148,14 @@ func main() {
 // measure runs one (structure, scheme, threads) cell.
 func measure(o options, st harness.Structure, sc smr.Scheme, threads int,
 	readFraction float64, delta, localPool int, warnStore bool) float64 {
+	mean, _ := measureObserved(o, st, sc, threads, readFraction, delta, localPool, warnStore)
+	return mean
+}
+
+// measureObserved is measure plus the final repetition's SMR counters,
+// for reports that embed them next to the throughput.
+func measureObserved(o options, st harness.Structure, sc smr.Scheme, threads int,
+	readFraction float64, delta, localPool int, warnStore bool) (float64, smr.Stats) {
 	mk := func() smr.Set {
 		set, err := harness.Build(harness.BuildConfig{
 			Structure: st, Scheme: sc, Threads: threads,
@@ -161,8 +169,8 @@ func measure(o options, st harness.Structure, sc smr.Scheme, threads int,
 	}
 	w := harness.WorkloadFor(st, threads, readFraction)
 	w.Duration = o.duration
-	mean, _ := harness.Repeat(mk, w, o.reps)
-	return mean
+	mean, _, last := harness.RepeatObserved(mk, w, o.reps)
+	return mean, last
 }
 
 // figureSweep renders the Figure 1/4/5/6/7/8 family: per structure, a
@@ -188,17 +196,18 @@ func figureSweep(o options, name, title string, readFraction float64, absolute b
 			if n > capThreads {
 				continue
 			}
-			base := measure(o, st, smr.NoRecl, n, readFraction, o.delta, 126, false)
-			row := Row{Threads: n, NoReclMops: base}
+			base, baseStats := measureObserved(o, st, smr.NoRecl, n, readFraction, o.delta, 126, false)
+			row := Row{Threads: n, NoReclMops: base, NoReclCounters: countersFrom(baseStats)}
 			fmt.Printf("%8d %10.3f", n, base)
 			for _, sc := range schemes {
-				v := measure(o, st, sc, n, readFraction, o.delta, 126, false)
+				v, stats := measureObserved(o, st, sc, n, readFraction, o.delta, 126, false)
 				ratio := 0.0
 				if base > 0 {
 					ratio = v / base
 				}
 				row.Schemes = append(row.Schemes, SchemeCell{
 					Scheme: sc.String(), Mops: v, RatioVsNoRecl: ratio,
+					Counters: countersFrom(stats),
 				})
 				if absolute {
 					fmt.Printf(" %10.3f", v)

@@ -6,6 +6,8 @@ import (
 	"os"
 	"runtime"
 	"time"
+
+	"repro/internal/smr"
 )
 
 // Report is the machine-readable mirror of the figure tables oabench
@@ -43,16 +45,49 @@ type StructureResult struct {
 
 // Row is one thread count: the NoRecl baseline plus every scheme cell.
 type Row struct {
-	Threads    int          `json:"threads"`
-	NoReclMops float64      `json:"norecl_mops"`
-	Schemes    []SchemeCell `json:"schemes"`
+	Threads        int          `json:"threads"`
+	NoReclMops     float64      `json:"norecl_mops"`
+	NoReclCounters CounterBlock `json:"norecl_counters"`
+	Schemes        []SchemeCell `json:"schemes"`
 }
 
 // SchemeCell is one (scheme, threads) measurement.
 type SchemeCell struct {
-	Scheme        string  `json:"scheme"`
-	Mops          float64 `json:"mops"`
-	RatioVsNoRecl float64 `json:"ratio_vs_norecl"`
+	Scheme        string       `json:"scheme"`
+	Mops          float64      `json:"mops"`
+	RatioVsNoRecl float64      `json:"ratio_vs_norecl"`
+	Counters      CounterBlock `json:"counters"`
+}
+
+// CounterBlock embeds the final repetition's aggregate SMR counters next
+// to the throughput they accompanied, so a tracking diff that moves a
+// ratio also shows whether reclamation behaviour (restart rate, backlog)
+// moved with it.
+type CounterBlock struct {
+	Allocs      uint64 `json:"allocs"`
+	Retires     uint64 `json:"retires"`
+	Recycled    uint64 `json:"recycled"`
+	ReRetired   uint64 `json:"re_retired"`
+	Phases      uint64 `json:"phases"`
+	Restarts    uint64 `json:"restarts"`
+	Unreclaimed uint64 `json:"unreclaimed"`
+}
+
+// countersFrom converts aggregate run statistics into the JSON block.
+func countersFrom(s smr.Stats) CounterBlock {
+	var un uint64
+	if s.Retires > s.Recycled {
+		un = s.Retires - s.Recycled
+	}
+	return CounterBlock{
+		Allocs:      s.Allocs,
+		Retires:     s.Retires,
+		Recycled:    s.Recycled,
+		ReRetired:   s.ReRetired,
+		Phases:      s.Phases,
+		Restarts:    s.Restarts,
+		Unreclaimed: un,
+	}
 }
 
 // newReport snapshots the run configuration.

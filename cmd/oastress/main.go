@@ -7,16 +7,26 @@
 //
 //	oastress -structure Hash -scheme OA -threads 8 -duration 30s
 //	oastress -all -duration 2s
+//	oastress -http :8080 -snapshot 1s -duration 5m   # live /metrics + pprof
+//
+// With -http the process serves /metrics (Prometheus text), /stats.json
+// and /debug/pprof/ while soaking; with -snapshot it prints a live
+// progress line per interval. SIGINT/SIGTERM stop the current soak early
+// but still run its verification pass, dump the final statistics, and
+// exit 130; a second signal kills the process.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -25,9 +35,41 @@ import (
 	"repro/internal/hpscheme"
 	"repro/internal/linearize"
 	"repro/internal/norecl"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/smr"
 )
+
+// interrupted closes on the first SIGINT/SIGTERM. activeReg is the metric
+// registry of the run currently in flight; the HTTP listener reads it
+// through an atomic pointer so -all can swap registries between runs
+// without restarting the server.
+var (
+	interrupted  = make(chan struct{})
+	activeReg    atomic.Pointer[obs.Registry]
+	snapInterval time.Duration
+)
+
+// wait sleeps for d, returning false early if the process is interrupted.
+func wait(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-interrupted:
+		return false
+	}
+}
+
+func isInterrupted() bool {
+	select {
+	case <-interrupted:
+		return true
+	default:
+		return false
+	}
+}
 
 type keyCounter struct {
 	ins atomic.Int64
@@ -43,17 +85,32 @@ func stress(st harness.Structure, sc smr.Scheme, threads int, d time.Duration, k
 		return err
 	}
 	counters := make([]keyCounter, keys+1)
+
+	// Per-worker counter blocks: ops are published every 256 operations so
+	// the HTTP endpoint and the snapshot reporter see live progress.
+	ts := obs.NewThreadStats(threads)
+	reg := obs.NewRegistry()
+	harness.Observe(reg, set)
+	reg.ThreadCounters("stress", ts)
+	activeReg.Store(reg)
+
 	var stop atomic.Bool
-	var ops atomic.Uint64
 	var wg sync.WaitGroup
 	for id := 0; id < threads; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			s := set.Session(id)
+			pt := ts.At(id)
 			rng := uint64(id)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
 			n := uint64(0)
-			for !stop.Load() {
+			for {
+				if n&0xFF == 0 {
+					pt.Store(obs.Ops, n)
+					if stop.Load() {
+						break
+					}
+				}
 				rng ^= rng << 13
 				rng ^= rng >> 7
 				rng ^= rng << 17
@@ -72,12 +129,31 @@ func stress(st harness.Structure, sc smr.Scheme, threads int, d time.Duration, k
 				}
 				n++
 			}
-			ops.Add(n)
+			pt.Store(obs.Ops, n)
 		}(id)
 	}
-	time.Sleep(d)
+
+	var snapStop chan struct{}
+	var snapWG sync.WaitGroup
+	if snapInterval > 0 {
+		snapStop = make(chan struct{})
+		snap := &harness.Snapshotter{W: os.Stdout, Every: snapInterval}
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			snap.Run(snapStop, func() uint64 { return ts.Total(obs.Ops) }, set.Stats)
+		}()
+	}
+
+	t0 := time.Now()
+	wait(d)
 	stop.Store(true)
 	wg.Wait()
+	elapsed := time.Since(t0)
+	if snapStop != nil {
+		close(snapStop)
+		snapWG.Wait()
+	}
 
 	// Conservation: for every key, successful inserts - successful deletes
 	// must be 0 or 1, and must match final membership.
@@ -95,7 +171,7 @@ func stress(st harness.Structure, sc smr.Scheme, threads int, d time.Duration, k
 	}
 	stats := set.Stats()
 	fmt.Printf("OK   %-14s %-8v %9.2f Mops/s  recycled=%-9d phases=%-6d restarts=%d\n",
-		st, sc, float64(ops.Load())/d.Seconds()/1e6, stats.Recycled, stats.Phases, stats.Restarts)
+		st, sc, float64(ts.Total(obs.Ops))/elapsed.Seconds()/1e6, stats.Recycled, stats.Phases, stats.Restarts)
 	return nil
 }
 
@@ -168,16 +244,18 @@ func stressQueue(sc smr.Scheme, threads int, d time.Duration) error {
 			}
 		}(id)
 	}
-	time.Sleep(d)
+	t0 := time.Now()
+	wait(d)
 	stop.Store(true)
 	wg.Wait()
+	elapsed := time.Since(t0)
 	select {
 	case err := <-errs:
 		return err
 	default:
 	}
 	fmt.Printf("OK   %-14s %-8v %9.2f Mops/s  (FIFO + exactly-once verified)\n",
-		"Queue", sc, float64(enq.Load()+deq.Load())/d.Seconds()/1e6)
+		"Queue", sc, float64(enq.Load()+deq.Load())/elapsed.Seconds()/1e6)
 	return nil
 }
 
@@ -187,7 +265,7 @@ func stressQueue(sc smr.Scheme, threads int, d time.Duration) error {
 func stressLinearizable(st harness.Structure, sc smr.Scheme, threads int, d time.Duration) error {
 	deadline := time.Now().Add(d)
 	rounds := 0
-	for time.Now().Before(deadline) {
+	for time.Now().Before(deadline) && !isInterrupted() {
 		set, err := harness.Build(harness.BuildConfig{
 			Structure: st, Scheme: sc, Threads: threads, Delta: 4096,
 		})
@@ -236,13 +314,44 @@ func main() {
 		keys      = flag.Int("keys", 512, "key-space size (small = high contention)")
 		all       = flag.Bool("all", false, "soak every supported (structure, scheme) pair")
 		lin       = flag.Bool("linearize", false, "record histories and run the Wing-Gong checker instead of conservation counting")
+		httpAddr  = flag.String("http", "", "serve /metrics, /stats.json and /debug/pprof/ on this address (e.g. :8080)")
+		snapshot  = flag.Duration("snapshot", 0, "print a live progress line at this interval (0 = off)")
 	)
 	flag.Parse()
+	snapInterval = *snapshot
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "interrupt: stopping current soak, running verification (send again to kill)")
+		close(interrupted)
+		signal.Stop(sigc) // restore default disposition: a second signal kills
+	}()
+
+	if *httpAddr != "" || snapInterval > 0 {
+		// Hot-path counters are only worth maintaining when someone is
+		// looking at them.
+		obs.SetEnabled(true)
+	}
+	if *httpAddr != "" {
+		srv := &http.Server{Addr: *httpAddr, Handler: obs.HandlerFor(activeReg.Load)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "obs http:", err)
+				os.Exit(2)
+			}
+		}()
+		fmt.Printf("observability on %s: /metrics /stats.json /debug/pprof/\n", *httpAddr)
+	}
 
 	if *all {
 		failed := false
 		for _, st := range harness.Structures {
 			for _, sc := range smr.Schemes {
+				if isInterrupted() {
+					break
+				}
 				if !st.Supports(sc) {
 					continue
 				}
@@ -259,6 +368,9 @@ func main() {
 			}
 		}
 		for _, sc := range []smr.Scheme{smr.NoRecl, smr.OA, smr.HP, smr.EBR} {
+			if isInterrupted() {
+				break
+			}
 			if err := stressQueue(sc, *threads, *duration); err != nil {
 				fmt.Fprintln(os.Stderr, "FAIL", err)
 				failed = true
@@ -267,6 +379,7 @@ func main() {
 		if failed {
 			os.Exit(1)
 		}
+		finish()
 		return
 	}
 
@@ -280,6 +393,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "FAIL", err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	}
 	if *lin {
@@ -287,10 +401,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "FAIL", err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	}
 	if err := stress(harness.Structure(*structure), sc, *threads, *duration, *keys); err != nil {
 		fmt.Fprintln(os.Stderr, "FAIL", err)
 		os.Exit(1)
 	}
+	finish()
+}
+
+// finish dumps the final statistics of the last run when the process was
+// interrupted (exit 130, the conventional SIGINT status) so an operator
+// killing a long soak still gets the counters it accumulated.
+func finish() {
+	if !isInterrupted() {
+		return
+	}
+	if reg := activeReg.Load(); reg != nil {
+		fmt.Println("interrupted — final stats:")
+		_ = reg.WriteJSON(os.Stdout)
+	}
+	os.Exit(130)
 }

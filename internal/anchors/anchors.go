@@ -124,12 +124,12 @@ func (m *Manager[T]) Stats() smr.Stats {
 	var s smr.Stats
 	for _, t := range m.threads {
 		s.Add(smr.Stats{
-			Allocs:    t.allocs,
-			Retires:   t.retires,
-			Recycled:  t.recycled,
-			ReRetired: t.reRetired,
-			Phases:    t.scans,
-			Restarts:  t.restarts,
+			Allocs:    t.allocs.Load(),
+			Retires:   t.retires.Load(),
+			Recycled:  t.recycled.Load(),
+			ReRetired: t.reRetired.Load(),
+			Phases:    t.scans.Load(),
+			Restarts:  t.restarts.Load(),
 		})
 	}
 	return s
@@ -150,12 +150,14 @@ type Thread[T any] struct {
 	local alloc.Local
 	view  arena.View[T] // chunk-directory snapshot: atomic-free Node
 
-	allocs    uint64
-	retires   uint64
-	recycled  uint64
-	reRetired uint64
-	scans     uint64
-	restarts  uint64
+	// Counters are atomic so Stats may aggregate them live (monitoring
+	// endpoints, harness snapshots) without stopping the owner thread.
+	allocs    atomic.Uint64
+	retires   atomic.Uint64
+	recycled  atomic.Uint64
+	reRetired atomic.Uint64
+	scans     atomic.Uint64
+	restarts  atomic.Uint64
 
 	_ [4]uint64 // false-sharing pad
 }
@@ -200,11 +202,11 @@ func (t *Thread[T]) Visit(cur arena.Ptr) bool {
 }
 
 // CountRestart accounts an anchor-validation failure (recovery analogue).
-func (t *Thread[T]) CountRestart() { t.restarts++ }
+func (t *Thread[T]) CountRestart() { t.restarts.Add(1) }
 
 // Alloc returns a zeroed slot from the shared pool.
 func (t *Thread[T]) Alloc() uint32 {
-	t.allocs++
+	t.allocs.Add(1)
 	return t.mgr.pool.Alloc(&t.local)
 }
 
@@ -212,7 +214,7 @@ func (t *Thread[T]) Alloc() uint32 {
 // threshold. If another thread holds the scan lock the buffer simply keeps
 // growing — retire never blocks.
 func (t *Thread[T]) Retire(slot uint32) {
-	t.retires++
+	t.retires.Add(1)
 	t.buf = append(t.buf, retiredSlot{slot: slot, era: t.mgr.era.Load()})
 	if len(t.buf) >= t.mgr.cfg.ScanThreshold {
 		m := t.mgr
@@ -231,7 +233,7 @@ func (t *Thread[T]) Scan() {
 		return
 	}
 	defer m.scanMu.Unlock()
-	t.scans++
+	t.scans.Add(1)
 	era := m.era.Add(1)
 
 	// Protected set 1: nodes within K hops of any anchor, collected into
@@ -267,16 +269,19 @@ func (t *Thread[T]) Scan() {
 	m.retMu.Unlock()
 
 	kept := batch[:0]
+	var recycled, reRetired uint64
 	for _, r := range batch {
 		anchored := protected.Contains(r.slot)
 		if !anchored && r.era < minEra {
 			m.pool.Free(&t.local, r.slot)
-			t.recycled++
+			recycled++
 		} else {
 			kept = append(kept, r)
-			t.reRetired++
+			reRetired++
 		}
 	}
+	t.recycled.Add(recycled)
+	t.reRetired.Add(reRetired)
 	m.pool.Flush(&t.local)
 	m.retMu.Lock()
 	m.retired = append(m.retired, kept...)

@@ -55,6 +55,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pools"
 	"repro/internal/smr"
 )
@@ -119,6 +120,7 @@ type Manager[T any] struct {
 	threads  []*Thread[T]
 	reset    func(*T) // zeroes a node on allocation (Algorithm 5's memset)
 	phaseHst metrics.Histogram
+	stats    *obs.ThreadStats // per-thread counter blocks, one per context
 }
 
 // NewManager builds a manager. reset must zero every field of a node using
@@ -150,6 +152,7 @@ func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 	} else {
 		m.ba.Put(blk)
 	}
+	m.stats = obs.NewThreadStats(cfg.MaxThreads)
 	m.threads = make([]*Thread[T], cfg.MaxThreads)
 	for i := range m.threads {
 		t := &Thread[T]{
@@ -159,6 +162,7 @@ func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 			allocBlk:  pools.NoBlock,
 			retireBlk: pools.NoBlock,
 			view:      m.nodes.View(),
+			stats:     m.stats.At(i),
 		}
 		m.threads[i] = t
 	}
@@ -217,20 +221,61 @@ func (m *Manager[T]) InjectWarnings(phase uint32) { m.setWarnings(phase) }
 // reclamation pauses an allocating thread can experience.
 func (m *Manager[T]) PhasePauses() *metrics.Histogram { return &m.phaseHst }
 
-// Stats aggregates counters across all threads.
+// Stats aggregates counters across all threads. The per-thread blocks are
+// atomic, so Stats is safe to call while workers run (live monitoring);
+// the cross-counter view is then approximate by in-flight operations.
 func (m *Manager[T]) Stats() smr.Stats {
-	var s smr.Stats
-	for _, t := range m.threads {
-		s.Add(smr.Stats{
-			Allocs:    t.allocs,
-			Retires:   t.retires,
-			Recycled:  t.recycled,
-			ReRetired: t.reRetired,
-			Restarts:  t.restarts,
-		})
+	tot := m.stats.Totals()
+	return smr.Stats{
+		Allocs:    tot[obs.Allocs],
+		Retires:   tot[obs.Retires],
+		Recycled:  tot[obs.Recycled],
+		ReRetired: tot[obs.ReRetired],
+		Restarts:  tot[obs.Restarts],
+		Phases:    m.Phase() / 2,
 	}
-	s.Phases = m.Phase() / 2
-	return s
+}
+
+// ObsStats exposes the per-thread counter blocks for registration and for
+// drivers that feed the Ops counter.
+func (m *Manager[T]) ObsStats() *obs.ThreadStats { return m.stats }
+
+// RegisterObs registers the manager's live metric sources with reg: the
+// per-thread counter blocks (prefix oa_smr), the phase-pause histogram,
+// and gauges sampled from the arena, the block pools and the phase state.
+// Gauges derived from counter pairs are approximate while writers run;
+// see DESIGN.md "Observability" for the sampling discipline.
+func (m *Manager[T]) RegisterObs(reg *obs.Registry) {
+	reg.ThreadCounters("oa_smr", m.stats)
+	reg.Histogram("oa_phase_pause_seconds",
+		"duration of Recycling calls (Algorithm 6 reclamation pauses)", &m.phaseHst)
+	reg.Gauge("oa_phase", "completed reclamation phase swaps",
+		func() float64 { return float64(m.Phase() / 2) })
+	reg.Gauge("oa_retired_backlog_slots",
+		"retired slots not yet recycled (retires - recycled, approximate)",
+		func() float64 {
+			tot := m.stats.Totals()
+			if tot[obs.Recycled] >= tot[obs.Retires] {
+				return 0
+			}
+			return float64(tot[obs.Retires] - tot[obs.Recycled])
+		})
+	reg.Gauge("oa_arena_slots_reserved", "node slots handed out by the arena",
+		func() float64 { return float64(m.nodes.Limit()) })
+	reg.Gauge("oa_arena_slots_capacity", "node slots backed by arena chunks",
+		func() float64 { return float64(m.nodes.Cap()) })
+	reg.Gauge("oa_pool_blocks", "transfer blocks ever created by the block arena",
+		func() float64 { return float64(m.ba.Blocks()) })
+	reg.Gauge("oa_pool_free_blocks", "transfer blocks idle in the block freelist",
+		func() float64 { return float64(m.ba.FreeBlocks()) })
+	reg.Gauge("oa_retire_pool_frozen",
+		"1 while the retire pool version is odd (phase swap in flight)",
+		func() float64 {
+			if m.retire.Ver()&1 == 1 {
+				return 1
+			}
+			return 0
+		})
 }
 
 // setWarnings implements the phase-change broadcast: every thread's warning

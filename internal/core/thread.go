@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/arena"
+	"repro/internal/obs"
 	"repro/internal/pools"
 	"repro/internal/smr"
 )
@@ -43,15 +44,12 @@ type Thread[T any] struct {
 
 	scratchHP smr.SlotSet // reused sorted hazard-pointer snapshot
 
-	// Monotonic per-thread counters (single writer; read via Stats after
-	// workers quiesce).
-	allocs    uint64
-	retires   uint64
-	recycled  uint64
-	reRetired uint64
-	restarts  uint64
-
-	_ [5]uint64 // pad against false sharing of hot counters
+	// stats is this thread's cache-padded counter block inside the
+	// manager's obs.ThreadStats array. The owner increments with
+	// uncontended atomic adds; any goroutine may aggregate concurrently
+	// (Manager.Stats, the obs registry), so no quiescence is required.
+	// Per-read hot counters are gated on obs.Enabled().
+	stats *obs.PerThread
 }
 
 // ID returns the thread index within the manager.
@@ -72,12 +70,16 @@ func (t *Thread[T]) Warning() bool { return t.warn.Load()&warnMask != 0 }
 // cleared already (restarting from scratch cannot encounter slots retired
 // before the current phase, so clearing is safe — §4).
 func (t *Thread[T]) Check() bool {
+	if obs.Enabled() {
+		t.stats.Inc(obs.WarningChecks)
+	}
 	w := t.warn.Load()
 	if w&warnMask == 0 {
 		return false
 	}
 	t.warn.CompareAndSwap(w, w&^warnMask)
-	t.restarts++
+	t.stats.Inc(obs.Warnings)
+	t.stats.Inc(obs.Restarts)
 	return true
 }
 
@@ -102,6 +104,9 @@ func (t *Thread[T]) ProtectCAS(o, a2, a3 arena.Ptr) bool {
 	t.hps[0].Store(hpWord(o))
 	t.hps[1].Store(hpWord(a2))
 	t.hps[2].Store(hpWord(a3))
+	if obs.Enabled() {
+		t.stats.Add(obs.HPPublishes, WriteHPs)
+	}
 	if t.Check() {
 		t.ClearCAS()
 		return true
@@ -122,6 +127,9 @@ func (t *Thread[T]) ClearCAS() {
 // ClearOwnerHPs runs at the end of the wrap-up method.
 func (t *Thread[T]) SetOwnerHP(i int, p arena.Ptr) {
 	t.hps[WriteHPs+i].Store(hpWord(p))
+	if obs.Enabled() {
+		t.stats.Inc(obs.HPPublishes)
+	}
 }
 
 // SealGenerator performs Algorithm 3's epilogue after the owner hazard
@@ -154,7 +162,7 @@ func (t *Thread[T]) Alloc() uint32 {
 			if !b.Empty() {
 				slot := b.Pop()
 				m.reset(t.view.At(slot))
-				t.allocs++
+				t.stats.Inc(obs.Allocs)
 				return slot
 			}
 			m.ba.Put(t.allocBlk)
@@ -183,18 +191,24 @@ func (t *Thread[T]) Alloc() uint32 {
 // from the structure, and only one thread retires it.
 func (t *Thread[T]) Retire(slot uint32) {
 	m := t.mgr
-	t.retires++
+	t.stats.Inc(obs.Retires)
 	if t.retireBlk == pools.NoBlock {
 		t.retireBlk = m.ba.Get()
 	}
 	b := m.ba.B(t.retireBlk)
 	b.Push(slot)
 	if !b.Full(int32(m.cfg.LocalPool)) {
+		if obs.Enabled() {
+			t.stats.SetLocalRetired(uint64(b.N))
+		}
 		return
 	}
 	for {
 		if st := m.retire.Push(m.ba, t.retireBlk, t.localVer); st == pools.StatusOK {
 			t.retireBlk = pools.NoBlock
+			if obs.Enabled() {
+				t.stats.SetLocalRetired(0)
+			}
 			return
 		}
 		t.Recycling()
@@ -212,6 +226,9 @@ func (t *Thread[T]) FlushRetired() {
 	for {
 		if st := m.retire.Push(m.ba, t.retireBlk, t.localVer); st == pools.StatusOK {
 			t.retireBlk = pools.NoBlock
+			if obs.Enabled() {
+				t.stats.SetLocalRetired(0)
+			}
 			return
 		}
 		t.Recycling()
@@ -252,6 +269,7 @@ func (t *Thread[T]) Recycling() {
 	}
 	m.setWarnings(t.localVer)
 	hp := t.snapshotHPs()
+	t.stats.Inc(obs.DrainPasses)
 	t.drain(hp)
 }
 
@@ -283,6 +301,9 @@ func (t *Thread[T]) drain(hp *smr.SlotSet) {
 	reBlk := pools.NoBlock
 	var readyB, reB *pools.Block
 	limit := int32(m.cfg.LocalPool)
+	// Per-slot counter traffic is batched into locals and published once
+	// at the end so the drain loop itself performs no atomic adds.
+	var recycled, reRetired uint64
 	for {
 		blk, st := m.process.Pop(m.ba, t.localVer)
 		if st != pools.StatusOK {
@@ -298,7 +319,7 @@ func (t *Thread[T]) drain(hp *smr.SlotSet) {
 					reB = m.ba.B(reBlk)
 				}
 				reB.Push(slot)
-				t.reRetired++
+				reRetired++
 				if reB.Full(limit) {
 					t.pushRetireAnyPhase(reBlk)
 					reBlk = pools.NoBlock
@@ -313,7 +334,7 @@ func (t *Thread[T]) drain(hp *smr.SlotSet) {
 					readyB = m.ba.B(readyBlk)
 				}
 				readyB.Push(slot)
-				t.recycled++
+				recycled++
 				if readyB.Full(limit) {
 					m.ready.Push(m.ba, readyBlk)
 					readyBlk = pools.NoBlock
@@ -337,6 +358,12 @@ func (t *Thread[T]) drain(hp *smr.SlotSet) {
 		} else {
 			t.pushRetireAnyPhase(reBlk)
 		}
+	}
+	if recycled != 0 {
+		t.stats.Add(obs.Recycled, recycled)
+	}
+	if reRetired != 0 {
+		t.stats.Add(obs.ReRetired, reRetired)
 	}
 }
 

@@ -83,9 +83,9 @@ func (m *Manager[T]) Stats() smr.Stats {
 	var s smr.Stats
 	for _, t := range m.threads {
 		s.Add(smr.Stats{
-			Allocs:   t.allocs,
-			Retires:  t.retires,
-			Recycled: t.recycled,
+			Allocs:   t.allocs.Load(),
+			Retires:  t.retires.Load(),
+			Recycled: t.recycled.Load(),
 		})
 	}
 	s.Phases = m.Epoch()
@@ -118,9 +118,11 @@ type Thread[T any] struct {
 	view  arena.View[T] // chunk-directory snapshot: atomic-free Node
 	ops   int
 
-	allocs   uint64
-	retires  uint64
-	recycled uint64
+	// Counters are atomic so Stats may aggregate them live (monitoring
+	// endpoints, harness snapshots) without stopping the owner thread.
+	allocs   atomic.Uint64
+	retires  atomic.Uint64
+	recycled atomic.Uint64
 
 	_ [5]uint64 // false-sharing pad
 }
@@ -156,14 +158,14 @@ func (t *Thread[T]) OnOpEnd() {
 // Retire buffers slot in the limbo generation of the thread's announced
 // epoch.
 func (t *Thread[T]) Retire(slot uint32) {
-	t.retires++
+	t.retires.Add(1)
 	e := t.state.Load() >> 1
 	t.limbo[e%3] = append(t.limbo[e%3], slot)
 }
 
 // Alloc returns a zeroed slot from the shared pool.
 func (t *Thread[T]) Alloc() uint32 {
-	t.allocs++
+	t.allocs.Add(1)
 	return t.mgr.pool.Alloc(&t.local)
 }
 
@@ -177,8 +179,8 @@ func (t *Thread[T]) reclaim() {
 	}
 	for _, slot := range t.limbo[g] {
 		t.mgr.pool.Free(&t.local, slot)
-		t.recycled++
 	}
+	t.recycled.Add(uint64(len(t.limbo[g])))
 	t.limbo[g] = t.limbo[g][:0]
 	t.mgr.pool.Flush(&t.local)
 }

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"runtime"
@@ -43,6 +44,11 @@ type Workload struct {
 	// ZipfS over the key range instead of uniformly — an extension
 	// workload (hot keys) beyond the paper's uniform benchmarks.
 	ZipfS float64
+	// SnapshotEvery, together with SnapshotW, emits a live progress line
+	// at this interval while the run is in flight (see Snapshotter).
+	SnapshotEvery time.Duration
+	// SnapshotW receives the snapshot lines.
+	SnapshotW io.Writer
 }
 
 func (w *Workload) fill() {
@@ -117,8 +123,12 @@ func Run(set smr.Set, w Workload) Result {
 func RunPrefilled(set smr.Set, w Workload) Result {
 	w.fill()
 	var stop atomic.Bool
+	// Each worker publishes its running count every 256 operations so a
+	// Snapshotter (or any concurrent reader) can watch live progress; the
+	// atomic store hits an exclusively owned cache line, so the cost is
+	// the same as the plain write it replaces.
 	counts := make([]struct {
-		n uint64
+		n atomic.Uint64
 		_ [7]uint64 // cacheline pad
 	}, w.Threads)
 
@@ -151,8 +161,11 @@ func RunPrefilled(set smr.Set, w Workload) Result {
 					if n >= uint64(opsPerThread) {
 						break
 					}
-				} else if n&0xFF == 0 && stop.Load() {
-					break
+				} else if n&0xFF == 0 {
+					counts[id].n.Store(n)
+					if stop.Load() {
+						break
+					}
 				}
 				r := rng.next()
 				k := r%w.KeyRange + 1
@@ -170,22 +183,46 @@ func RunPrefilled(set smr.Set, w Workload) Result {
 				}
 				n++
 			}
-			counts[id].n = n
+			counts[id].n.Store(n)
 		}(id)
 	}
 
 	t0 := time.Now()
 	start.Done()
+
+	var snapStop chan struct{}
+	var snapWG sync.WaitGroup
+	if w.SnapshotEvery > 0 && w.SnapshotW != nil {
+		snapStop = make(chan struct{})
+		snap := &Snapshotter{W: w.SnapshotW, Every: w.SnapshotEvery}
+		live := func() uint64 {
+			var t uint64
+			for i := range counts {
+				t += counts[i].n.Load()
+			}
+			return t
+		}
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			snap.Run(snapStop, live, set.Stats)
+		}()
+	}
+
 	if opsPerThread == 0 {
 		time.Sleep(w.Duration)
 		stop.Store(true)
 	}
 	done.Wait()
 	elapsed := time.Since(t0)
+	if snapStop != nil {
+		close(snapStop)
+		snapWG.Wait()
+	}
 
 	var total uint64
 	for i := range counts {
-		total += counts[i].n
+		total += counts[i].n.Load()
 	}
 	return Result{Ops: total, Duration: elapsed, Stats: set.Stats()}
 }
@@ -194,6 +231,14 @@ func RunPrefilled(set smr.Set, w Workload) Result {
 // returns the mean Mops with the half-width of a 95% confidence interval
 // (the paper's error bars; normal approximation).
 func Repeat(mk func() smr.Set, w Workload, reps int) (mean, ci float64) {
+	mean, ci, _ = RepeatObserved(mk, w, reps)
+	return mean, ci
+}
+
+// RepeatObserved is Repeat plus the aggregate SMR statistics of the final
+// repetition, so reports can place reclamation counters next to the
+// throughput they accompanied.
+func RepeatObserved(mk func() smr.Set, w Workload, reps int) (mean, ci float64, last smr.Stats) {
 	if reps <= 0 {
 		reps = 1
 	}
@@ -201,12 +246,14 @@ func Repeat(mk func() smr.Set, w Workload, reps int) (mean, ci float64) {
 	for i := range xs {
 		wi := w
 		wi.Seed = w.Seed + uint64(i)*1000003
-		xs[i] = Run(mk(), wi).Mops()
+		res := Run(mk(), wi)
+		xs[i] = res.Mops()
+		last = res.Stats
 		mean += xs[i]
 	}
 	mean /= float64(reps)
 	if reps < 2 {
-		return mean, 0
+		return mean, 0, last
 	}
 	var ss float64
 	for _, x := range xs {
@@ -216,7 +263,7 @@ func Repeat(mk func() smr.Set, w Workload, reps int) (mean, ci float64) {
 	sd := ss / float64(reps-1)
 	// 1.96 · s/√n, the normal-approximation 95% interval.
 	ci = 1.96 * math.Sqrt(sd/float64(reps))
-	return mean, ci
+	return mean, ci, last
 }
 
 // FormatRatio renders a throughput ratio the way the paper's figures do

@@ -17,6 +17,7 @@ import (
 	"repro/internal/hpscheme"
 	"repro/internal/list"
 	"repro/internal/norecl"
+	"repro/internal/obs"
 	"repro/internal/smr"
 )
 
@@ -75,6 +76,9 @@ func (h *OA) Scheme() smr.Scheme { return smr.OA }
 
 // Stats implements smr.Set.
 func (h *OA) Stats() smr.Stats { return h.e.Manager().Stats() }
+
+// RegisterObs implements obs.Registrar by forwarding to the core manager.
+func (h *OA) RegisterObs(reg *obs.Registry) { h.e.Manager().RegisterObs(reg) }
 
 // Session implements smr.Set.
 func (h *OA) Session(tid int) smr.Session { return &oaSession{h: h, t: h.e.Thread(tid)} }

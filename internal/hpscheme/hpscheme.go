@@ -99,12 +99,12 @@ func (m *Manager[T]) Stats() smr.Stats {
 	var s smr.Stats
 	for _, t := range m.threads {
 		s.Add(smr.Stats{
-			Allocs:    t.allocs,
-			Retires:   t.retires,
-			Recycled:  t.recycled,
-			ReRetired: t.reRetired,
-			Phases:    t.scans,
-			Restarts:  t.restarts,
+			Allocs:    t.allocs.Load(),
+			Retires:   t.retires.Load(),
+			Recycled:  t.recycled.Load(),
+			ReRetired: t.reRetired.Load(),
+			Phases:    t.scans.Load(),
+			Restarts:  t.restarts.Load(),
 		})
 	}
 	return s
@@ -121,12 +121,14 @@ type Thread[T any] struct {
 	view    arena.View[T] // chunk-directory snapshot: atomic-free Node
 	scratch smr.SlotSet   // reused sorted hazard-pointer snapshot
 
-	allocs    uint64
-	retires   uint64
-	recycled  uint64
-	reRetired uint64
-	scans     uint64
-	restarts  uint64
+	// Counters are atomic so Stats may aggregate them live (monitoring
+	// endpoints, harness snapshots) without stopping the owner thread.
+	allocs    atomic.Uint64
+	retires   atomic.Uint64
+	recycled  atomic.Uint64
+	reRetired atomic.Uint64
+	scans     atomic.Uint64
+	restarts  atomic.Uint64
 
 	_ [4]uint64 // false-sharing pad
 }
@@ -162,18 +164,18 @@ func (t *Thread[T]) ClearAll() {
 
 // CountRestart bumps the restart counter (validation failures that force a
 // traversal restart are accounted by the data structure through this).
-func (t *Thread[T]) CountRestart() { t.restarts++ }
+func (t *Thread[T]) CountRestart() { t.restarts.Add(1) }
 
 // Alloc returns a zeroed slot from the shared pool.
 func (t *Thread[T]) Alloc() uint32 {
-	t.allocs++
+	t.allocs.Add(1)
 	return t.mgr.pool.Alloc(&t.local)
 }
 
 // Retire buffers an unlinked slot; when ScanThreshold slots accumulate it
 // runs Michael's scan.
 func (t *Thread[T]) Retire(slot uint32) {
-	t.retires++
+	t.retires.Add(1)
 	t.retired = append(t.retired, slot)
 	if len(t.retired) >= t.mgr.cfg.ScanThreshold {
 		t.Scan()
@@ -186,7 +188,7 @@ func (t *Thread[T]) Retire(slot uint32) {
 // binary search — with ScanThreshold retired slots per pass, hashing each
 // probe into a map dominates the scan, sorting threads·HPs words does not.
 func (t *Thread[T]) Scan() {
-	t.scans++
+	t.scans.Add(1)
 	hp := &t.scratch
 	hp.Reset()
 	for _, other := range t.mgr.threads {
@@ -198,15 +200,18 @@ func (t *Thread[T]) Scan() {
 	}
 	hp.Seal()
 	kept := t.retired[:0]
+	var recycled, reRetired uint64
 	for _, slot := range t.retired {
 		if hp.Contains(slot) {
 			kept = append(kept, slot)
-			t.reRetired++
+			reRetired++
 		} else {
 			t.mgr.pool.Free(&t.local, slot)
-			t.recycled++
+			recycled++
 		}
 	}
+	t.recycled.Add(recycled)
+	t.reRetired.Add(reRetired)
 	t.retired = kept
 	t.mgr.pool.Flush(&t.local)
 }

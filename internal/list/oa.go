@@ -4,6 +4,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/normalized"
+	"repro/internal/obs"
 	"repro/internal/smr"
 )
 
@@ -245,3 +246,6 @@ func (s *oaSession) Contains(key uint64) bool { return s.t.ContainsAt(s.head, ke
 // PauseReport renders the OA reclamation-pause histogram (see package
 // metrics).
 func (l *OA) PauseReport() string { return l.e.Manager().PhasePauses().String() }
+
+// RegisterObs implements obs.Registrar by forwarding to the core manager.
+func (l *OA) RegisterObs(reg *obs.Registry) { l.e.Manager().RegisterObs(reg) }

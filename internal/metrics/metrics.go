@@ -26,12 +26,14 @@ type Histogram struct {
 	max    atomic.Uint64
 }
 
-// Observe records one duration.
+// Observe records one duration. Negative durations (a clock step mid-
+// measurement) saturate to zero before any conversion, so the unsigned
+// nanosecond value is never derived from a negative input.
 func (h *Histogram) Observe(d time.Duration) {
-	ns := uint64(d.Nanoseconds())
 	if d < 0 {
-		ns = 0
+		d = 0
 	}
+	ns := uint64(d.Nanoseconds())
 	b := bits.Len64(ns)
 	if b >= Buckets {
 		b = Buckets - 1
@@ -49,6 +51,57 @@ func (h *Histogram) Observe(d time.Duration) {
 
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Snapshot is a point-in-time view of a Histogram: a count/sum/max triple
+// plus the per-bucket counts, all taken from the same read pass.
+type Snapshot struct {
+	Count  uint64 // number of samples
+	Sum    uint64 // total nanoseconds
+	Max    uint64 // largest sample, nanoseconds
+	Counts [Buckets]uint64
+}
+
+// QuantileNs returns an upper bound (in nanoseconds) for the q-quantile of
+// the snapshot, using each bucket's upper edge.
+func (s *Snapshot) QuantileNs(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target == 0 {
+		target = 1
+	}
+	var acc uint64
+	for i := 0; i < Buckets; i++ {
+		acc += s.Counts[i]
+		if acc >= target {
+			return uint64(1)<<uint(i) - 1
+		}
+	}
+	return s.Max
+}
+
+// Snapshot reads the histogram's state in one pass, so callers get a
+// mutually consistent count/sum/max triple instead of three racing loads.
+// It retries while samples complete mid-read (the count acts as a
+// sequence number) and gives up after a few attempts under sustained
+// concurrent writes, returning the last — then only approximately
+// consistent — pass.
+func (h *Histogram) Snapshot() Snapshot {
+	for tries := 0; ; tries++ {
+		n := h.n.Load()
+		var s Snapshot
+		s.Sum = h.sum.Load()
+		s.Max = h.max.Load()
+		for i := range s.Counts {
+			s.Counts[i] = h.counts[i].Load()
+		}
+		s.Count = n
+		if h.n.Load() == n || tries >= 3 {
+			return s
+		}
+	}
+}
 
 // Mean returns the mean sample duration.
 func (h *Histogram) Mean() time.Duration {

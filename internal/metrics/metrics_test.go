@@ -105,3 +105,92 @@ func TestQuickQuantileUpperBound(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Satellite regression: a negative duration must saturate to zero before
+// the unsigned conversion, landing in bucket 0 with nothing added to the
+// sum (the old code produced a huge uint64 and polluted the top bucket).
+func TestNegativeGoesToBucketZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-5 * time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("snapshot = %+v, want count=1 sum=0 max=0", s)
+	}
+	if s.Counts[0] != 1 {
+		t.Fatalf("bucket 0 = %d, want 1", s.Counts[0])
+	}
+	for i := 1; i < Buckets; i++ {
+		if s.Counts[i] != 0 {
+			t.Fatalf("bucket %d = %d, want 0", i, s.Counts[i])
+		}
+	}
+}
+
+func TestSnapshotConsistent(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Count != h.Count() {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	if got, want := s.QuantileNs(0.99), uint64(h.Quantile(0.99)); got != want {
+		t.Fatalf("QuantileNs(0.99) = %d, histogram says %d", got, want)
+	}
+}
+
+// Under sustained concurrent writes the retry loop may give up, but the
+// triple it returns can only be torn by the writes in flight during the
+// read pass: bucket sum and count may differ by at most the number of
+// writers times the samples each can complete during one pass — bounded
+// loosely here by the total written after the fact.
+func TestSnapshotUnderConcurrency(t *testing.T) {
+	const writers = 4
+	const each = 20000
+	var h Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(stop) }()
+	for {
+		s := h.Snapshot()
+		var bucketSum uint64
+		for _, c := range s.Counts {
+			bucketSum += c
+		}
+		diff := int64(bucketSum) - int64(s.Count)
+		if diff < 0 {
+			diff = -diff
+		}
+		// A stable pass (the common case) has diff == 0; a torn final pass
+		// can be off by the writes completed mid-read, far below `each`.
+		if diff > writers*1000 {
+			t.Fatalf("snapshot torn beyond plausibility: bucketSum=%d count=%d", bucketSum, s.Count)
+		}
+		select {
+		case <-stop:
+			s := h.Snapshot()
+			if s.Count != writers*each {
+				t.Fatalf("final count = %d, want %d", s.Count, writers*each)
+			}
+			return
+		default:
+		}
+	}
+}

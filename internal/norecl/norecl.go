@@ -6,6 +6,8 @@
 package norecl
 
 import (
+	"sync/atomic"
+
 	"repro/internal/alloc"
 	"repro/internal/arena"
 	"repro/internal/smr"
@@ -57,7 +59,7 @@ func (m *Manager[T]) MaxThreads() int { return m.cfg.MaxThreads }
 func (m *Manager[T]) Stats() smr.Stats {
 	var s smr.Stats
 	for _, t := range m.threads {
-		s.Add(smr.Stats{Allocs: t.allocs, Retires: t.retires})
+		s.Add(smr.Stats{Allocs: t.allocs.Load(), Retires: t.retires.Load()})
 	}
 	return s
 }
@@ -66,19 +68,21 @@ func (m *Manager[T]) Stats() smr.Stats {
 func (m *Manager[T]) Leaked() uint64 {
 	var n uint64
 	for _, t := range m.threads {
-		n += t.retires
+		n += t.retires.Load()
 	}
 	return n
 }
 
 // Thread is a per-thread NoRecl context.
 type Thread[T any] struct {
-	mgr     *Manager[T]
-	id      int
-	local   alloc.Local
-	view    arena.View[T] // chunk-directory snapshot: atomic-free Node
-	allocs  uint64
-	retires uint64
+	mgr   *Manager[T]
+	id    int
+	local alloc.Local
+	view  arena.View[T] // chunk-directory snapshot: atomic-free Node
+	// Counters are atomic so Stats may aggregate them live (monitoring
+	// endpoints, harness snapshots) without stopping the owner thread.
+	allocs  atomic.Uint64
+	retires atomic.Uint64
 
 	_ [6]uint64 // false-sharing pad
 }
@@ -93,9 +97,9 @@ func (t *Thread[T]) Node(slot uint32) *T { return t.view.At(slot) }
 
 // Alloc returns a zeroed slot.
 func (t *Thread[T]) Alloc() uint32 {
-	t.allocs++
+	t.allocs.Add(1)
 	return t.mgr.pool.Alloc(&t.local)
 }
 
 // Retire only counts; the slot is never reused.
-func (t *Thread[T]) Retire(uint32) { t.retires++ }
+func (t *Thread[T]) Retire(uint32) { t.retires.Add(1) }

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// HandlerFor builds the observability HTTP handler around a registry
+// source. The indirection lets a long-running process (oastress -all)
+// swap registries between runs while the listener stays up; get may
+// return nil, which renders as 503 until a registry is installed.
+//
+// Routes:
+//
+//	/metrics       Prometheus text exposition
+//	/stats.json    JSON snapshot of every source
+//	/debug/pprof/  the standard net/http/pprof handlers
+func HandlerFor(get func() *Registry) http.Handler {
+	mux := http.NewServeMux()
+	withReg := func(serve func(r *Registry, w http.ResponseWriter)) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			r := get()
+			if r == nil {
+				http.Error(w, "no registry active", http.StatusServiceUnavailable)
+				return
+			}
+			serve(r, w)
+		}
+	}
+	mux.HandleFunc("/metrics", withReg(func(r *Registry, w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	}))
+	mux.HandleFunc("/stats.json", withReg(func(r *Registry, w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	}))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "oamem observability: /metrics /stats.json /debug/pprof/\n")
+	})
+	return mux
+}
+
+// Handler serves this registry on the observability routes.
+func (r *Registry) Handler() http.Handler {
+	return HandlerFor(func() *Registry { return r })
+}

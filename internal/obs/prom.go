@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// WritePrometheus renders every registered source in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, c := range r.counters {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.fn())
+	}
+	for _, g := range r.gauges {
+		p("# HELP %s %s\n# TYPE %s gauge\n%s %s\n", g.name, g.help, g.name, g.name, fmtFloat(g.fn()))
+	}
+	for _, te := range r.threads {
+		for c := Counter(0); c < NumCounters; c++ {
+			name := te.prefix + "_" + c.String() + "_total"
+			p("# HELP %s per-thread %s counter\n# TYPE %s counter\n", name, c.String(), name)
+			for i := 0; i < te.ts.Threads(); i++ {
+				p("%s{thread=%q} %d\n", name, strconv.Itoa(i), te.ts.At(i).Load(c))
+			}
+		}
+		name := te.prefix + "_local_retired_slots"
+		p("# HELP %s slots buffered in the thread's local retire block\n# TYPE %s gauge\n", name, name)
+		for i := 0; i < te.ts.Threads(); i++ {
+			p("%s{thread=%q} %d\n", name, strconv.Itoa(i), te.ts.At(i).LocalRetired())
+		}
+	}
+	for _, he := range r.hists {
+		snap := he.h.Snapshot()
+		p("# HELP %s %s\n# TYPE %s histogram\n", he.name, he.help, he.name)
+		var cum uint64
+		// The final log₂ bucket absorbs the tail, so it has no finite
+		// upper edge; it is folded into +Inf below.
+		for b := 0; b < metrics.Buckets-1; b++ {
+			cum += snap.Counts[b]
+			// Bucket b holds samples with bits.Len64(ns) == b, i.e.
+			// ns <= 2^b - 1; the edge is exported in seconds.
+			le := float64(uint64(1)<<uint(b)-1) / 1e9
+			p("%s_bucket{le=%q} %d\n", he.name, fmtFloat(le), cum)
+		}
+		p("%s_bucket{le=\"+Inf\"} %d\n", he.name, snap.Count)
+		p("%s_sum %s\n", he.name, fmtFloat(float64(snap.Sum)/1e9))
+		p("%s_count %d\n", he.name, snap.Count)
+	}
+	return err
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// buildTestRegistry assembles a registry with one of each source kind and
+// fully deterministic values.
+func buildTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("demo_events_total", "events processed", func() uint64 { return 42 })
+	reg.Gauge("demo_backlog_slots", "retired but unreclaimed", func() float64 { return 7.5 })
+	ts := NewThreadStats(2)
+	for c := Counter(0); c < NumCounters; c++ {
+		ts.At(0).Add(c, uint64(c)+1)
+		ts.At(1).Add(c, 100*(uint64(c)+1))
+	}
+	ts.At(0).SetLocalRetired(3)
+	ts.At(1).SetLocalRetired(4)
+	reg.ThreadCounters("demo", ts)
+	return reg
+}
+
+// The non-histogram output is compared byte-for-byte: the exposition
+// format is a wire contract, so a formatting regression must fail loudly.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildTestRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	want.WriteString(`# HELP demo_events_total events processed
+# TYPE demo_events_total counter
+demo_events_total 42
+# HELP demo_backlog_slots retired but unreclaimed
+# TYPE demo_backlog_slots gauge
+demo_backlog_slots 7.5
+`)
+	for c := Counter(0); c < NumCounters; c++ {
+		name := "demo_" + c.String() + "_total"
+		want.WriteString("# HELP " + name + " per-thread " + c.String() + " counter\n")
+		want.WriteString("# TYPE " + name + " counter\n")
+		want.WriteString(name + `{thread="0"} ` + strconv.FormatUint(uint64(c)+1, 10) + "\n")
+		want.WriteString(name + `{thread="1"} ` + strconv.FormatUint(100*(uint64(c)+1), 10) + "\n")
+	}
+	want.WriteString(`# HELP demo_local_retired_slots slots buffered in the thread's local retire block
+# TYPE demo_local_retired_slots gauge
+demo_local_retired_slots{thread="0"} 3
+demo_local_retired_slots{thread="1"} 4
+`)
+	if b.String() != want.String() {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", b.String(), want.String())
+	}
+}
+
+var sampleRe = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [-+]?([0-9.eE+-]+|Inf|NaN)$`)
+
+// Histograms are validated structurally: every line parses, buckets are
+// cumulative and monotonic, +Inf equals _count, and _sum is in seconds.
+func TestWritePrometheusHistogram(t *testing.T) {
+	reg := NewRegistry()
+	var h metrics.Histogram
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(5 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	reg.Histogram("demo_pause_seconds", "pause durations", &h)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	var bucketLines, infCount int
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleRe.MatchString(line) {
+			t.Fatalf("bad sample line %q", line)
+		}
+		val, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		switch {
+		case strings.Contains(line, `le="+Inf"`):
+			infCount++
+			if err != nil || val != 3 {
+				t.Fatalf("+Inf bucket = %q, want 3", line)
+			}
+		case strings.HasPrefix(line, "demo_pause_seconds_bucket"):
+			bucketLines++
+			if err != nil || val < prev {
+				t.Fatalf("non-cumulative bucket line %q after %d", line, prev)
+			}
+			prev = val
+		case strings.HasPrefix(line, "demo_pause_seconds_count"):
+			if err != nil || val != 3 {
+				t.Fatalf("_count = %q, want 3", line)
+			}
+		case strings.HasPrefix(line, "demo_pause_seconds_sum"):
+			f, ferr := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if ferr != nil || f < 0.003 || f > 0.0031 {
+				t.Fatalf("_sum = %q, want ≈ 0.003005 seconds", line)
+			}
+		}
+	}
+	if bucketLines != metrics.Buckets-1 || infCount != 1 {
+		t.Fatalf("got %d finite buckets + %d inf, want %d + 1", bucketLines, infCount, metrics.Buckets-1)
+	}
+}
+
+func TestHandlerRoutes(t *testing.T) {
+	srv := httptest.NewServer(buildTestRegistry().Handler())
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		return resp, b.String()
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != 200 || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics: status %d content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "demo_events_total 42") {
+		t.Fatalf("/metrics body missing counter:\n%s", body)
+	}
+
+	resp, body = get("/stats.json")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/stats.json: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/stats.json does not parse: %v", err)
+	}
+	if doc.Counters["demo_events_total"] != 42 || doc.Counters["demo_ops_total"] != 101 {
+		t.Fatalf("unexpected counters: %v", doc.Counters)
+	}
+
+	if resp, _ := get("/debug/pprof/cmdline"); resp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/cmdline: status %d", resp.StatusCode)
+	}
+	if resp, _ := get("/nope"); resp.StatusCode != 404 {
+		t.Fatalf("/nope: status %d", resp.StatusCode)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(HandlerFor(func() *Registry { return nil }))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("nil registry: status %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// GaugeFunc samples one gauge value.
+type GaugeFunc func() float64
+
+// CounterFunc samples one cumulative counter value.
+type CounterFunc func() uint64
+
+type gaugeEntry struct {
+	name, help string
+	fn         GaugeFunc
+}
+
+type counterEntry struct {
+	name, help string
+	fn         CounterFunc
+}
+
+type threadEntry struct {
+	prefix string
+	ts     *ThreadStats
+}
+
+type histEntry struct {
+	name, help string
+	h          *metrics.Histogram
+}
+
+// Registry collects metric sources and renders them as Prometheus text or
+// JSON. Registration happens at setup time; scrapes may run concurrently
+// with the writers feeding the sources (sources are sampled, not locked).
+type Registry struct {
+	mu       sync.Mutex
+	gauges   []gaugeEntry
+	counters []counterEntry
+	threads  []threadEntry
+	hists    []histEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Gauge registers a sampled gauge. name must be a valid Prometheus metric
+// name (snake_case).
+func (r *Registry) Gauge(name, help string, fn GaugeFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges = append(r.gauges, gaugeEntry{name, help, fn})
+}
+
+// Counter registers a sampled cumulative counter. By Prometheus convention
+// name should end in _total.
+func (r *Registry) Counter(name, help string, fn CounterFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = append(r.counters, counterEntry{name, help, fn})
+}
+
+// ThreadCounters registers a per-thread counter block set; each counter
+// exports as <prefix>_<counter>_total{thread="i"} plus the local-retired
+// gauge as <prefix>_local_retired_slots{thread="i"}.
+func (r *Registry) ThreadCounters(prefix string, ts *ThreadStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.threads = append(r.threads, threadEntry{prefix, ts})
+}
+
+// Histogram registers a pause histogram; it exports in Prometheus
+// histogram format with log₂ bucket edges converted to seconds.
+func (r *Registry) Histogram(name, help string, h *metrics.Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists = append(r.hists, histEntry{name, help, h})
+}
+
+// jsonHist is the JSON rendering of a histogram snapshot.
+type jsonHist struct {
+	Count  uint64 `json:"count"`
+	SumNs  uint64 `json:"sum_ns"`
+	MeanNs uint64 `json:"mean_ns"`
+	MaxNs  uint64 `json:"max_ns"`
+	P99Ns  uint64 `json:"p99_ns"`
+}
+
+// jsonSnapshot is the /stats.json document.
+type jsonSnapshot struct {
+	Counters   map[string]uint64              `json:"counters,omitempty"`
+	Gauges     map[string]float64             `json:"gauges,omitempty"`
+	PerThread  map[string][]map[string]uint64 `json:"per_thread,omitempty"`
+	Histograms map[string]jsonHist            `json:"histograms,omitempty"`
+}
+
+// snapshot samples every source under the registry lock.
+func (r *Registry) snapshot() jsonSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := jsonSnapshot{}
+	if len(r.counters) > 0 || len(r.threads) > 0 {
+		s.Counters = map[string]uint64{}
+	}
+	for _, c := range r.counters {
+		s.Counters[c.name] = c.fn()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = map[string]float64{}
+	}
+	for _, g := range r.gauges {
+		s.Gauges[g.name] = g.fn()
+	}
+	if len(r.threads) > 0 {
+		s.PerThread = map[string][]map[string]uint64{}
+	}
+	for _, te := range r.threads {
+		rows := make([]map[string]uint64, te.ts.Threads())
+		for i := 0; i < te.ts.Threads(); i++ {
+			b := te.ts.At(i)
+			row := map[string]uint64{"thread": uint64(i)}
+			for c := Counter(0); c < NumCounters; c++ {
+				row[c.String()] = b.Load(c)
+			}
+			row["local_retired"] = b.LocalRetired()
+			rows[i] = row
+		}
+		s.PerThread[te.prefix] = rows
+		// Aggregate totals next to the other counters for quick scans.
+		tot := te.ts.Totals()
+		for c := Counter(0); c < NumCounters; c++ {
+			s.Counters[te.prefix+"_"+c.String()+"_total"] = tot[c]
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = map[string]jsonHist{}
+	}
+	for _, he := range r.hists {
+		snap := he.h.Snapshot()
+		jh := jsonHist{Count: snap.Count, SumNs: snap.Sum, MaxNs: snap.Max}
+		if snap.Count > 0 {
+			jh.MeanNs = snap.Sum / snap.Count
+		}
+		jh.P99Ns = snap.QuantileNs(0.99)
+		s.Histograms[he.name] = jh
+	}
+	return s
+}
+
+// WriteJSON renders every registered source as an indented JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.snapshot())
+}

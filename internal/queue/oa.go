@@ -6,6 +6,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/normalized"
+	"repro/internal/obs"
 	"repro/internal/smr"
 )
 
@@ -37,6 +38,9 @@ func (q *OAQueue) Scheme() smr.Scheme { return smr.OA }
 
 // Stats implements smr.Queue.
 func (q *OAQueue) Stats() smr.Stats { return q.mgr.Stats() }
+
+// RegisterObs implements obs.Registrar by forwarding to the core manager.
+func (q *OAQueue) RegisterObs(reg *obs.Registry) { q.mgr.RegisterObs(reg) }
 
 // QueueSession implements smr.Queue.
 func (q *OAQueue) QueueSession(tid int) smr.QueueSession {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/normalized"
+	"repro/internal/obs"
 	"repro/internal/smr"
 )
 
@@ -50,6 +51,9 @@ func (s *OASkipList) Scheme() smr.Scheme { return smr.OA }
 
 // Stats implements smr.Set.
 func (s *OASkipList) Stats() smr.Stats { return s.mgr.Stats() }
+
+// RegisterObs implements obs.Registrar by forwarding to the core manager.
+func (s *OASkipList) RegisterObs(reg *obs.Registry) { s.mgr.RegisterObs(reg) }
 
 // Session implements smr.Set.
 func (s *OASkipList) Session(tid int) smr.Session {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/hpscheme"
 	"repro/internal/kvmap"
 	"repro/internal/list"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/skiplist"
 )
@@ -135,6 +136,72 @@ func TestRecyclingDoesNotAllocate(t *testing.T) {
 		}
 		if avg := testing.AllocsPerRun(2000, warm); avg > 0.05 {
 			t.Fatalf("ops + amortized Scan allocate %.2f objects/run", avg)
+		}
+	})
+}
+
+// The observability layer must not cost allocations either: with hot-path
+// counters enabled, every increment is an atomic add into a pre-allocated
+// cache-padded block, so instrumented Insert/Delete/Search (and Recycling,
+// which also feeds the drain counters) stay zero-alloc.
+func TestInstrumentedOpsDoNotAllocate(t *testing.T) {
+	const capacity = 1 << 14
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	t.Run("ListOAObsOn", func(t *testing.T) {
+		l := list.NewOA(core.Config{MaxThreads: 1, Capacity: capacity})
+		s := l.Session(0)
+		for k := uint64(1); k <= 512; k++ {
+			s.Insert(k)
+		}
+		k := uint64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			k++
+			s.Contains(k%512 + 1)
+			s.Insert(k%512 + 600)
+			s.Delete(k%512 + 600)
+		}); avg > 0.05 {
+			t.Fatalf("instrumented list ops allocate %.2f objects/op", avg)
+		}
+	})
+
+	t.Run("SkipListOAObsOn", func(t *testing.T) {
+		sl := skiplist.NewOA(core.Config{MaxThreads: 1, Capacity: capacity})
+		s := sl.Session(0)
+		for k := uint64(1); k <= 512; k++ {
+			s.Insert(k)
+		}
+		k := uint64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			k++
+			s.Contains(k%512 + 1)
+			s.Insert(k%512 + 600)
+			s.Delete(k%512 + 600)
+		}); avg > 0.05 {
+			t.Fatalf("instrumented skip list ops allocate %.2f objects/op", avg)
+		}
+	})
+
+	t.Run("ListOARecyclingObsOn", func(t *testing.T) {
+		l := list.NewOA(core.Config{MaxThreads: 1, Capacity: capacity})
+		s := l.Session(0)
+		for k := uint64(1); k <= 512; k++ {
+			s.Insert(k)
+		}
+		th := l.Engine().Manager().Thread(0)
+		k := uint64(0)
+		warm := func() {
+			k++
+			s.Insert(k%512 + 600)
+			s.Delete(k%512 + 600)
+			th.Recycling()
+		}
+		for i := 0; i < 64; i++ {
+			warm()
+		}
+		if avg := testing.AllocsPerRun(500, warm); avg > 0.05 {
+			t.Fatalf("instrumented ops + Recycling allocate %.2f objects/run", avg)
 		}
 	})
 }
