@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all ci build test race cover fuzz bench benchjson experiments stress obs-smoke clean
+.PHONY: all ci build test race race-full cover fuzz bench benchjson benchdiff benchdiff-smoke experiments stress obs-smoke clean
 
 all: build test
 
-# Everything a merge gate needs: compile+vet, tests, race detector, and
-# the observability endpoint smoke test.
-ci: build test race obs-smoke
+# Everything a merge gate needs: compile+vet, tests, the race detector
+# over the reclamation core, the perf-diff smoke and the observability
+# endpoint smoke test.
+ci: build test race benchdiff-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +18,13 @@ build:
 test:
 	$(GO) test ./...
 
+# The race detector focused where the lock-free interleavings live: the
+# reclamation core and the sharded block pools. -short keeps it inside a
+# merge-gate budget; race-full sweeps everything.
 race:
+	$(GO) test -race -short ./internal/core/... ./internal/pools/...
+
+race-full:
 	$(GO) test -race ./...
 
 cover:
@@ -34,15 +41,32 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable Figure 1 snapshot for cross-commit perf tracking. The
-# note pins the baseline this file is diffed against (BENCH_1.json, taken
-# just before the observability layer landed).
-BASELINE_NOTE = baseline: BENCH_1.json (pre-observability PR, same 1-vCPU \
-host, 100ms x2); this run adds per-cell SMR counter blocks and must stay \
-within noise of it (last measured: median cell ratio 0.99, range 0.84-1.08)
+# note pins the baseline this file is diffed against (BENCH_2.json, taken
+# just before the sharded-pool PR landed).
+BASELINE_NOTE = baseline: BENCH_2.json (pre-sharding PR, same 1-vCPU host, \
+100ms x2); this run routes the block pools through per-thread shards \
+(1 shard on this host) and must stay within noise of it (noise band on \
+this host: cell ratios 0.84-1.08); diff with make benchdiff
 
 benchjson:
 	$(GO) run ./cmd/oabench -experiment fig1 -duration 100ms -reps 2 \
-		-json BENCH_2.json -notes "$(BASELINE_NOTE)"
+		-json BENCH_3.json -notes "$(BASELINE_NOTE)"
+
+# Per-cell throughput ratio gate between two oabench snapshots:
+#   make benchdiff OLD=BENCH_2.json NEW=BENCH_3.json [THRESHOLD=0.85]
+# Exits nonzero when any joined cell regresses below THRESHOLD.
+OLD ?= BENCH_2.json
+NEW ?= BENCH_3.json
+THRESHOLD ?= 0.85
+
+benchdiff:
+	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW) -threshold $(THRESHOLD)
+
+# Mechanics-only smoke for the gate: a snapshot self-diff joins every cell
+# at ratio 1.0, so it exercises the parser, join and gate without making
+# CI depend on benchmark noise.
+benchdiff-smoke:
+	$(GO) run ./cmd/benchdiff -old BENCH_2.json -new BENCH_2.json -threshold 0.999 >/dev/null
 
 # Full figure regeneration (paper settings: -duration 1s -reps 20).
 experiments:

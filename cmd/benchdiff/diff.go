@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// report mirrors just the slice of the oabench JSON schema benchdiff joins
+// on; unknown fields (counters, ratios, notes) are ignored so the tool
+// stays compatible as reports grow new per-cell detail.
+type report struct {
+	Generated string `json:"generated"`
+	Figures   []struct {
+		Name       string `json:"name"`
+		Structures []struct {
+			Structure string `json:"structure"`
+			Rows      []struct {
+				Threads    int     `json:"threads"`
+				NoReclMops float64 `json:"norecl_mops"`
+				Schemes    []struct {
+					Scheme string  `json:"scheme"`
+					Mops   float64 `json:"mops"`
+				} `json:"schemes"`
+			} `json:"rows"`
+		} `json:"structures"`
+	} `json:"figures"`
+}
+
+func readReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// key identifies one measurement cell across reports.
+type key struct {
+	figure, structure string
+	threads           int
+	scheme            string
+}
+
+func (k key) String() string {
+	return fmt.Sprintf("%s/%s/t=%d/%s", k.figure, k.structure, k.threads, k.scheme)
+}
+
+// cells flattens a report into its cell map, folding the NoRecl baseline
+// in as the pseudo-scheme "norecl".
+func cells(r *report) map[key]float64 {
+	m := map[key]float64{}
+	for _, f := range r.Figures {
+		for _, s := range f.Structures {
+			for _, row := range s.Rows {
+				m[key{f.Name, s.Structure, row.Threads, "norecl"}] = row.NoReclMops
+				for _, sc := range row.Schemes {
+					m[key{f.Name, s.Structure, row.Threads, sc.Scheme}] = sc.Mops
+				}
+			}
+		}
+	}
+	return m
+}
+
+// cellDiff is one joined cell.
+type cellDiff struct {
+	key      key
+	old, new float64
+	ratio    float64
+}
+
+// result holds the join: cells in both reports plus the unmatched leftovers.
+type result struct {
+	joined  []cellDiff
+	oldOnly []key
+	newOnly []key
+}
+
+// diff joins two reports cell-by-cell.
+func diff(oldRep, newRep *report) *result {
+	oldCells, newCells := cells(oldRep), cells(newRep)
+	res := &result{}
+	for k, nv := range newCells {
+		ov, ok := oldCells[k]
+		if !ok {
+			res.newOnly = append(res.newOnly, k)
+			continue
+		}
+		ratio := 0.0
+		if ov > 0 {
+			ratio = nv / ov
+		}
+		res.joined = append(res.joined, cellDiff{k, ov, nv, ratio})
+	}
+	for k := range oldCells {
+		if _, ok := newCells[k]; !ok {
+			res.oldOnly = append(res.oldOnly, k)
+		}
+	}
+	sortKeys := func(ks []key) {
+		sort.Slice(ks, func(i, j int) bool { return ks[i].String() < ks[j].String() })
+	}
+	sort.Slice(res.joined, func(i, j int) bool {
+		return res.joined[i].key.String() < res.joined[j].key.String()
+	})
+	sortKeys(res.oldOnly)
+	sortKeys(res.newOnly)
+	return res
+}
+
+// below returns the joined cells whose ratio is under the threshold.
+func (r *result) below(threshold float64) []cellDiff {
+	var bad []cellDiff
+	for _, c := range r.joined {
+		if c.ratio < threshold {
+			bad = append(bad, c)
+		}
+	}
+	return bad
+}
+
+// median of the joined ratios (0 when nothing joined).
+func (r *result) median() float64 {
+	if len(r.joined) == 0 {
+		return 0
+	}
+	rs := make([]float64, len(r.joined))
+	for i, c := range r.joined {
+		rs[i] = c.ratio
+	}
+	sort.Float64s(rs)
+	mid := len(rs) / 2
+	if len(rs)%2 == 0 {
+		return (rs[mid-1] + rs[mid]) / 2
+	}
+	return rs[mid]
+}
+
+// print renders the ratio table and the gate summary.
+func (r *result) print(w io.Writer, oldPath, newPath string, threshold float64) {
+	fmt.Fprintf(w, "# benchdiff %s -> %s (threshold %.2f)\n", oldPath, newPath, threshold)
+	fmt.Fprintf(w, "%-44s %10s %10s %7s\n", "cell", "old_mops", "new_mops", "ratio")
+	for _, c := range r.joined {
+		flag := ""
+		if c.ratio < threshold {
+			flag = "  << REGRESSION"
+		}
+		fmt.Fprintf(w, "%-44s %10.2f %10.2f %7.3f%s\n", c.key, c.old, c.new, c.ratio, flag)
+	}
+	for _, k := range r.oldOnly {
+		fmt.Fprintf(w, "%-44s %10s %10s %7s\n", k, "-", "dropped", "")
+	}
+	for _, k := range r.newOnly {
+		fmt.Fprintf(w, "%-44s %10s %10s %7s\n", k, "added", "-", "")
+	}
+	bad := r.below(threshold)
+	lo, hi := 0.0, 0.0
+	if len(r.joined) > 0 {
+		lo, hi = r.joined[0].ratio, r.joined[0].ratio
+		for _, c := range r.joined {
+			if c.ratio < lo {
+				lo = c.ratio
+			}
+			if c.ratio > hi {
+				hi = c.ratio
+			}
+		}
+	}
+	fmt.Fprintf(w, "# %d cells joined, median ratio %.3f, range %.3f-%.3f, %d below threshold\n",
+		len(r.joined), r.median(), lo, hi, len(bad))
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOld = `{
+  "generated": "2026-01-01T00:00:00Z",
+  "figures": [{
+    "name": "fig1", "structures": [{
+      "structure": "list", "rows": [{
+        "threads": 1, "norecl_mops": 10.0,
+        "schemes": [
+          {"scheme": "oa", "mops": 8.0},
+          {"scheme": "hp", "mops": 4.0}
+        ]
+      }]
+    }]
+  }]
+}`
+
+const sampleNew = `{
+  "generated": "2026-01-02T00:00:00Z",
+  "figures": [{
+    "name": "fig1", "structures": [{
+      "structure": "list", "rows": [{
+        "threads": 1, "norecl_mops": 10.0,
+        "schemes": [
+          {"scheme": "oa", "mops": 9.0},
+          {"scheme": "ebr", "mops": 6.0}
+        ]
+      }]
+    }]
+  }]
+}`
+
+func parse(t *testing.T, s string) *report {
+	t.Helper()
+	var r report
+	if err := json.Unmarshal([]byte(s), &r); err != nil {
+		t.Fatal(err)
+	}
+	return &r
+}
+
+func TestDiffJoinsOnCellKey(t *testing.T) {
+	d := diff(parse(t, sampleOld), parse(t, sampleNew))
+	// Joined: norecl (10->10) and oa (8->9). hp only in old, ebr only in new.
+	if len(d.joined) != 2 {
+		t.Fatalf("joined %d cells, want 2", len(d.joined))
+	}
+	ratios := map[string]float64{}
+	for _, c := range d.joined {
+		ratios[c.key.scheme] = c.ratio
+	}
+	if ratios["norecl"] != 1.0 {
+		t.Fatalf("norecl ratio = %v, want 1.0", ratios["norecl"])
+	}
+	if ratios["oa"] != 9.0/8.0 {
+		t.Fatalf("oa ratio = %v, want 1.125", ratios["oa"])
+	}
+	if len(d.oldOnly) != 1 || d.oldOnly[0].scheme != "hp" {
+		t.Fatalf("oldOnly = %v, want [hp]", d.oldOnly)
+	}
+	if len(d.newOnly) != 1 || d.newOnly[0].scheme != "ebr" {
+		t.Fatalf("newOnly = %v, want [ebr]", d.newOnly)
+	}
+}
+
+func TestThresholdGate(t *testing.T) {
+	d := diff(parse(t, sampleOld), parse(t, sampleNew))
+	if bad := d.below(0.95); len(bad) != 0 {
+		t.Fatalf("no cell regressed, below = %v", bad)
+	}
+	// A higher bar than any ratio must flag the flat norecl cell; unmatched
+	// cells (hp, ebr) never gate.
+	if bad := d.below(1.05); len(bad) != 1 || bad[0].key.scheme != "norecl" {
+		t.Fatalf("below(1.05) = %v, want the norecl cell only", bad)
+	}
+}
+
+func TestPrintMarksRegressions(t *testing.T) {
+	d := diff(parse(t, sampleOld), parse(t, sampleNew))
+	var sb strings.Builder
+	d.print(&sb, "old.json", "new.json", 1.05)
+	out := sb.String()
+	if !strings.Contains(out, "<< REGRESSION") {
+		t.Fatalf("regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "1 below threshold") {
+		t.Fatalf("summary missing gate count:\n%s", out)
+	}
+	if !strings.Contains(out, "dropped") || !strings.Contains(out, "added") {
+		t.Fatalf("unmatched cells not reported:\n%s", out)
+	}
+}

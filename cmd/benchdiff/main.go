@@ -1,0 +1,46 @@
+// Command benchdiff joins two oabench JSON reports (BENCH_*.json) and
+// prints a per-cell throughput ratio table: new mops / old mops for every
+// (figure, structure, threads, scheme) cell present in both files, with
+// the NoRecl baseline included as the pseudo-scheme "norecl". It exits
+// nonzero when any joined cell's ratio falls below -threshold, making it
+// the merge gate for perf regressions:
+//
+//	go run ./cmd/benchdiff -old BENCH_2.json -new BENCH_3.json -threshold 0.85
+//
+// Cells present in only one file are reported but never gate — a new
+// scheme or thread count is not a regression. The threshold default is
+// deliberately loose: single-digit-percent swings are noise on a shared
+// host (see the baseline notes embedded in the reports themselves).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline oabench JSON report")
+	newPath := flag.String("new", "", "candidate oabench JSON report")
+	threshold := flag.Float64("threshold", 0.85, "minimum new/old throughput ratio per cell")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -old OLD.json -new NEW.json [-threshold R]")
+		os.Exit(2)
+	}
+	oldRep, err := readReport(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRep, err := readReport(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	d := diff(oldRep, newRep)
+	d.print(os.Stdout, *oldPath, *newPath, *threshold)
+	if len(d.below(*threshold)) > 0 {
+		os.Exit(1)
+	}
+}

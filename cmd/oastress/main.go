@@ -48,6 +48,7 @@ var (
 	interrupted  = make(chan struct{})
 	activeReg    atomic.Pointer[obs.Registry]
 	snapInterval time.Duration
+	poolShards   int // -shards: OA block-pool shard override, 0 = default
 )
 
 // wait sleeps for d, returning false early if the process is interrupted.
@@ -79,7 +80,7 @@ type keyCounter struct {
 
 func stress(st harness.Structure, sc smr.Scheme, threads int, d time.Duration, keys int) error {
 	set, err := harness.Build(harness.BuildConfig{
-		Structure: st, Scheme: sc, Threads: threads, Delta: 16384,
+		Structure: st, Scheme: sc, Threads: threads, Delta: 16384, Shards: poolShards,
 	})
 	if err != nil {
 		return err
@@ -267,7 +268,7 @@ func stressLinearizable(st harness.Structure, sc smr.Scheme, threads int, d time
 	rounds := 0
 	for time.Now().Before(deadline) && !isInterrupted() {
 		set, err := harness.Build(harness.BuildConfig{
-			Structure: st, Scheme: sc, Threads: threads, Delta: 4096,
+			Structure: st, Scheme: sc, Threads: threads, Delta: 4096, Shards: poolShards,
 		})
 		if err != nil {
 			return err
@@ -316,9 +317,11 @@ func main() {
 		lin       = flag.Bool("linearize", false, "record histories and run the Wing-Gong checker instead of conservation counting")
 		httpAddr  = flag.String("http", "", "serve /metrics, /stats.json and /debug/pprof/ on this address (e.g. :8080)")
 		snapshot  = flag.Duration("snapshot", 0, "print a live progress line at this interval (0 = off)")
+		shards    = flag.Int("shards", 0, "OA block-pool shard count (0 = min(threads, GOMAXPROCS) rounded to a power of two)")
 	)
 	flag.Parse()
 	snapInterval = *snapshot
+	poolShards = *shards
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -29,6 +29,9 @@ var requiredMetrics = []string{
 	"oa_smr_drain_passes_total",
 	"oa_retired_backlog_slots",
 	"oa_phase_pause_seconds_bucket",
+	"oa_pool_shards",
+	"oa_pool_steals_total",
+	"oa_ready_shard_blocks",
 	"smr_unreclaimed_slots",
 	"stress_ops_total",
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 )
 
@@ -87,6 +89,36 @@ func BenchmarkRecyclingDrain(b *testing.B) {
 		t0.Recycling()
 	}
 	b.ReportMetric(float64(4*localPool), "slots/op")
+}
+
+// BenchmarkAllocRetireContended drives the full alloc/retire/recycle
+// pipeline from all procs at once — the workload whose global-stack CAS
+// convoy motivated sharding. shards=1 is the flat layout; shards=cpus is
+// the sharded default on a multi-core host.
+func BenchmarkAllocRetireContended(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	seen := map[int]bool{}
+	for _, shards := range []int{1, procs, 2 * procs} {
+		if seen[shards] {
+			continue
+		}
+		seen[shards] = true
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			// RunParallel spawns GOMAXPROCS goroutines by default; the 4×
+			// headroom covers -test.cpu sweeps without sharing contexts.
+			m := NewManager[node](Config{
+				MaxThreads: 4 * procs, Capacity: procs * 4096, LocalPool: 126, Shards: shards,
+			}, resetNode)
+			var ids atomic.Int32
+			b.RunParallel(func(pb *testing.PB) {
+				th := m.Thread(int(ids.Add(1)-1) % (4 * procs))
+				for pb.Next() {
+					th.Retire(th.Alloc())
+				}
+			})
+			b.ReportMetric(float64(m.ReadySteals())/float64(b.N), "steals/op")
+		})
+	}
 }
 
 var sinkInt int

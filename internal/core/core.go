@@ -32,6 +32,16 @@
 // that no hazard pointer protects move to the readyPool for reallocation,
 // and protected ones return to the retirePool for the next phase.
 //
+// Each pool is sharded (see internal/pools): thread t pushes to and pops
+// from shard t&mask first and steals from the other shards only when its
+// home runs dry, so refills and flushes are uncontended in steady state.
+// The phase swap walks every retire shard, freezing each with the same
+// odd-version CAS the flat pool used; the pool counts as frozen once all
+// shards are odd at the same version, and helpers complete partial swaps
+// shard by shard. A swap in flight therefore leaves the shards spanning at
+// most {v, v+1, v+2}, and evenFloor(min shard version) always names the
+// phase being swapped.
+//
 // # Deviations from the paper's pseudocode (documented per DESIGN.md)
 //
 //   - Freeze precondition. Algorithm 6 lets any thread whose local version
@@ -51,6 +61,7 @@
 package core
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"repro/internal/arena"
@@ -90,6 +101,12 @@ type Config struct {
 	// manager panics with a sizing diagnostic (0 means 1<<22). The paper's
 	// algorithm spins forever; a panic is friendlier than a silent hang.
 	AllocSpinLimit int
+	// Shards sets the number of shards each global block pool is split
+	// into, rounded up to a power of two and capped at pools.MaxShards.
+	// Zero picks nextPow2(min(MaxThreads, GOMAXPROCS)): one shard per
+	// thread that can actually run concurrently — more would only lengthen
+	// the steal sweep without removing any contention.
+	Shards int
 }
 
 func (c *Config) fill() {
@@ -102,21 +119,32 @@ func (c *Config) fill() {
 	if c.AllocSpinLimit <= 0 {
 		c.AllocSpinLimit = 1 << 22
 	}
+	if c.Shards <= 0 {
+		c.Shards = c.MaxThreads
+		if p := runtime.GOMAXPROCS(0); p < c.Shards {
+			c.Shards = p
+		}
+	}
+	c.Shards = pools.NextPow2(c.Shards)
+	if c.Shards > pools.MaxShards {
+		c.Shards = pools.MaxShards
+	}
 	minCap := 2 * c.MaxThreads * c.LocalPool
 	if c.Capacity < minCap {
 		c.Capacity = minCap
 	}
 }
 
-// Manager owns the arena, the three pools and the thread contexts of one
-// optimistic-access instance. T is the node type of the client structure.
+// Manager owns the arena, the three sharded pools and the thread contexts
+// of one optimistic-access instance. T is the node type of the client
+// structure.
 type Manager[T any] struct {
 	cfg      Config
 	nodes    *arena.Arena[T]
 	ba       *pools.BlockArena
-	ready    pools.CountedStack
-	retire   pools.VStack
-	process  pools.VStack
+	ready    pools.ShardedCountedStack
+	retire   pools.ShardedVStack
+	process  pools.ShardedVStack
 	threads  []*Thread[T]
 	reset    func(*T) // zeroes a node on allocation (Algorithm 5's memset)
 	phaseHst metrics.Histogram
@@ -134,21 +162,24 @@ func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 		ba:    pools.NewBlockArena(cfg.Capacity),
 		reset: reset,
 	}
-	m.ready.Init()
-	m.retire.Init(0)
-	m.process.Init(0)
-	// Pre-chop the whole capacity into ready blocks.
+	m.ready.Init(cfg.Shards)
+	m.retire.Init(cfg.Shards, 0)
+	m.process.Init(cfg.Shards, 0)
+	// Pre-chop the whole capacity into ready blocks, dealt round-robin
+	// across the shards so every thread's home shard starts stocked.
 	base := m.nodes.Reserve(cfg.Capacity)
 	blk := m.ba.Get()
+	shard := uint32(0)
 	for i := 0; i < cfg.Capacity; i++ {
 		m.ba.B(blk).Push(base + uint32(i))
 		if m.ba.B(blk).Full(int32(cfg.LocalPool)) {
-			m.ready.Push(m.ba, blk)
+			m.ready.Push(m.ba, blk, shard)
+			shard++
 			blk = m.ba.Get()
 		}
 	}
 	if !m.ba.B(blk).Empty() {
-		m.ready.Push(m.ba, blk)
+		m.ready.Push(m.ba, blk, shard)
 	} else {
 		m.ba.Put(blk)
 	}
@@ -163,6 +194,7 @@ func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 			retireBlk: pools.NoBlock,
 			view:      m.nodes.View(),
 			stats:     m.stats.At(i),
+			rng:       uint64(i)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03,
 		}
 		m.threads[i] = t
 	}
@@ -181,10 +213,11 @@ func (m *Manager[T]) Thread(id int) *Thread[T] { return m.threads[id] }
 func (m *Manager[T]) MaxThreads() int { return m.cfg.MaxThreads }
 
 // Phase returns the current (even) phase version of the retire pool,
-// i.e. twice the number of completed phase swaps.
+// i.e. twice the number of completed phase swaps. While a swap is in
+// flight the minimum shard version is reported, rounded down to even.
 func (m *Manager[T]) Phase() uint64 {
-	v, _ := m.retire.Load()
-	return uint64(v)
+	v, _ := m.retire.Scan()
+	return uint64(v &^ 1)
 }
 
 // Quiesce drives reclamation phases (on the calling goroutine, using
@@ -197,16 +230,12 @@ func (m *Manager[T]) Quiesce() int {
 	t.FlushRetired()
 	for i := 0; i < 4; i++ { // retire→swap→process needs at most two phases
 		t.Recycling()
-		if _, ri := m.retire.Load(); ri == pools.NoBlock {
-			if _, pi := m.process.Load(); pi == pools.NoBlock {
-				break
-			}
+		if !m.retire.AnyBlocks() && !m.process.AnyBlocks() {
+			break
 		}
 	}
-	_, ri := m.retire.Load()
-	_, pi := m.process.Load()
-	_, retired := pools.ChainLen(m.ba, ri)
-	_, processing := pools.ChainLen(m.ba, pi)
+	_, retired := m.retire.ChainStats(m.ba)
+	_, processing := m.process.ChainStats(m.ba)
 	return retired + processing
 }
 
@@ -269,19 +298,50 @@ func (m *Manager[T]) RegisterObs(reg *obs.Registry) {
 	reg.Gauge("oa_pool_free_blocks", "transfer blocks idle in the block freelist",
 		func() float64 { return float64(m.ba.FreeBlocks()) })
 	reg.Gauge("oa_retire_pool_frozen",
-		"1 while the retire pool version is odd (phase swap in flight)",
+		"1 while any retire shard's version is odd (phase swap in flight)",
 		func() float64 {
-			if m.retire.Ver()&1 == 1 {
+			if _, stable := m.retire.Scan(); !stable {
 				return 1
 			}
 			return 0
 		})
+	reg.Gauge("oa_pool_shards", "shards each global block pool is split into",
+		func() float64 { return float64(m.cfg.Shards) })
+	reg.Counter("oa_pool_steals_total",
+		"block pops served by a shard other than the popping thread's home",
+		func() uint64 {
+			return m.ready.TotalSteals() + m.retire.TotalSteals() + m.process.TotalSteals()
+		})
+	n := m.cfg.Shards
+	reg.GaugeVec("oa_ready_shard_blocks",
+		"transfer blocks in each ready-pool shard", "shard", n,
+		func(i int) float64 { return float64(m.ready.Blocks(i)) })
+	reg.GaugeVec("oa_retire_shard_blocks",
+		"transfer blocks in each retire-pool shard", "shard", n,
+		func(i int) float64 { return float64(m.retire.Blocks(i)) })
+	reg.GaugeVec("oa_process_shard_blocks",
+		"transfer blocks in each processing-pool shard", "shard", n,
+		func(i int) float64 { return float64(m.process.Blocks(i)) })
+	reg.CounterVec("oa_ready_shard_steals_total",
+		"ready-pool pops served from this shard to threads homed elsewhere", "shard", n,
+		func(i int) uint64 { return m.ready.Steals(i) })
+	reg.CounterVec("oa_process_shard_steals_total",
+		"drain pops served from this processing shard to threads homed elsewhere", "shard", n,
+		func(i int) uint64 { return m.process.Steals(i) })
 }
 
 // setWarnings implements the phase-change broadcast: every thread's warning
 // word becomes {phase, 1}. With the Appendix E optimization the update is a
 // CAS that succeeds at most once per phase per thread, so each thread
 // restarts at most once per phase.
+//
+// The CAS must be retried until the observed stamp is current: the owner
+// clears the warning bit with its own CAS (Thread.Check), and a recycler
+// whose single attempt lost that race would silently skip stamping the
+// thread for the phase — a lost warning, which is a safety bug (the thread
+// could act on a stale read of a slot this very phase recycles). Losing to
+// a *different phase's* recycler re-enters the loop too; overwriting a
+// foreign stamp is always safe (at worst one extra restart).
 func (m *Manager[T]) setWarnings(phase uint32) {
 	word := uint64(phase)<<8 | 1
 	for _, t := range m.threads {
@@ -293,29 +353,90 @@ func (m *Manager[T]) setWarnings(phase uint32) {
 			t.warn.Store(word)
 			continue
 		}
-		w := t.warn.Load()
-		if w>>8 == uint64(phase) {
-			continue // already stamped for this phase (Appendix E)
+		for {
+			w := t.warn.Load()
+			if w>>8 == uint64(phase) {
+				break // already stamped for this phase (Appendix E)
+			}
+			if t.warn.CompareAndSwap(w, word) {
+				break
+			}
 		}
-		t.warn.CompareAndSwap(w, word)
 	}
 }
 
-// helpSwap completes any in-flight phase freeze and returns the retire
-// pool's current even version.
+// freezeRetire initiates the phase swap for even version v: every retire
+// shard is CASed from (v, head) to (v+1, head). Each shard's CAS retries
+// while concurrent retire pushes move its head, so the freeze — unlike a
+// single-attempt CAS — cannot silently fail and leave the caller's local
+// version ahead of the pool. Shards already frozen or advanced by helpers
+// are skipped. The caller must have verified every processing shard empty
+// at v first (the freeze precondition; see the package deviation note).
+func (m *Manager[T]) freezeRetire(v uint32) {
+	for i := 0; i < m.retire.NumShards(); i++ {
+		var bo pools.Backoff
+		for {
+			sv, h := m.retire.LoadShard(i)
+			if sv != v {
+				break // frozen (v+1) or completed (v+2) by a helper
+			}
+			if m.retire.CASShard(i, v, h, v+1, h) {
+				break
+			}
+			bo.Pause()
+		}
+	}
+}
+
+// completeSwap drives the in-flight swap of phase v (even) to completion:
+// for every retire shard, finish freezing it at v+1, move its frozen chain
+// into the matching processing shard at v+2, and reset the retire shard to
+// (v+2, empty). A frozen shard's head is immutable (pushes fail on the odd
+// version and nothing pops the retire pool), so all helpers agree on the
+// chain they move, and every CAS is idempotent across helpers.
+func (m *Manager[T]) completeSwap(v uint32) {
+	for i := 0; i < m.retire.NumShards(); i++ {
+		var bo pools.Backoff
+		for {
+			sv, h := m.retire.LoadShard(i)
+			if sv >= v+2 {
+				break // this shard's swap already completed
+			}
+			if sv == v {
+				if !m.retire.CASShard(i, v, h, v+1, h) {
+					bo.Pause()
+				}
+				continue
+			}
+			// sv == v+1: move the frozen chain into the processing shard.
+			// Count it before the CAS publishes it to drainers — afterwards
+			// concurrent pops make the walk unsafe. Only the CAS winner
+			// transfers the occupancy gauges.
+			pv, ph := m.process.LoadShard(i)
+			if pv == v {
+				blocks, _ := pools.ChainLen(m.ba, h)
+				if m.process.CASShard(i, pv, ph, v+2, h) && blocks != 0 {
+					m.process.AdjustBlocks(i, int64(blocks))
+					m.retire.AdjustBlocks(i, -int64(blocks))
+				}
+			}
+			m.retire.CASShard(i, v+1, h, v+2, pools.NoBlock)
+		}
+	}
+}
+
+// helpSwap completes any in-flight phase swap and returns the retire
+// pool's stable even version (all shards equal). The paper's single-CAS
+// swap becomes a walk over the shards; lock freedom is preserved because
+// every step is a helpable CAS on versioned state that only moves forward.
 func (m *Manager[T]) helpSwap() uint32 {
+	var bo pools.Backoff
 	for {
-		rv, ri := m.retire.Load()
-		if rv&1 == 0 {
-			return rv
+		v, stable := m.retire.Scan()
+		if stable {
+			return v
 		}
-		// Frozen at rv = p+1: move the frozen chain ri into the processing
-		// pool at p+2 and reset the retire pool. All helpers re-read the
-		// frozen head, so they agree on ri.
-		pv, pi := m.process.Load()
-		if pv == rv-1 {
-			m.process.CompareAndSwap(pv, pi, rv+1, ri)
-		}
-		m.retire.CompareAndSwap(rv, ri, rv+1, pools.NoBlock)
+		m.completeSwap(v &^ 1)
+		bo.Pause()
 	}
 }

@@ -262,6 +262,90 @@ func TestRecyclingNeverLeaks(t *testing.T) {
 	}
 }
 
+// The sharded pools must preserve slot conservation exactly as the flat
+// ones did: same interleaved traffic as TestRecyclingNeverLeaks, but with
+// four shards forced (the 1-CPU default would collapse to one) so laggard
+// threads drain shards frozen at mixed versions and allocation steals
+// across shards.
+func TestShardedRecyclingNeverLeaks(t *testing.T) {
+	const threads = 3
+	m := newMgr(t, Config{MaxThreads: threads, Capacity: 8 * threads * 8, LocalPool: 8, OwnerHPs: 0, Shards: 4})
+	if m.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", m.Shards())
+	}
+	rng := rand.New(rand.NewSource(2))
+	live := map[uint32]bool{}
+	var liveList []uint32
+	for step := 0; step < 20000; step++ {
+		th := m.Thread(rng.Intn(threads))
+		if len(liveList) > 0 && rng.Intn(2) == 0 {
+			i := rng.Intn(len(liveList))
+			s := liveList[i]
+			liveList[i] = liveList[len(liveList)-1]
+			liveList = liveList[:len(liveList)-1]
+			delete(live, s)
+			th.Retire(s)
+		} else if len(liveList) < m.Capacity()/4 {
+			s := th.Alloc()
+			if live[s] {
+				t.Fatalf("slot %d double-allocated", s)
+			}
+			live[s] = true
+			liveList = append(liveList, s)
+		}
+	}
+	total := len(liveList)
+	for i := 0; i < threads; i++ {
+		m.Thread(i).FlushRetired()
+		total += m.Thread(i).LocalCounts()
+	}
+	ready, retire, processing := m.PoolCounts()
+	total += ready + retire + processing
+	if total != m.Capacity() {
+		t.Fatalf("slot leak: accounted %d of %d (ready=%d retire=%d processing=%d live=%d)",
+			total, m.Capacity(), ready, retire, processing, len(liveList))
+	}
+	if m.ReadySteals() == 0 {
+		t.Fatal("expected ready-pool steals with 3 threads on 4 shards")
+	}
+}
+
+// Regression test for the lost-warning race: setWarnings used to attempt
+// its CAS once per thread, so a concurrent Check (which CASes the warning
+// bit off) could make that attempt fail and leave the thread unstamped and
+// unwarned for the phase — a reclamation safety violation. The fixed loop
+// retries until the thread's stamp equals the phase, so after every
+// InjectWarnings(p) the stamp must read exactly p no matter how Check
+// interleaves.
+func TestSetWarningsConcurrentCheckNeverLoses(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 1, Capacity: 64, OwnerHPs: 0})
+	th := m.Thread(0)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				th.Check()
+			}
+		}
+	}()
+	for p := uint32(2); p <= 4000; p += 2 {
+		m.InjectWarnings(p)
+		if got := uint32(th.WarnWord() >> 8); got != p {
+			close(done)
+			wg.Wait()
+			t.Fatalf("after InjectWarnings(%d): stamp = %d — warning lost to concurrent Check", p, got)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
 // Concurrent ownership: a slot handed out by Alloc belongs to exactly one
 // thread until retired, even under heavy recycling churn.
 func TestConcurrentAllocRetireOwnership(t *testing.T) {
@@ -305,6 +389,66 @@ func TestConcurrentAllocRetireOwnership(t *testing.T) {
 	st := m.Stats()
 	if st.Allocs == 0 || st.Recycled == 0 {
 		t.Fatalf("expected churn, got %+v", st)
+	}
+}
+
+// Sharded pools under real concurrency: goroutines churn alloc/retire on
+// a 4-shard manager, then Quiesce must account for every slot (nothing
+// stranded on a shard the swap protocol missed).
+func TestShardedConcurrentChurnQuiesces(t *testing.T) {
+	const threads = 4
+	m := newMgr(t, Config{MaxThreads: threads, Capacity: threads * 300, LocalPool: 16, OwnerHPs: 0, Shards: 4})
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := m.Thread(id)
+			for i := 0; i < 20000; i++ {
+				th.Retire(th.Alloc())
+			}
+			th.FlushRetired()
+		}(id)
+	}
+	wg.Wait()
+	if left := m.Quiesce(); left != 0 {
+		t.Fatalf("Quiesce left %d slots unreclaimed across shards", left)
+	}
+	st := m.Stats()
+	if st.Recycled == 0 || st.Phases == 0 {
+		t.Fatalf("expected recycling churn, got %+v", st)
+	}
+}
+
+// The sharded hot path must stay zero-alloc, including steals: with one
+// thread homed on shard 0 of 4, the round-robin pre-chop leaves most ready
+// blocks on shards 1-3, so refills exercise the steal probe.
+func TestShardedOpsDoNotAllocate(t *testing.T) {
+	m := newMgr(t, Config{MaxThreads: 1, Capacity: 1 << 12, LocalPool: 32, OwnerHPs: 0, Shards: 4})
+	th := m.Thread(0)
+	// Hold half the capacity live: the pre-chop dealt ready blocks round-
+	// robin across the shards, so this burst outruns home shard 0's quarter
+	// and forces refills through the steal probe.
+	held := make([]uint32, 0, m.Capacity()/2)
+	for i := 0; i < cap(held); i++ {
+		held = append(held, th.Alloc())
+	}
+	if m.ReadySteals() == 0 {
+		t.Fatal("allocation burst past the home shard never stole")
+	}
+	for _, s := range held {
+		th.Retire(s)
+	}
+	th.FlushRetired()
+	warm := func() {
+		th.Retire(th.Alloc())
+		th.Recycling()
+	}
+	for i := 0; i < 256; i++ {
+		warm()
+	}
+	if avg := testing.AllocsPerRun(500, warm); avg > 0.05 {
+		t.Fatalf("sharded alloc/retire/recycle allocates %.2f objects/run", avg)
 	}
 }
 

@@ -9,20 +9,24 @@ import (
 // PoolCounts returns the number of slots sitting in (ready, retire,
 // processing) global pools. Only meaningful while no swap is in flight.
 func (m *Manager[T]) PoolCounts() (ready, retire, processing int) {
-	_, ri := m.retire.Load()
-	_, pi := m.process.Load()
-	_, retire = pools.ChainLen(m.ba, ri)
-	_, processing = pools.ChainLen(m.ba, pi)
+	_, retire = m.retire.ChainStats(m.ba)
+	_, processing = m.process.ChainStats(m.ba)
 	// Drain and refill ready to count it. A popped block's next link still
 	// points into the old chain, so count each block's own N only.
 	var blocks []uint32
 	m.ready.Drain(m.ba, func(b uint32) { blocks = append(blocks, b) })
 	for i := len(blocks) - 1; i >= 0; i-- {
 		ready += int(m.ba.B(blocks[i]).N)
-		m.ready.Push(m.ba, blocks[i])
+		m.ready.Push(m.ba, blocks[i], uint32(i))
 	}
 	return
 }
+
+// Shards exposes the configured shard count after defaulting.
+func (m *Manager[T]) Shards() int { return m.cfg.Shards }
+
+// ReadySteals exposes the ready pool's total steal count.
+func (m *Manager[T]) ReadySteals() uint64 { return m.ready.TotalSteals() }
 
 // LocalCounts returns the slots buffered in thread t's local blocks.
 func (t *Thread[T]) LocalCounts() int {

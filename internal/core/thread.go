@@ -37,12 +37,22 @@ type Thread[T any] struct {
 	allocBlk  uint32 // current allocation block, NoBlock if none
 	retireBlk uint32 // current local retire block, NoBlock if none
 
+	// rng drives the pseudo-random shard steal probing (xorshift64,
+	// thread-local so probing costs no shared memory traffic).
+	rng uint64
+
 	// view snapshots the arena's grow-only chunk directory so the node
 	// dereference hot path (every hop of every traversal) pays zero atomic
 	// loads; see arena.View for the staleness-safety argument.
 	view arena.View[T]
 
 	scratchHP smr.SlotSet // reused sorted hazard-pointer snapshot
+	// snapPhase/snapValid key the scratchHP cache: within one phase the
+	// sealed snapshot is rebuilt at most once per thread, because every
+	// drain pass of phase p may reuse any snapshot taken after this thread
+	// ran setWarnings(p) (see snapshotHPs for the safety argument).
+	snapPhase uint32
+	snapValid bool
 
 	// stats is this thread's cache-padded counter block inside the
 	// manager's obs.ThreadStats array. The owner increments with
@@ -153,7 +163,8 @@ func (t *Thread[T]) ClearOwnerHPs() {
 
 // Alloc implements Algorithm 5: pop a slot from the local allocation block,
 // refilling from the readyPool and running Recycling as needed, then zero
-// the slot.
+// the slot. Refills hit the thread's home shard first — uncontended in
+// steady state — and steal from sibling shards only when it runs dry.
 func (t *Thread[T]) Alloc() uint32 {
 	m := t.mgr
 	for spins := 0; ; spins++ {
@@ -168,7 +179,7 @@ func (t *Thread[T]) Alloc() uint32 {
 			m.ba.Put(t.allocBlk)
 			t.allocBlk = pools.NoBlock
 		}
-		if blk, st := m.ready.Pop(m.ba); st == pools.StatusOK {
+		if blk, st := m.ready.Pop(m.ba, uint32(t.id), &t.rng); st == pools.StatusOK {
 			t.allocBlk = blk
 			continue
 		}
@@ -204,7 +215,7 @@ func (t *Thread[T]) Retire(slot uint32) {
 		return
 	}
 	for {
-		if st := m.retire.Push(m.ba, t.retireBlk, t.localVer); st == pools.StatusOK {
+		if st := m.retire.Push(m.ba, t.retireBlk, t.localVer, uint32(t.id)); st == pools.StatusOK {
 			t.retireBlk = pools.NoBlock
 			if obs.Enabled() {
 				t.stats.SetLocalRetired(0)
@@ -224,7 +235,7 @@ func (t *Thread[T]) FlushRetired() {
 		return
 	}
 	for {
-		if st := m.retire.Push(m.ba, t.retireBlk, t.localVer); st == pools.StatusOK {
+		if st := m.retire.Push(m.ba, t.retireBlk, t.localVer, uint32(t.id)); st == pools.StatusOK {
 			t.retireBlk = pools.NoBlock
 			if obs.Enabled() {
 				t.stats.SetLocalRetired(0)
@@ -244,27 +255,37 @@ func (t *Thread[T]) Recycling() {
 	m := t.mgr
 	started := time.Now()
 	defer func() { m.phaseHst.Observe(time.Since(started)) }()
-	rv, ri := m.retire.Load()
+	rv, stable := m.retire.Scan()
 	switch {
-	case rv == t.localVer:
+	case stable && rv == t.localVer:
 		// We are current. Start a new phase only once this phase's
-		// processing pool is drained (see the deviation note in the package
-		// comment); otherwise participate in the current phase below.
-		if pv, pi := m.process.Load(); pv == t.localVer && pi == pools.NoBlock {
-			m.retire.CompareAndSwap(rv, ri, rv+1, ri)
+		// processing pool is drained across every shard (see the deviation
+		// note in the package comment); otherwise participate in the
+		// current phase below.
+		if m.process.EmptyAt(t.localVer) {
+			m.freezeRetire(t.localVer)
 			m.helpSwap()
 			t.localVer += 2
 		}
-	case rv == t.localVer+1:
-		// A freeze for our phase is in flight: help complete it. The
-		// freezer verified the processing pool was empty.
+	case rv&^1 == t.localVer:
+		// A swap for our phase is in flight (some shards odd or already
+		// advanced): help complete it. The freezer verified the processing
+		// pool was empty.
 		m.helpSwap()
 		t.localVer += 2
 	default:
-		// We lag behind; catch up one phase per call (Algorithm 6 line 9).
-		t.localVer += 2
+		// We lag behind: jump to the pool's current phase (the paper's
+		// Algorithm 6 line 9 catches up one phase per call, but the
+		// intermediate phases were completed by their own recyclers, so a
+		// laggard has nothing to do in them — and Quiesce relies on one
+		// call reaching the front however long this context sat idle).
+		if nv := rv &^ 1; nv > t.localVer {
+			t.localVer = nv
+		} else {
+			t.localVer += 2
+		}
 	}
-	if v, _ := m.retire.Load(); v > t.localVer {
+	if v, _ := m.retire.Scan(); v > t.localVer {
 		return // phase already finished (Algorithm 6 line 10)
 	}
 	m.setWarnings(t.localVer)
@@ -277,8 +298,24 @@ func (t *Thread[T]) Recycling() {
 // sorted scratch set (Algorithm 6 lines 16–18; the paper uses a hash
 // table, but with at most threads·HPs entries a sorted array + binary
 // search makes both the build and each drain probe cheaper).
+//
+// The sealed set is cached per phase: repeated drain passes inside one
+// phase (an allocating thread spinning on Recycling, or a laggard catching
+// up after the pool already drained) reuse the snapshot instead of
+// re-reading threads·HPs atomics and re-sorting. Reuse is safe in both
+// directions. HPs cleared since the snapshot only make it pessimistic: the
+// slot is re-retired and reclaimed next phase. HPs published since the
+// snapshot cannot protect a slot this phase drains: the snapshot was taken
+// after this thread ran setWarnings(phase), so a publisher either had not
+// yet acknowledged the phase — its next Check restarts it and clears the
+// HP before any write — or had acknowledged it, after which a fresh
+// traversal cannot reach slots retired before the phase (§4; the same
+// argument that lets one snapshot cover a whole multi-block drain).
 func (t *Thread[T]) snapshotHPs() *smr.SlotSet {
 	hp := &t.scratchHP
+	if t.snapValid && t.snapPhase == t.localVer {
+		return hp
+	}
 	hp.Reset()
 	for _, other := range t.mgr.threads {
 		for i := range other.hps {
@@ -288,6 +325,8 @@ func (t *Thread[T]) snapshotHPs() *smr.SlotSet {
 		}
 	}
 	hp.Seal()
+	t.snapPhase = t.localVer
+	t.snapValid = true
 	return hp
 }
 
@@ -295,8 +334,12 @@ func (t *Thread[T]) snapshotHPs() *smr.SlotSet {
 // lines 20–30). The active ready/re-retire block pointers are resolved
 // once per block swap, and generation bumps go through the thread's gens
 // view, so the per-slot loop performs no block-table or chunk-table loads.
+// Pops prefer the thread's home processing shard and steal from siblings,
+// so concurrent drainers of one phase spread across the shards instead of
+// convoying on one head word.
 func (t *Thread[T]) drain(hp *smr.SlotSet) {
 	m := t.mgr
+	home := uint32(t.id)
 	readyBlk := pools.NoBlock
 	reBlk := pools.NoBlock
 	var readyB, reB *pools.Block
@@ -305,7 +348,7 @@ func (t *Thread[T]) drain(hp *smr.SlotSet) {
 	// at the end so the drain loop itself performs no atomic adds.
 	var recycled, reRetired uint64
 	for {
-		blk, st := m.process.Pop(m.ba, t.localVer)
+		blk, st := m.process.Pop(m.ba, t.localVer, home, &t.rng)
 		if st != pools.StatusOK {
 			break // StatusEmpty: phase drained; StatusVerMismatch: superseded
 		}
@@ -336,7 +379,7 @@ func (t *Thread[T]) drain(hp *smr.SlotSet) {
 				readyB.Push(slot)
 				recycled++
 				if readyB.Full(limit) {
-					m.ready.Push(m.ba, readyBlk)
+					m.ready.Push(m.ba, readyBlk, home)
 					readyBlk = pools.NoBlock
 					readyB = nil
 				}
@@ -349,7 +392,7 @@ func (t *Thread[T]) drain(hp *smr.SlotSet) {
 		if readyB.Empty() {
 			m.ba.Put(readyBlk)
 		} else {
-			m.ready.Push(m.ba, readyBlk)
+			m.ready.Push(m.ba, readyBlk, home)
 		}
 	}
 	if reBlk != pools.NoBlock {
@@ -375,7 +418,7 @@ func (t *Thread[T]) pushRetireAnyPhase(blk uint32) {
 	m := t.mgr
 	for {
 		ver := m.helpSwap()
-		if st := m.retire.Push(m.ba, blk, ver); st == pools.StatusOK {
+		if st := m.retire.Push(m.ba, blk, ver, uint32(t.id)); st == pools.StatusOK {
 			return
 		}
 	}

@@ -67,6 +67,10 @@ type BuildConfig struct {
 	AnchorsK int
 	// WarningByStore enables the Appendix E ablation in the OA scheme.
 	WarningByStore bool
+	// Shards overrides the OA scheme's block-pool shard count (0 defaults
+	// to min(threads, GOMAXPROCS) rounded up to a power of two). Only the
+	// OA scheme has sharded pools; the other schemes ignore it.
+	Shards int
 }
 
 func (c *BuildConfig) fill() {
@@ -113,7 +117,7 @@ func Build(c BuildConfig) (smr.Set, error) {
 		case smr.OA:
 			return list.NewOA(core.Config{
 				MaxThreads: c.Threads, Capacity: capacity,
-				LocalPool: c.LocalPool, WarningByStore: c.WarningByStore,
+				LocalPool: c.LocalPool, WarningByStore: c.WarningByStore, Shards: c.Shards,
 			}), nil
 		case smr.HP:
 			return list.NewHP(hpscheme.Config{
@@ -138,7 +142,7 @@ func Build(c BuildConfig) (smr.Set, error) {
 		case smr.OA:
 			return hashtable.NewOA(core.Config{
 				MaxThreads: c.Threads, Capacity: capacity,
-				LocalPool: c.LocalPool, WarningByStore: c.WarningByStore,
+				LocalPool: c.LocalPool, WarningByStore: c.WarningByStore, Shards: c.Shards,
 			}, size), nil
 		case smr.HP:
 			return hashtable.NewHP(hpscheme.Config{
@@ -158,7 +162,7 @@ func Build(c BuildConfig) (smr.Set, error) {
 		case smr.OA:
 			return skiplist.NewOA(core.Config{
 				MaxThreads: c.Threads, Capacity: capacity,
-				LocalPool: c.LocalPool, WarningByStore: c.WarningByStore,
+				LocalPool: c.LocalPool, WarningByStore: c.WarningByStore, Shards: c.Shards,
 			}), nil
 		case smr.HP:
 			return skiplist.NewHP(hpscheme.Config{

@@ -25,6 +25,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, g := range r.gauges {
 		p("# HELP %s %s\n# TYPE %s gauge\n%s %s\n", g.name, g.help, g.name, g.name, fmtFloat(g.fn()))
 	}
+	for _, vc := range r.vecCounters {
+		p("# HELP %s %s\n# TYPE %s counter\n", vc.name, vc.help, vc.name)
+		for i := 0; i < vc.n; i++ {
+			p("%s{%s=%q} %d\n", vc.name, vc.label, strconv.Itoa(i), vc.fn(i))
+		}
+	}
+	for _, vg := range r.vecGauges {
+		p("# HELP %s %s\n# TYPE %s gauge\n", vg.name, vg.help, vg.name)
+		for i := 0; i < vg.n; i++ {
+			p("%s{%s=%q} %s\n", vg.name, vg.label, strconv.Itoa(i), fmtFloat(vg.fn(i)))
+		}
+	}
 	for _, te := range r.threads {
 		for c := Counter(0); c < NumCounters; c++ {
 			name := te.prefix + "_" + c.String() + "_total"

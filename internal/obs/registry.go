@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"strconv"
 	"sync"
 
 	"repro/internal/metrics"
@@ -34,15 +35,29 @@ type histEntry struct {
 	h          *metrics.Histogram
 }
 
+type vecGaugeEntry struct {
+	name, help, label string
+	n                 int
+	fn                func(i int) float64
+}
+
+type vecCounterEntry struct {
+	name, help, label string
+	n                 int
+	fn                func(i int) uint64
+}
+
 // Registry collects metric sources and renders them as Prometheus text or
 // JSON. Registration happens at setup time; scrapes may run concurrently
 // with the writers feeding the sources (sources are sampled, not locked).
 type Registry struct {
-	mu       sync.Mutex
-	gauges   []gaugeEntry
-	counters []counterEntry
-	threads  []threadEntry
-	hists    []histEntry
+	mu          sync.Mutex
+	gauges      []gaugeEntry
+	counters    []counterEntry
+	vecGauges   []vecGaugeEntry
+	vecCounters []vecCounterEntry
+	threads     []threadEntry
+	hists       []histEntry
 }
 
 // NewRegistry returns an empty registry.
@@ -62,6 +77,25 @@ func (r *Registry) Counter(name, help string, fn CounterFunc) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.counters = append(r.counters, counterEntry{name, help, fn})
+}
+
+// GaugeVec registers a family of n gauges sharing one name and help text,
+// distinguished by a label (e.g. shard): sample i exports as
+// name{label="i"} under a single HELP/TYPE header. Used for per-shard pool
+// occupancy, where one metric per shard would drown the scrape output in
+// headers.
+func (r *Registry) GaugeVec(name, help, label string, n int, fn func(i int) float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vecGauges = append(r.vecGauges, vecGaugeEntry{name, help, label, n, fn})
+}
+
+// CounterVec registers a family of n cumulative counters sharing one name,
+// distinguished by a label; sample i exports as name{label="i"}.
+func (r *Registry) CounterVec(name, help, label string, n int, fn func(i int) uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vecCounters = append(r.vecCounters, vecCounterEntry{name, help, label, n, fn})
 }
 
 // ThreadCounters registers a per-thread counter block set; each counter
@@ -103,17 +137,27 @@ func (r *Registry) snapshot() jsonSnapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := jsonSnapshot{}
-	if len(r.counters) > 0 || len(r.threads) > 0 {
+	if len(r.counters) > 0 || len(r.threads) > 0 || len(r.vecCounters) > 0 {
 		s.Counters = map[string]uint64{}
 	}
 	for _, c := range r.counters {
 		s.Counters[c.name] = c.fn()
 	}
-	if len(r.gauges) > 0 {
+	for _, vc := range r.vecCounters {
+		for i := 0; i < vc.n; i++ {
+			s.Counters[vc.name+"{"+vc.label+"=\""+strconv.Itoa(i)+"\"}"] = vc.fn(i)
+		}
+	}
+	if len(r.gauges) > 0 || len(r.vecGauges) > 0 {
 		s.Gauges = map[string]float64{}
 	}
 	for _, g := range r.gauges {
 		s.Gauges[g.name] = g.fn()
+	}
+	for _, vg := range r.vecGauges {
+		for i := 0; i < vg.n; i++ {
+			s.Gauges[vg.name+"{"+vg.label+"=\""+strconv.Itoa(i)+"\"}"] = vg.fn(i)
+		}
 	}
 	if len(r.threads) > 0 {
 		s.PerThread = map[string][]map[string]uint64{}

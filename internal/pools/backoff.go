@@ -1,0 +1,44 @@
+package pools
+
+import "runtime"
+
+// Backoff is a bounded exponential backoff for contended CAS retry loops.
+// The first few pauses busy-spin for an exponentially growing number of
+// iterations (staying on-CPU, the cheap case when the conflicting writer
+// is running on another core); once the spin budget is exhausted every
+// further pause yields the processor, which is the right response when the
+// conflicting writer is a goroutine waiting for our P.
+//
+// A Backoff is a plain value: declare one per retry loop (zero cost when
+// the first CAS succeeds) and call Pause after each failed attempt. It
+// never allocates, so it is safe inside the zero-alloc reclamation paths.
+type Backoff struct {
+	n uint8
+}
+
+// backoffSpinShiftCap bounds the busy-spin stage at 2^5 = 32 relax
+// iterations per pause; past that Pause degrades to runtime.Gosched.
+const backoffSpinShiftCap = 5
+
+// Pause delays the caller according to the number of failures so far.
+func (b *Backoff) Pause() {
+	if b.n <= backoffSpinShiftCap {
+		for i := 0; i < 1<<b.n; i++ {
+			cpuRelax()
+		}
+		b.n++
+		return
+	}
+	runtime.Gosched()
+}
+
+// Reset forgets accumulated failures, returning to the shortest pause.
+// Call it after a successful operation when reusing the value.
+func (b *Backoff) Reset() { b.n = 0 }
+
+// cpuRelax burns one call's worth of time without touching memory. The
+// noinline pragma stops the compiler from deleting the spin loop around it
+// (Go has no portable PAUSE intrinsic).
+//
+//go:noinline
+func cpuRelax() {}

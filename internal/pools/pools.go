@@ -116,6 +116,7 @@ func (ba *BlockArena) B(idx uint32) *Block { return ba.a.At(idx) }
 
 // Get returns an empty block, recycling from the freelist when possible.
 func (ba *BlockArena) Get() uint32 {
+	var bo Backoff
 	for {
 		w := ba.free.Load()
 		c, idx := unpack(w)
@@ -131,12 +132,14 @@ func (ba *BlockArena) Get() uint32 {
 			b.N = 0
 			return idx
 		}
+		bo.Pause()
 	}
 }
 
 // Put returns an empty block to the freelist.
 func (ba *BlockArena) Put(idx uint32) {
 	b := ba.a.At(idx)
+	var bo Backoff
 	for {
 		w := ba.free.Load()
 		c, head := unpack(w)
@@ -145,6 +148,7 @@ func (ba *BlockArena) Put(idx uint32) {
 			ba.nfree.Add(1)
 			return
 		}
+		bo.Pause()
 	}
 }
 
@@ -182,6 +186,7 @@ func (s *VStack) CompareAndSwap(oldVer, oldIdx, newVer, newIdx uint32) bool {
 // equals ver.
 func (s *VStack) Push(ba *BlockArena, idx, ver uint32) Status {
 	b := ba.B(idx)
+	var bo Backoff
 	for {
 		w := s.head.Load()
 		v, top := unpack(w)
@@ -192,12 +197,14 @@ func (s *VStack) Push(ba *BlockArena, idx, ver uint32) Status {
 		if s.head.CompareAndSwap(w, pack(ver, idx)) {
 			return StatusOK
 		}
+		bo.Pause()
 	}
 }
 
 // Pop removes and returns the top block, succeeding only while the stack
 // version equals ver.
 func (s *VStack) Pop(ba *BlockArena, ver uint32) (uint32, Status) {
+	var bo Backoff
 	for {
 		w := s.head.Load()
 		v, top := unpack(w)
@@ -211,6 +218,7 @@ func (s *VStack) Pop(ba *BlockArena, ver uint32) (uint32, Status) {
 		if s.head.CompareAndSwap(w, pack(ver, next)) {
 			return top, StatusOK
 		}
+		bo.Pause()
 	}
 }
 
@@ -227,6 +235,7 @@ func (s *CountedStack) Init() { s.head.Store(pack(0, NoBlock)) }
 // Push adds block idx on top.
 func (s *CountedStack) Push(ba *BlockArena, idx uint32) {
 	b := ba.B(idx)
+	var bo Backoff
 	for {
 		w := s.head.Load()
 		c, top := unpack(w)
@@ -234,11 +243,13 @@ func (s *CountedStack) Push(ba *BlockArena, idx uint32) {
 		if s.head.CompareAndSwap(w, pack(c+1, idx)) {
 			return
 		}
+		bo.Pause()
 	}
 }
 
 // Pop removes and returns the top block, or (NoBlock, StatusEmpty).
 func (s *CountedStack) Pop(ba *BlockArena) (uint32, Status) {
+	var bo Backoff
 	for {
 		w := s.head.Load()
 		c, top := unpack(w)
@@ -249,6 +260,7 @@ func (s *CountedStack) Pop(ba *BlockArena) (uint32, Status) {
 		if s.head.CompareAndSwap(w, pack(c, next)) {
 			return top, StatusOK
 		}
+		bo.Pause()
 	}
 }
 
