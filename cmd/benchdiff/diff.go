@@ -18,15 +18,30 @@ type report struct {
 		Structures []struct {
 			Structure string `json:"structure"`
 			Rows      []struct {
-				Threads    int     `json:"threads"`
-				NoReclMops float64 `json:"norecl_mops"`
-				Schemes    []struct {
-					Scheme string  `json:"scheme"`
-					Mops   float64 `json:"mops"`
+				Threads       int       `json:"threads"`
+				NoReclMops    float64   `json:"norecl_mops"`
+				NoReclLatency *latBlock `json:"norecl_latency"`
+				Schemes       []struct {
+					Scheme  string    `json:"scheme"`
+					Mops    float64   `json:"mops"`
+					Latency *latBlock `json:"latency"`
 				} `json:"schemes"`
 			} `json:"rows"`
 		} `json:"structures"`
 	} `json:"figures"`
+}
+
+// latBlock is the slice of the per-cell latency block benchdiff compares;
+// reports written before latency sampling existed simply leave it nil.
+type latBlock struct {
+	Contains latHist `json:"contains"`
+	Insert   latHist `json:"insert"`
+	Delete   latHist `json:"delete"`
+}
+
+type latHist struct {
+	Count uint64 `json:"count"`
+	P99Ns uint64 `json:"p99_ns"`
 }
 
 func readReport(path string) (*report, error) {
@@ -67,6 +82,62 @@ func cells(r *report) map[key]float64 {
 		}
 	}
 	return m
+}
+
+// latCells flattens a report into its latency map; cells without a block
+// are absent.
+func latCells(r *report) map[key]*latBlock {
+	m := map[key]*latBlock{}
+	for _, f := range r.Figures {
+		for _, s := range f.Structures {
+			for _, row := range s.Rows {
+				if row.NoReclLatency != nil {
+					m[key{f.Name, s.Structure, row.Threads, "norecl"}] = row.NoReclLatency
+				}
+				for _, sc := range row.Schemes {
+					if sc.Latency != nil {
+						m[key{f.Name, s.Structure, row.Threads, sc.Scheme}] = sc.Latency
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// printLatency renders an informational p99 comparison table. Latency never
+// gates — tail percentiles on a shared host are far noisier than means —
+// and when either report predates latency blocks the comparison is skipped
+// with a note instead of an error, so old baselines keep working.
+func printLatency(w io.Writer, oldRep, newRep *report) {
+	oldLat, newLat := latCells(oldRep), latCells(newRep)
+	if len(newLat) == 0 {
+		fmt.Fprintf(w, "# latency: new report has no latency blocks; nothing to compare\n")
+		return
+	}
+	if len(oldLat) == 0 {
+		fmt.Fprintf(w, "# latency: old report predates latency blocks; skipping p99 comparison (%d new cells carry latency)\n",
+			len(newLat))
+		return
+	}
+	type latDiff struct {
+		key      key
+		old, new *latBlock
+	}
+	var joined []latDiff
+	for k, nv := range newLat {
+		if ov, ok := oldLat[k]; ok {
+			joined = append(joined, latDiff{k, ov, nv})
+		}
+	}
+	sort.Slice(joined, func(i, j int) bool { return joined[i].key.String() < joined[j].key.String() })
+	fmt.Fprintf(w, "# latency p99 (ns), informational only\n")
+	fmt.Fprintf(w, "%-44s %12s %12s %12s %12s\n", "cell", "old_contains", "new_contains", "old_insert", "new_insert")
+	for _, d := range joined {
+		fmt.Fprintf(w, "%-44s %12d %12d %12d %12d\n", d.key,
+			d.old.Contains.P99Ns, d.new.Contains.P99Ns, d.old.Insert.P99Ns, d.new.Insert.P99Ns)
+	}
+	fmt.Fprintf(w, "# %d latency cells joined\n", len(joined))
 }
 
 // cellDiff is one joined cell.

@@ -96,3 +96,59 @@ func TestPrintMarksRegressions(t *testing.T) {
 		t.Fatalf("unmatched cells not reported:\n%s", out)
 	}
 }
+
+const sampleNewWithLatency = `{
+  "generated": "2026-01-03T00:00:00Z",
+  "figures": [{
+    "name": "fig1", "structures": [{
+      "structure": "list", "rows": [{
+        "threads": 1, "norecl_mops": 10.0,
+        "norecl_latency": {"sample_every": 8,
+          "contains": {"count": 100, "p99_ns": 2047},
+          "insert": {"count": 10, "p99_ns": 4095},
+          "delete": {"count": 10, "p99_ns": 4095}},
+        "schemes": [
+          {"scheme": "oa", "mops": 9.0,
+           "latency": {"sample_every": 8,
+             "contains": {"count": 90, "p99_ns": 4095},
+             "insert": {"count": 9, "p99_ns": 8191},
+             "delete": {"count": 9, "p99_ns": 8191}}}
+        ]
+      }]
+    }]
+  }]
+}`
+
+// An old report without latency blocks must produce a skip note, not an
+// error — the back-compat contract for pre-latency baselines.
+func TestLatencySkippedWhenOldLacksBlocks(t *testing.T) {
+	var sb strings.Builder
+	printLatency(&sb, parse(t, sampleOld), parse(t, sampleNewWithLatency))
+	out := sb.String()
+	if !strings.Contains(out, "old report predates latency blocks") {
+		t.Fatalf("missing skip note:\n%s", out)
+	}
+	if strings.Contains(out, "p99 (ns)") {
+		t.Fatalf("comparison table printed despite missing old data:\n%s", out)
+	}
+}
+
+func TestLatencyComparisonJoins(t *testing.T) {
+	var sb strings.Builder
+	printLatency(&sb, parse(t, sampleNewWithLatency), parse(t, sampleNewWithLatency))
+	out := sb.String()
+	if !strings.Contains(out, "2 latency cells joined") {
+		t.Fatalf("expected 2 joined latency cells:\n%s", out)
+	}
+	if !strings.Contains(out, "2047") || !strings.Contains(out, "4095") {
+		t.Fatalf("p99 values missing from table:\n%s", out)
+	}
+}
+
+func TestLatencyNoteWhenNewLacksBlocks(t *testing.T) {
+	var sb strings.Builder
+	printLatency(&sb, parse(t, sampleNewWithLatency), parse(t, sampleNew))
+	if !strings.Contains(sb.String(), "new report has no latency blocks") {
+		t.Fatalf("missing note:\n%s", sb.String())
+	}
+}

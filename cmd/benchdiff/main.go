@@ -40,6 +40,7 @@ func main() {
 	}
 	d := diff(oldRep, newRep)
 	d.print(os.Stdout, *oldPath, *newPath, *threshold)
+	printLatency(os.Stdout, oldRep, newRep)
 	if len(d.below(*threshold)) > 0 {
 		os.Exit(1)
 	}

@@ -37,6 +37,7 @@ type options struct {
 	quick      bool
 	jsonPath   string
 	notes      string
+	latsample  int
 }
 
 func main() {
@@ -53,6 +54,8 @@ func main() {
 	flag.StringVar(&o.jsonPath, "json", "",
 		"also write the figure-family results as JSON to this file")
 	flag.StringVar(&o.notes, "notes", "", "free-form note embedded in the JSON report")
+	flag.IntVar(&o.latsample, "latsample", 64,
+		"time one op in N per thread for latency percentiles (0 disables all clock reads)")
 	flag.Parse()
 
 	for _, part := range strings.Split(threadsFlag, ",") {
@@ -156,6 +159,14 @@ func measure(o options, st harness.Structure, sc smr.Scheme, threads int,
 // for reports that embed them next to the throughput.
 func measureObserved(o options, st harness.Structure, sc smr.Scheme, threads int,
 	readFraction float64, delta, localPool int, warnStore bool) (float64, smr.Stats) {
+	mean, last := measureFull(o, st, sc, threads, readFraction, delta, localPool, warnStore)
+	return mean, last.Stats
+}
+
+// measureFull returns the mean throughput and the final repetition's full
+// Result — counters plus the latency histograms -latsample enables.
+func measureFull(o options, st harness.Structure, sc smr.Scheme, threads int,
+	readFraction float64, delta, localPool int, warnStore bool) (float64, harness.Result) {
 	mk := func() smr.Set {
 		set, err := harness.Build(harness.BuildConfig{
 			Structure: st, Scheme: sc, Threads: threads,
@@ -169,7 +180,8 @@ func measureObserved(o options, st harness.Structure, sc smr.Scheme, threads int
 	}
 	w := harness.WorkloadFor(st, threads, readFraction)
 	w.Duration = o.duration
-	mean, _, last := harness.RepeatObserved(mk, w, o.reps)
+	w.LatencySample = o.latsample
+	mean, _, last := harness.RepeatFull(mk, w, o.reps)
 	return mean, last
 }
 
@@ -196,18 +208,23 @@ func figureSweep(o options, name, title string, readFraction float64, absolute b
 			if n > capThreads {
 				continue
 			}
-			base, baseStats := measureObserved(o, st, smr.NoRecl, n, readFraction, o.delta, 126, false)
-			row := Row{Threads: n, NoReclMops: base, NoReclCounters: countersFrom(baseStats)}
+			base, baseRes := measureFull(o, st, smr.NoRecl, n, readFraction, o.delta, 126, false)
+			row := Row{
+				Threads: n, NoReclMops: base,
+				NoReclCounters: countersFrom(baseRes.Stats),
+				NoReclLatency:  latencyFrom(baseRes.Latency),
+			}
 			fmt.Printf("%8d %10.3f", n, base)
 			for _, sc := range schemes {
-				v, stats := measureObserved(o, st, sc, n, readFraction, o.delta, 126, false)
+				v, res := measureFull(o, st, sc, n, readFraction, o.delta, 126, false)
 				ratio := 0.0
 				if base > 0 {
 					ratio = v / base
 				}
 				row.Schemes = append(row.Schemes, SchemeCell{
 					Scheme: sc.String(), Mops: v, RatioVsNoRecl: ratio,
-					Counters: countersFrom(stats),
+					Counters: countersFrom(res.Stats),
+					Latency:  latencyFrom(res.Latency),
 				})
 				if absolute {
 					fmt.Printf(" %10.3f", v)

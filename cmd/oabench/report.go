@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/harness"
 	"repro/internal/smr"
 )
 
@@ -23,6 +24,9 @@ type Report struct {
 	Duration   string `json:"duration"`
 	Reps       int    `json:"reps"`
 	Delta      int    `json:"delta"`
+	// LatSample is the per-thread latency sampling period (0 = no latency
+	// blocks in this report).
+	LatSample int `json:"latsample,omitempty"`
 	// Notes carries free-form context, e.g. the pre-change baseline the
 	// run is meant to be compared against.
 	Notes   string   `json:"notes,omitempty"`
@@ -48,15 +52,71 @@ type Row struct {
 	Threads        int          `json:"threads"`
 	NoReclMops     float64      `json:"norecl_mops"`
 	NoReclCounters CounterBlock `json:"norecl_counters"`
-	Schemes        []SchemeCell `json:"schemes"`
+	// NoReclLatency is present only when the run sampled latencies
+	// (-latsample > 0); older reports lack the field entirely.
+	NoReclLatency *LatencyBlock `json:"norecl_latency,omitempty"`
+	Schemes       []SchemeCell  `json:"schemes"`
 }
 
 // SchemeCell is one (scheme, threads) measurement.
 type SchemeCell struct {
-	Scheme        string       `json:"scheme"`
-	Mops          float64      `json:"mops"`
-	RatioVsNoRecl float64      `json:"ratio_vs_norecl"`
-	Counters      CounterBlock `json:"counters"`
+	Scheme        string        `json:"scheme"`
+	Mops          float64       `json:"mops"`
+	RatioVsNoRecl float64       `json:"ratio_vs_norecl"`
+	Counters      CounterBlock  `json:"counters"`
+	Latency       *LatencyBlock `json:"latency,omitempty"`
+}
+
+// LatencyHist summarizes the sampled latency of one operation kind in the
+// final repetition, in nanoseconds (log₂-bucket upper bounds for the
+// percentiles).
+type LatencyHist struct {
+	Count  uint64 `json:"count"`
+	MeanNs uint64 `json:"mean_ns"`
+	P50Ns  uint64 `json:"p50_ns"`
+	P90Ns  uint64 `json:"p90_ns"`
+	P99Ns  uint64 `json:"p99_ns"`
+	P999Ns uint64 `json:"p999_ns"`
+	MaxNs  uint64 `json:"max_ns"`
+}
+
+// LatencyBlock carries the three per-operation histograms of one cell.
+type LatencyBlock struct {
+	// SampleEvery is the per-thread sampling period that produced the data
+	// (one timed op in SampleEvery).
+	SampleEvery int         `json:"sample_every"`
+	Contains    LatencyHist `json:"contains"`
+	Insert      LatencyHist `json:"insert"`
+	Delete      LatencyHist `json:"delete"`
+}
+
+// latencyFrom converts the harness aggregate into the JSON block; nil in,
+// nil out, so unsampled runs keep the field absent.
+func latencyFrom(l *harness.OpLatency) *LatencyBlock {
+	if l == nil {
+		return nil
+	}
+	conv := func(k harness.OpKind) LatencyHist {
+		s := l.Hist(k).Snapshot()
+		h := LatencyHist{
+			Count:  s.Count,
+			MaxNs:  s.Max,
+			P50Ns:  s.QuantileNs(0.50),
+			P90Ns:  s.QuantileNs(0.90),
+			P99Ns:  s.QuantileNs(0.99),
+			P999Ns: s.QuantileNs(0.999),
+		}
+		if s.Count > 0 {
+			h.MeanNs = s.Sum / s.Count
+		}
+		return h
+	}
+	return &LatencyBlock{
+		SampleEvery: l.SampleEvery,
+		Contains:    conv(harness.OpContains),
+		Insert:      conv(harness.OpInsert),
+		Delete:      conv(harness.OpDelete),
+	}
 }
 
 // CounterBlock embeds the final repetition's aggregate SMR counters next
@@ -98,6 +158,7 @@ func newReport(o options, notes string) *Report {
 		Duration:   o.duration.String(),
 		Reps:       o.reps,
 		Delta:      o.delta,
+		LatSample:  o.latsample,
 		Notes:      notes,
 	}
 }

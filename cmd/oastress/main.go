@@ -8,12 +8,16 @@
 //	oastress -structure Hash -scheme OA -threads 8 -duration 30s
 //	oastress -all -duration 2s
 //	oastress -http :8080 -snapshot 1s -duration 5m   # live /metrics + pprof
+//	oastress -trace trace.json -duration 10s         # Perfetto-loadable dump
 //
-// With -http the process serves /metrics (Prometheus text), /stats.json
-// and /debug/pprof/ while soaking; with -snapshot it prints a live
-// progress line per interval. SIGINT/SIGTERM stop the current soak early
-// but still run its verification pass, dump the final statistics, and
-// exit 130; a second signal kills the process.
+// With -http the process serves /metrics (Prometheus text), /stats.json,
+// /trace (protocol event timeline) and /debug/pprof/ while soaking; with
+// -snapshot it prints a live progress line per interval; with -trace it
+// writes the last soak's reclamation event trace in Chrome trace_event
+// format on exit. SIGINT/SIGTERM stop the current soak early but still run
+// its verification pass, dump the final statistics — per-op latency
+// percentiles and traced-event totals included — and exit 130; a second
+// signal kills the process.
 package main
 
 import (
@@ -34,10 +38,12 @@ import (
 	"repro/internal/harness"
 	"repro/internal/hpscheme"
 	"repro/internal/linearize"
+	"repro/internal/metrics"
 	"repro/internal/norecl"
 	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/smr"
+	"repro/internal/trace"
 )
 
 // interrupted closes on the first SIGINT/SIGTERM. activeReg is the metric
@@ -48,7 +54,8 @@ var (
 	interrupted  = make(chan struct{})
 	activeReg    atomic.Pointer[obs.Registry]
 	snapInterval time.Duration
-	poolShards   int // -shards: OA block-pool shard override, 0 = default
+	poolShards   int    // -shards: OA block-pool shard override, 0 = default
+	tracePath    string // -trace: Chrome trace_event dump target, "" = off
 )
 
 // wait sleeps for d, returning false early if the process is interrupted.
@@ -93,6 +100,13 @@ func stress(st harness.Structure, sc smr.Scheme, threads int, d time.Duration, k
 	reg := obs.NewRegistry()
 	harness.Observe(reg, set)
 	reg.ThreadCounters("stress", ts)
+	// One shared histogram per operation kind (metrics.Histogram is
+	// concurrent); every 8th op per worker is timed, so the percentiles in
+	// the final dump come from the soak itself, not a separate run.
+	var lat [3]metrics.Histogram
+	reg.Histogram("stress_contains_latency_seconds", "sampled Contains latency during the soak", &lat[0])
+	reg.Histogram("stress_insert_latency_seconds", "sampled Insert latency during the soak", &lat[1])
+	reg.Histogram("stress_delete_latency_seconds", "sampled Delete latency during the soak", &lat[2])
 	activeReg.Store(reg)
 
 	var stop atomic.Bool
@@ -116,7 +130,13 @@ func stress(st harness.Structure, sc smr.Scheme, threads int, d time.Duration, k
 				rng ^= rng >> 7
 				rng ^= rng << 17
 				k := rng%uint64(keys) + 1
-				switch (rng >> 40) % 3 {
+				timed := n&7 == 0
+				var t0 time.Time
+				if timed {
+					t0 = time.Now()
+				}
+				kind := (rng >> 40) % 3
+				switch kind {
 				case 0:
 					if s.Insert(k) {
 						counters[k].ins.Add(1)
@@ -127,6 +147,11 @@ func stress(st harness.Structure, sc smr.Scheme, threads int, d time.Duration, k
 					}
 				default:
 					s.Contains(k)
+				}
+				if timed {
+					// kind 0=insert, 1=delete, 2=contains; lat is ordered
+					// contains/insert/delete, hence the rotation.
+					lat[(kind+1)%3].Observe(time.Since(t0))
 				}
 				n++
 			}
@@ -318,10 +343,12 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve /metrics, /stats.json and /debug/pprof/ on this address (e.g. :8080)")
 		snapshot  = flag.Duration("snapshot", 0, "print a live progress line at this interval (0 = off)")
 		shards    = flag.Int("shards", 0, "OA block-pool shard count (0 = min(threads, GOMAXPROCS) rounded to a power of two)")
+		traceOut  = flag.String("trace", "", "write the last soak's protocol event trace (Chrome trace_event JSON, loadable in Perfetto) to this file")
 	)
 	flag.Parse()
 	snapInterval = *snapshot
 	poolShards = *shards
+	tracePath = *traceOut
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -337,6 +364,11 @@ func main() {
 		// looking at them.
 		obs.SetEnabled(true)
 	}
+	if *httpAddr != "" || tracePath != "" {
+		// Protocol event tracing feeds the /trace endpoint and the -trace
+		// dump; all record sites sit on reclamation slow paths.
+		trace.SetEnabled(true)
+	}
 	if *httpAddr != "" {
 		srv := &http.Server{Addr: *httpAddr, Handler: obs.HandlerFor(activeReg.Load)}
 		go func() {
@@ -345,7 +377,7 @@ func main() {
 				os.Exit(2)
 			}
 		}()
-		fmt.Printf("observability on %s: /metrics /stats.json /debug/pprof/\n", *httpAddr)
+		fmt.Printf("observability on %s: /metrics /stats.json /trace /debug/pprof/\n", *httpAddr)
 	}
 
 	if *all {
@@ -414,16 +446,44 @@ func main() {
 	finish()
 }
 
-// finish dumps the final statistics of the last run when the process was
-// interrupted (exit 130, the conventional SIGINT status) so an operator
-// killing a long soak still gets the counters it accumulated.
+// dumpTrace writes the last run's protocol event trace to -trace's target
+// in Chrome trace_event format.
+func dumpTrace() {
+	if tracePath == "" {
+		return
+	}
+	reg := activeReg.Load()
+	if reg == nil {
+		return
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace dump:", err)
+		return
+	}
+	defer f.Close()
+	if err := reg.WriteTraceChrome(f); err != nil {
+		fmt.Fprintln(os.Stderr, "trace dump:", err)
+		return
+	}
+	fmt.Printf("wrote trace to %s (%d events recorded; load in chrome://tracing or ui.perfetto.dev)\n",
+		tracePath, reg.TraceTotal())
+}
+
+// finish dumps the trace (if requested) and, when the process was
+// interrupted, the final statistics of the last run — counters, latency
+// percentiles and traced-event totals — before exiting 130 (the
+// conventional SIGINT status), so an operator killing a long soak still
+// gets everything it accumulated.
 func finish() {
+	dumpTrace()
 	if !isInterrupted() {
 		return
 	}
 	if reg := activeReg.Load(); reg != nil {
-		fmt.Println("interrupted — final stats:")
+		fmt.Println("interrupted — final stats (histograms carry p50/p90/p99/p999 in ns):")
 		_ = reg.WriteJSON(os.Stdout)
+		fmt.Printf("traced events: %d\n", reg.TraceTotal())
 	}
 	os.Exit(130)
 }

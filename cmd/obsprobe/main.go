@@ -1,9 +1,11 @@
 // Command obsprobe is the observability smoke test wired into `make
 // obs-smoke`: it builds oastress, starts a soak with the HTTP endpoint and
-// snapshot reporter enabled, scrapes /metrics and /stats.json, validates
-// both formats (including the metric names the monitoring docs promise),
-// then interrupts the process and checks the graceful-shutdown contract
-// (verification still runs, final stats dump, exit status 130).
+// snapshot reporter enabled, scrapes /metrics, /stats.json and /trace,
+// validates all three formats (including the metric names the monitoring
+// docs promise, the per-op latency histogram families, and the event
+// kinds the trace timeline must carry), then interrupts the process and
+// checks the graceful-shutdown contract (verification still runs, final
+// stats dump, exit status 130).
 package main
 
 import (
@@ -34,6 +36,10 @@ var requiredMetrics = []string{
 	"oa_ready_shard_blocks",
 	"smr_unreclaimed_slots",
 	"stress_ops_total",
+	"trace_events_total",
+	"stress_contains_latency_seconds_bucket",
+	"stress_insert_latency_seconds_bucket",
+	"stress_delete_latency_seconds_bucket",
 }
 
 // sampleLine matches one Prometheus text-format sample.
@@ -107,6 +113,27 @@ func run() error {
 	}
 	fmt.Println("obsprobe: /stats.json ok,", len(doc.Counters), "counters,", len(doc.Gauges), "gauges")
 
+	// /trace must serve a Chrome trace_event document whose timeline
+	// eventually carries reclamation phase transitions (the soak's δ is
+	// crossed many times per second, so retry briefly rather than racing
+	// the first phase).
+	if err := pollTrace(base+"/trace", 15*time.Second); err != nil {
+		return fmt.Errorf("/trace: %w", err)
+	}
+	jsonl, err := pollGet(base+"/trace?format=jsonl", 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("/trace?format=jsonl: %w", err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(jsonl), "\n") {
+		var ev struct {
+			TsNs *int64  `json:"ts_ns"`
+			Kind *string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.TsNs == nil || ev.Kind == nil {
+			return fmt.Errorf("/trace?format=jsonl line %d invalid (%v): %q", i+1, err, line)
+		}
+	}
+
 	// Graceful interrupt: verification must still run and the process must
 	// exit 130 after dumping final stats.
 	if err := soak.Process.Signal(syscall.SIGINT); err != nil {
@@ -156,6 +183,45 @@ func pollGet(url string, timeout time.Duration) (string, error) {
 		time.Sleep(100 * time.Millisecond)
 	}
 	return "", fmt.Errorf("timed out: %v", last)
+}
+
+// pollTrace retries the /trace endpoint until it serves a well-formed
+// Chrome trace_event document containing phase-transition events.
+func pollTrace(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		body, err := pollGet(url, time.Second)
+		if err != nil {
+			last = err
+			continue
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string  `json:"name"`
+				Ph   string  `json:"ph"`
+				Ts   float64 `json:"ts"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			return fmt.Errorf("not a chrome trace document: %w", err)
+		}
+		kinds := map[string]int{}
+		for _, e := range doc.TraceEvents {
+			if e.Ph != "i" {
+				return fmt.Errorf("event %q has phase %q, want instant", e.Name, e.Ph)
+			}
+			kinds[e.Name]++
+		}
+		if kinds["phase"] > 0 {
+			fmt.Printf("obsprobe: /trace ok, %d events (%d phase transitions)\n",
+				len(doc.TraceEvents), kinds["phase"])
+			return nil
+		}
+		last = fmt.Errorf("no phase events yet among %d events", len(doc.TraceEvents))
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("timed out: %v", last)
 }
 
 // checkMetrics validates the Prometheus text format line by line and the

@@ -1,0 +1,94 @@
+// Command tracecheck validates a reclamation event trace produced by
+// `oastress -trace FILE` or saved from the /trace endpoint: the file must
+// be a well-formed Chrome trace_event document (the format chrome://tracing
+// and ui.perfetto.dev load), every event must be a properly shaped instant
+// event, and the timeline must contain the event kinds a healthy OA soak
+// produces. `make trace-smoke` wires it into CI so the dump format cannot
+// silently rot.
+//
+// Usage:
+//
+//	tracecheck [-require phase,restart] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	require := flag.String("require", "phase,restart",
+		"comma-separated event kinds the trace must contain")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require kinds] TRACE.json")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), strings.Split(*require, ",")); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("tracecheck: PASS")
+}
+
+func check(path string, required []string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			S    string          `json:"s"`
+			Pid  *int            `json:"pid"`
+			Tid  *int            `json:"tid"`
+			Ts   *float64        `json:"ts"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s is not a chrome trace document: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s contains no events — was tracing enabled?", path)
+	}
+	kinds := map[string]int{}
+	lastTs := -1.0
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" || e.Ph != "i" || e.S != "t" || e.Pid == nil || e.Tid == nil || e.Ts == nil {
+			return fmt.Errorf("event %d is not a well-formed instant event: %+v", i, e)
+		}
+		if *e.Ts < lastTs {
+			return fmt.Errorf("event %d breaks timestamp order: %v after %v", i, *e.Ts, lastTs)
+		}
+		lastTs = *e.Ts
+		kinds[e.Name]++
+	}
+	for _, want := range required {
+		want = strings.TrimSpace(want)
+		if want != "" && kinds[want] == 0 {
+			return fmt.Errorf("no %q events in %s (kinds present: %v)", want, path, kindList(kinds))
+		}
+	}
+	fmt.Printf("tracecheck: %d events in %s: %s\n", len(doc.TraceEvents), path, kindList(kinds))
+	return nil
+}
+
+// kindList renders the kind histogram deterministically.
+func kindList(kinds map[string]int) string {
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%d", k, kinds[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/pools"
+	"repro/internal/trace"
 )
 
 // Pool is the shared allocator. T is the node type.
@@ -83,6 +84,12 @@ type Local struct {
 	allocBlk uint32
 	freeBlk  uint32
 	inited   bool
+
+	// Trace, when set by the owning scheme, receives an EvRefill event
+	// each time the thread's allocation block is replenished from the
+	// shared pool (or by arena growth). The pool stays trace-agnostic
+	// beyond this hook; recording is gated on trace.Enabled().
+	Trace *trace.Ring
 }
 
 func (l *Local) init() {
@@ -109,6 +116,9 @@ func (p *Pool[T]) Alloc(l *Local) uint32 {
 		}
 		if blk, st := p.free.Pop(p.ba); st == pools.StatusOK {
 			l.allocBlk = blk
+			if l.Trace != nil && trace.Enabled() {
+				l.Trace.Record(trace.EvRefill, 0)
+			}
 			continue
 		}
 		// Pool dry: grow the arena by one local pool's worth.
@@ -119,6 +129,9 @@ func (p *Pool[T]) Alloc(l *Local) uint32 {
 			p.ba.B(blk).Push(base + uint32(i))
 		}
 		l.allocBlk = blk
+		if l.Trace != nil && trace.Enabled() {
+			l.Trace.Record(trace.EvRefill, 0)
+		}
 	}
 }
 

@@ -34,7 +34,9 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/arena"
+	"repro/internal/obs"
 	"repro/internal/smr"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a Manager.
@@ -78,6 +80,7 @@ type Manager[T any] struct {
 	era     atomic.Uint64
 	threads []*Thread[T]
 	succ    Succ
+	tracer  *trace.Recorder
 	scanMu  sync.Mutex
 
 	// retired entries owned by the scan lock holder.
@@ -99,16 +102,27 @@ type retiredSlot struct {
 func NewManager[T any](cfg Config, reset func(*T), succ Succ) *Manager[T] {
 	cfg.fill()
 	m := &Manager[T]{
-		cfg:  cfg,
-		pool: alloc.New(cfg.Capacity, cfg.LocalPool, reset),
-		succ: succ,
+		cfg:    cfg,
+		pool:   alloc.New(cfg.Capacity, cfg.LocalPool, reset),
+		succ:   succ,
+		tracer: trace.NewRecorder(cfg.MaxThreads, 0),
 	}
 	m.threads = make([]*Thread[T], cfg.MaxThreads)
 	for i := range m.threads {
-		m.threads[i] = &Thread[T]{mgr: m, id: i, k: cfg.K, view: m.pool.Arena().View()}
+		t := &Thread[T]{mgr: m, id: i, k: cfg.K, view: m.pool.Arena().View(), ring: m.tracer.Ring(i)}
+		t.local.Trace = t.ring
+		m.threads[i] = t
 	}
 	return m
 }
+
+// TraceRecorder exposes the per-thread protocol event rings (era bumps,
+// recovery restarts, scan passes, allocation refills).
+func (m *Manager[T]) TraceRecorder() *trace.Recorder { return m.tracer }
+
+// RegisterObs implements obs.Registrar: the scheme's only deep source is
+// its event trace (counters flow through smr.Stats).
+func (m *Manager[T]) RegisterObs(reg *obs.Registry) { reg.Trace(m.tracer) }
 
 // Arena exposes node storage.
 func (m *Manager[T]) Arena() *arena.Arena[T] { return m.pool.Arena() }
@@ -149,6 +163,7 @@ type Thread[T any] struct {
 	buf   []retiredSlot
 	local alloc.Local
 	view  arena.View[T] // chunk-directory snapshot: atomic-free Node
+	ring  *trace.Ring   // protocol event ring (gated on trace.Enabled)
 
 	// Counters are atomic so Stats may aggregate them live (monitoring
 	// endpoints, harness snapshots) without stopping the owner thread.
@@ -202,7 +217,12 @@ func (t *Thread[T]) Visit(cur arena.Ptr) bool {
 }
 
 // CountRestart accounts an anchor-validation failure (recovery analogue).
-func (t *Thread[T]) CountRestart() { t.restarts.Add(1) }
+func (t *Thread[T]) CountRestart() {
+	t.restarts.Add(1)
+	if trace.Enabled() {
+		t.ring.Record(trace.EvRestart, uint64(trace.CauseAnchor))
+	}
+}
 
 // Alloc returns a zeroed slot from the shared pool.
 func (t *Thread[T]) Alloc() uint32 {
@@ -235,6 +255,9 @@ func (t *Thread[T]) Scan() {
 	defer m.scanMu.Unlock()
 	t.scans.Add(1)
 	era := m.era.Add(1)
+	if trace.Enabled() {
+		t.ring.Record(trace.EvPhase, era)
+	}
 
 	// Protected set 1: nodes within K hops of any anchor, collected into
 	// the reusable sorted set (the batch below probes it once per retired
@@ -286,4 +309,7 @@ func (t *Thread[T]) Scan() {
 	m.retMu.Lock()
 	m.retired = append(m.retired, kept...)
 	m.retMu.Unlock()
+	if trace.Enabled() {
+		t.ring.Record(trace.EvDrain, trace.DrainPayload(recycled, reRetired))
+	}
 }

@@ -69,6 +69,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pools"
 	"repro/internal/smr"
+	"repro/internal/trace"
 )
 
 // WriteHPs is the number of hazard pointers Algorithm 2 needs: one each for
@@ -107,6 +108,11 @@ type Config struct {
 	// thread that can actually run concurrently — more would only lengthen
 	// the steal sweep without removing any contention.
 	Shards int
+	// TraceRing sets the per-thread event-trace ring capacity (rounded up
+	// to a power of two); zero means trace.DefaultRingSize. Events are
+	// recorded only while trace.Enabled(); the rings themselves always
+	// exist so toggling tracing mid-run needs no synchronization.
+	TraceRing int
 }
 
 func (c *Config) fill() {
@@ -149,6 +155,7 @@ type Manager[T any] struct {
 	reset    func(*T) // zeroes a node on allocation (Algorithm 5's memset)
 	phaseHst metrics.Histogram
 	stats    *obs.ThreadStats // per-thread counter blocks, one per context
+	tracer   *trace.Recorder  // per-thread protocol event rings
 }
 
 // NewManager builds a manager. reset must zero every field of a node using
@@ -184,6 +191,7 @@ func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 		m.ba.Put(blk)
 	}
 	m.stats = obs.NewThreadStats(cfg.MaxThreads)
+	m.tracer = trace.NewRecorder(cfg.MaxThreads, cfg.TraceRing)
 	m.threads = make([]*Thread[T], cfg.MaxThreads)
 	for i := range m.threads {
 		t := &Thread[T]{
@@ -194,6 +202,7 @@ func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 			retireBlk: pools.NoBlock,
 			view:      m.nodes.View(),
 			stats:     m.stats.At(i),
+			ring:      m.tracer.Ring(i),
 			rng:       uint64(i)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03,
 		}
 		m.threads[i] = t
@@ -269,6 +278,10 @@ func (m *Manager[T]) Stats() smr.Stats {
 // drivers that feed the Ops counter.
 func (m *Manager[T]) ObsStats() *obs.ThreadStats { return m.stats }
 
+// TraceRecorder exposes the per-thread protocol event rings (phase
+// transitions, warning traffic, restarts, drains, freezes, refills).
+func (m *Manager[T]) TraceRecorder() *trace.Recorder { return m.tracer }
+
 // RegisterObs registers the manager's live metric sources with reg: the
 // per-thread counter blocks (prefix oa_smr), the phase-pause histogram,
 // and gauges sampled from the arena, the block pools and the phase state.
@@ -276,6 +289,7 @@ func (m *Manager[T]) ObsStats() *obs.ThreadStats { return m.stats }
 // see DESIGN.md "Observability" for the sampling discipline.
 func (m *Manager[T]) RegisterObs(reg *obs.Registry) {
 	reg.ThreadCounters("oa_smr", m.stats)
+	reg.Trace(m.tracer)
 	reg.Histogram("oa_phase_pause_seconds",
 		"duration of Recycling calls (Algorithm 6 reclamation pauses)", &m.phaseHst)
 	reg.Gauge("oa_phase", "completed reclamation phase swaps",
@@ -372,7 +386,9 @@ func (m *Manager[T]) setWarnings(phase uint32) {
 // version ahead of the pool. Shards already frozen or advanced by helpers
 // are skipped. The caller must have verified every processing shard empty
 // at v first (the freeze precondition; see the package deviation note).
-func (m *Manager[T]) freezeRetire(v uint32) {
+// Shards this caller froze are recorded in rg (the initiator's trace
+// ring; helpers that race it ahead go untraced, which only under-counts).
+func (m *Manager[T]) freezeRetire(v uint32, rg *trace.Ring) {
 	for i := 0; i < m.retire.NumShards(); i++ {
 		var bo pools.Backoff
 		for {
@@ -381,6 +397,9 @@ func (m *Manager[T]) freezeRetire(v uint32) {
 				break // frozen (v+1) or completed (v+2) by a helper
 			}
 			if m.retire.CASShard(i, v, h, v+1, h) {
+				if trace.Enabled() {
+					rg.Record(trace.EvFreeze, trace.FreezePayload(v, i))
+				}
 				break
 			}
 			bo.Pause()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pools"
 	"repro/internal/smr"
+	"repro/internal/trace"
 )
 
 // Thread is the per-thread context of the optimistic access scheme. It
@@ -60,6 +61,11 @@ type Thread[T any] struct {
 	// (Manager.Stats, the obs registry), so no quiescence is required.
 	// Per-read hot counters are gated on obs.Enabled().
 	stats *obs.PerThread
+
+	// ring is this thread's protocol event trace ring. Recording is gated
+	// on trace.Enabled() at every site and only ever touches sites already
+	// off the per-read fast path (warning hits, refills, recycling).
+	ring *trace.Ring
 }
 
 // ID returns the thread index within the manager.
@@ -79,7 +85,13 @@ func (t *Thread[T]) Warning() bool { return t.warn.Load()&warnMask != 0 }
 // normalized method must restart; in that case the warning bit has been
 // cleared already (restarting from scratch cannot encounter slots retired
 // before the current phase, so clearing is safe — §4).
-func (t *Thread[T]) Check() bool {
+func (t *Thread[T]) Check() bool { return t.check(trace.CauseRead) }
+
+// check is Check with the restart cause attributed for the event trace:
+// the read barrier, the pre-CAS barrier (ProtectCAS) and the generator
+// seal (SealGenerator) share the warning-word protocol but restart the
+// operation for different reasons.
+func (t *Thread[T]) check(cause trace.Cause) bool {
 	if obs.Enabled() {
 		t.stats.Inc(obs.WarningChecks)
 	}
@@ -87,7 +99,16 @@ func (t *Thread[T]) Check() bool {
 	if w&warnMask == 0 {
 		return false
 	}
+	// Warning observed: the slow path. All trace traffic lives here, so
+	// the per-read fast path above stays two loads and a branch.
+	if trace.Enabled() {
+		t.ring.Record(trace.EvWarnCheck, w>>8)
+	}
 	t.warn.CompareAndSwap(w, w&^warnMask)
+	if trace.Enabled() {
+		t.ring.Record(trace.EvWarnAck, w>>8)
+		t.ring.Record(trace.EvRestart, uint64(cause))
+	}
 	t.stats.Inc(obs.Warnings)
 	t.stats.Inc(obs.Restarts)
 	return true
@@ -117,7 +138,7 @@ func (t *Thread[T]) ProtectCAS(o, a2, a3 arena.Ptr) bool {
 	if obs.Enabled() {
 		t.stats.Add(obs.HPPublishes, WriteHPs)
 	}
-	if t.Check() {
+	if t.check(trace.CauseWrite) {
 		t.ClearCAS()
 		return true
 	}
@@ -147,7 +168,7 @@ func (t *Thread[T]) SetOwnerHP(i int, p arena.Ptr) {
 // true result means the generator must restart; the owner hazard pointers
 // have been cleared.
 func (t *Thread[T]) SealGenerator() bool {
-	if t.Check() {
+	if t.check(trace.CauseSeal) {
 		t.ClearOwnerHPs()
 		return true
 	}
@@ -179,8 +200,15 @@ func (t *Thread[T]) Alloc() uint32 {
 			m.ba.Put(t.allocBlk)
 			t.allocBlk = pools.NoBlock
 		}
-		if blk, st := m.ready.Pop(m.ba, uint32(t.id), &t.rng); st == pools.StatusOK {
+		if blk, shard, st := m.ready.PopFrom(m.ba, uint32(t.id), &t.rng); st == pools.StatusOK {
 			t.allocBlk = blk
+			if trace.Enabled() {
+				k := trace.EvRefill
+				if shard != m.ready.HomeShard(uint32(t.id)) {
+					k = trace.EvSteal
+				}
+				t.ring.Record(k, uint64(shard))
+			}
 			continue
 		}
 		if spins >= m.cfg.AllocSpinLimit {
@@ -255,6 +283,7 @@ func (t *Thread[T]) Recycling() {
 	m := t.mgr
 	started := time.Now()
 	defer func() { m.phaseHst.Observe(time.Since(started)) }()
+	prevVer := t.localVer
 	rv, stable := m.retire.Scan()
 	switch {
 	case stable && rv == t.localVer:
@@ -263,7 +292,7 @@ func (t *Thread[T]) Recycling() {
 		// note in the package comment); otherwise participate in the
 		// current phase below.
 		if m.process.EmptyAt(t.localVer) {
-			m.freezeRetire(t.localVer)
+			m.freezeRetire(t.localVer, t.ring)
 			m.helpSwap()
 			t.localVer += 2
 		}
@@ -285,13 +314,22 @@ func (t *Thread[T]) Recycling() {
 			t.localVer += 2
 		}
 	}
+	if trace.Enabled() && t.localVer != prevVer {
+		t.ring.Record(trace.EvPhase, uint64(t.localVer))
+	}
 	if v, _ := m.retire.Scan(); v > t.localVer {
 		return // phase already finished (Algorithm 6 line 10)
+	}
+	if trace.Enabled() {
+		t.ring.Record(trace.EvWarnSet, uint64(t.localVer))
 	}
 	m.setWarnings(t.localVer)
 	hp := t.snapshotHPs()
 	t.stats.Inc(obs.DrainPasses)
-	t.drain(hp)
+	recycled, reRetired := t.drain(hp)
+	if trace.Enabled() {
+		t.ring.Record(trace.EvDrain, trace.DrainPayload(recycled, reRetired))
+	}
 }
 
 // snapshotHPs collects every thread's hazard pointers into the reusable
@@ -331,15 +369,17 @@ func (t *Thread[T]) snapshotHPs() *smr.SlotSet {
 }
 
 // drain processes the processingPool for phase t.localVer (Algorithm 6
-// lines 20–30). The active ready/re-retire block pointers are resolved
-// once per block swap, and generation bumps go through the thread's gens
-// view, so the per-slot loop performs no block-table or chunk-table loads.
-// Pops prefer the thread's home processing shard and steal from siblings,
-// so concurrent drainers of one phase spread across the shards instead of
+// lines 20–30) and returns how many slots it recycled and re-retired.
+// The active ready/re-retire block pointers are resolved once per block
+// swap, and generation bumps go through the thread's gens view, so the
+// per-slot loop performs no block-table or chunk-table loads. Pops prefer
+// the thread's home processing shard and steal from siblings, so
+// concurrent drainers of one phase spread across the shards instead of
 // convoying on one head word.
-func (t *Thread[T]) drain(hp *smr.SlotSet) {
+func (t *Thread[T]) drain(hp *smr.SlotSet) (uint64, uint64) {
 	m := t.mgr
 	home := uint32(t.id)
+	homeShard := m.process.HomeShard(home)
 	readyBlk := pools.NoBlock
 	reBlk := pools.NoBlock
 	var readyB, reB *pools.Block
@@ -348,9 +388,12 @@ func (t *Thread[T]) drain(hp *smr.SlotSet) {
 	// at the end so the drain loop itself performs no atomic adds.
 	var recycled, reRetired uint64
 	for {
-		blk, st := m.process.Pop(m.ba, t.localVer, home, &t.rng)
+		blk, shard, st := m.process.PopFrom(m.ba, t.localVer, home, &t.rng)
 		if st != pools.StatusOK {
 			break // StatusEmpty: phase drained; StatusVerMismatch: superseded
+		}
+		if trace.Enabled() && shard != homeShard {
+			t.ring.Record(trace.EvSteal, uint64(shard))
 		}
 		b := m.ba.B(blk)
 		for i := int32(0); i < b.N; i++ {
@@ -408,6 +451,7 @@ func (t *Thread[T]) drain(hp *smr.SlotSet) {
 	if reRetired != 0 {
 		t.stats.Add(obs.ReRetired, reRetired)
 	}
+	return recycled, reRetired
 }
 
 // pushRetireAnyPhase pushes a block of still-protected slots into the

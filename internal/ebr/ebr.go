@@ -19,7 +19,9 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/arena"
+	"repro/internal/obs"
 	"repro/internal/smr"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a Manager.
@@ -50,21 +52,33 @@ type Manager[T any] struct {
 	epoch   atomic.Uint64
 	pool    *alloc.Pool[T]
 	threads []*Thread[T]
+	tracer  *trace.Recorder
 }
 
 // NewManager builds a manager; reset zeroes a node at allocation.
 func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 	cfg.fill()
 	m := &Manager[T]{
-		cfg:  cfg,
-		pool: alloc.New(cfg.Capacity, cfg.LocalPool, reset),
+		cfg:    cfg,
+		pool:   alloc.New(cfg.Capacity, cfg.LocalPool, reset),
+		tracer: trace.NewRecorder(cfg.MaxThreads, 0),
 	}
 	m.threads = make([]*Thread[T], cfg.MaxThreads)
 	for i := range m.threads {
-		m.threads[i] = &Thread[T]{mgr: m, id: i, view: m.pool.Arena().View()}
+		t := &Thread[T]{mgr: m, id: i, view: m.pool.Arena().View(), ring: m.tracer.Ring(i)}
+		t.local.Trace = t.ring
+		m.threads[i] = t
 	}
 	return m
 }
+
+// TraceRecorder exposes the per-thread protocol event rings (epoch
+// advances, limbo reclaim passes, allocation refills).
+func (m *Manager[T]) TraceRecorder() *trace.Recorder { return m.tracer }
+
+// RegisterObs implements obs.Registrar: the scheme's only deep source is
+// its event trace (counters flow through smr.Stats).
+func (m *Manager[T]) RegisterObs(reg *obs.Registry) { reg.Trace(m.tracer) }
 
 // Arena exposes node storage.
 func (m *Manager[T]) Arena() *arena.Arena[T] { return m.pool.Arena() }
@@ -116,6 +130,7 @@ type Thread[T any] struct {
 	limbo [3][]uint32 // retired slots by epoch % 3
 	local alloc.Local
 	view  arena.View[T] // chunk-directory snapshot: atomic-free Node
+	ring  *trace.Ring   // protocol event ring (gated on trace.Enabled)
 	ops   int
 
 	// Counters are atomic so Stats may aggregate them live (monitoring
@@ -172,17 +187,27 @@ func (t *Thread[T]) Alloc() uint32 {
 // reclaim advances the epoch if possible and frees the generation retired
 // two epochs ago: with epoch e current, generation (e+1)%3 ≡ e-2 is safe.
 func (t *Thread[T]) reclaim() {
+	before := t.mgr.epoch.Load()
 	e := t.mgr.tryAdvance()
+	if trace.Enabled() && e != before {
+		// Attribute the advance to the thread whose reclaim drove it
+		// (approximate under concurrent advancers, like the counters).
+		t.ring.Record(trace.EvPhase, e)
+	}
 	g := (e + 1) % 3
 	if len(t.limbo[g]) == 0 {
 		return
 	}
+	n := uint64(len(t.limbo[g]))
 	for _, slot := range t.limbo[g] {
 		t.mgr.pool.Free(&t.local, slot)
 	}
-	t.recycled.Add(uint64(len(t.limbo[g])))
+	t.recycled.Add(n)
 	t.limbo[g] = t.limbo[g][:0]
 	t.mgr.pool.Flush(&t.local)
+	if trace.Enabled() {
+		t.ring.Record(trace.EvDrain, trace.DrainPayload(n, 0))
+	}
 }
 
 // LimboSize reports how many slots wait in the thread's limbo lists — the

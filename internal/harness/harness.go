@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/smr"
 )
 
@@ -49,6 +50,11 @@ type Workload struct {
 	SnapshotEvery time.Duration
 	// SnapshotW receives the snapshot lines.
 	SnapshotW io.Writer
+	// LatencySample, when > 0, times one of every LatencySample operations
+	// per thread and aggregates the samples into Result.Latency, split by
+	// operation kind. Zero disables sampling: the driver loop then issues
+	// no clock reads at all, so throughput-only runs are unaffected.
+	LatencySample int
 }
 
 func (w *Workload) fill() {
@@ -69,11 +75,50 @@ func (w *Workload) fill() {
 	}
 }
 
+// OpKind indexes the per-operation latency histograms of OpLatency.
+type OpKind int
+
+// The three operation kinds of the paper's set benchmark.
+const (
+	OpContains OpKind = iota
+	OpInsert
+	OpDelete
+	NumOpKinds
+)
+
+// String returns the lower-case operation name used in reports.
+func (k OpKind) String() string {
+	switch k {
+	case OpContains:
+		return "contains"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// OpLatency aggregates the sampled per-operation latencies of one run.
+// Histograms are merged across threads after the workers join, so reading
+// them is race-free once RunPrefilled returns.
+type OpLatency struct {
+	// SampleEvery echoes the Workload.LatencySample that produced the data.
+	SampleEvery int
+	// Hists holds one histogram per OpKind.
+	Hists [NumOpKinds]metrics.Histogram
+}
+
+// Hist returns the histogram for one operation kind.
+func (l *OpLatency) Hist(k OpKind) *metrics.Histogram { return &l.Hists[k] }
+
 // Result reports one run.
 type Result struct {
 	Ops      uint64
 	Duration time.Duration
 	Stats    smr.Stats
+	// Latency is non-nil only when the workload set LatencySample > 0.
+	Latency *OpLatency
 }
 
 // Mops returns throughput in million operations per second.
@@ -137,6 +182,17 @@ func RunPrefilled(set smr.Set, w Workload) Result {
 		opsPerThread = (w.TotalOps + w.Threads - 1) / w.Threads
 	}
 
+	// Per-thread latency histograms, merged after the join: the workers
+	// never share a cache line, and the merge makes the aggregate safe to
+	// read without atomicity caveats.
+	var lats []*OpLatency
+	if w.LatencySample > 0 {
+		lats = make([]*OpLatency, w.Threads)
+		for i := range lats {
+			lats[i] = &OpLatency{SampleEvery: w.LatencySample}
+		}
+	}
+
 	var start, done sync.WaitGroup
 	start.Add(1)
 	done.Add(w.Threads)
@@ -154,6 +210,14 @@ func RunPrefilled(set smr.Set, w Workload) Result {
 			}
 			insertTurn := id&1 == 0
 			readCut := uint64(w.ReadFraction * (1 << 32))
+			var lat *OpLatency
+			untilSample := 0
+			if lats != nil {
+				lat = lats[id]
+				// Stagger the first sample across threads so the timed ops
+				// do not line up on the same iteration indices.
+				untilSample = 1 + (id*7)%w.LatencySample
+			}
 			start.Wait()
 			n := uint64(0)
 			for {
@@ -172,14 +236,30 @@ func RunPrefilled(set smr.Set, w Workload) Result {
 				if zipf != nil {
 					k = zipf.Uint64() + 1
 				}
+				timed := false
+				var t0 time.Time
+				if lat != nil {
+					if untilSample--; untilSample == 0 {
+						untilSample = w.LatencySample
+						timed = true
+						t0 = time.Now()
+					}
+				}
+				var kind OpKind
 				if (r>>32)&0xFFFFFFFF < readCut {
+					kind = OpContains
 					s.Contains(k)
 				} else if insertTurn {
+					kind = OpInsert
 					s.Insert(k)
 					insertTurn = false
 				} else {
+					kind = OpDelete
 					s.Delete(k)
 					insertTurn = true
+				}
+				if timed {
+					lat.Hists[kind].Observe(time.Since(t0))
 				}
 				n++
 			}
@@ -224,7 +304,17 @@ func RunPrefilled(set smr.Set, w Workload) Result {
 	for i := range counts {
 		total += counts[i].n.Load()
 	}
-	return Result{Ops: total, Duration: elapsed, Stats: set.Stats()}
+	res := Result{Ops: total, Duration: elapsed, Stats: set.Stats()}
+	if lats != nil {
+		merged := &OpLatency{SampleEvery: w.LatencySample}
+		for _, l := range lats {
+			for k := range merged.Hists {
+				merged.Hists[k].Merge(&l.Hists[k])
+			}
+		}
+		res.Latency = merged
+	}
+	return res
 }
 
 // Repeat runs the workload reps times on fresh structures from mk and
@@ -239,6 +329,14 @@ func Repeat(mk func() smr.Set, w Workload, reps int) (mean, ci float64) {
 // repetition, so reports can place reclamation counters next to the
 // throughput they accompanied.
 func RepeatObserved(mk func() smr.Set, w Workload, reps int) (mean, ci float64, last smr.Stats) {
+	mean, ci, res := RepeatFull(mk, w, reps)
+	return mean, ci, res.Stats
+}
+
+// RepeatFull is RepeatObserved returning the final repetition's full
+// Result, so callers can read the latency histograms a LatencySample > 0
+// workload produced alongside the mean throughput.
+func RepeatFull(mk func() smr.Set, w Workload, reps int) (mean, ci float64, last Result) {
 	if reps <= 0 {
 		reps = 1
 	}
@@ -248,7 +346,7 @@ func RepeatObserved(mk func() smr.Set, w Workload, reps int) (mean, ci float64, 
 		wi.Seed = w.Seed + uint64(i)*1000003
 		res := Run(mk(), wi)
 		xs[i] = res.Mops()
-		last = res.Stats
+		last = res
 		mean += xs[i]
 	}
 	mean /= float64(reps)

@@ -141,3 +141,58 @@ func TestZipfWorkloadRuns(t *testing.T) {
 		t.Fatalf("Ops = %d", res.Ops)
 	}
 }
+
+func TestLatencySampling(t *testing.T) {
+	set, err := Build(BuildConfig{Structure: Hash, Scheme: smr.OA, Threads: 2, Delta: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := WorkloadFor(Hash, 2, 0.8)
+	w.TotalOps = 20000
+	w.LatencySample = 8
+	res := Run(set, w)
+	if res.Latency == nil {
+		t.Fatal("LatencySample > 0 but Result.Latency is nil")
+	}
+	if res.Latency.SampleEvery != 8 {
+		t.Fatalf("SampleEvery = %d, want 8", res.Latency.SampleEvery)
+	}
+	var samples uint64
+	for k := OpKind(0); k < NumOpKinds; k++ {
+		samples += res.Latency.Hist(k).Count()
+	}
+	// Every thread samples one op in 8, so roughly Ops/8 observations.
+	if lo := res.Ops / 16; samples < lo {
+		t.Fatalf("sampled %d ops, want >= %d of %d", samples, lo, res.Ops)
+	}
+	// The 80/10/10 mix must reach every histogram.
+	for k := OpKind(0); k < NumOpKinds; k++ {
+		if res.Latency.Hist(k).Count() == 0 {
+			t.Fatalf("no %v samples", k)
+		}
+	}
+	if res.Latency.Hist(OpContains).Quantile(0.99) == 0 {
+		t.Fatal("contains p99 is zero")
+	}
+}
+
+func TestLatencyDisabledByDefault(t *testing.T) {
+	set, err := Build(BuildConfig{Structure: Hash, Scheme: smr.NoRecl, Threads: 1, Delta: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := WorkloadFor(Hash, 1, 0.8)
+	w.TotalOps = 1000
+	if res := Run(set, w); res.Latency != nil {
+		t.Fatal("Result.Latency non-nil without LatencySample")
+	}
+}
+
+func TestOpKindNames(t *testing.T) {
+	want := map[OpKind]string{OpContains: "contains", OpInsert: "insert", OpDelete: "delete"}
+	for k, n := range want {
+		if k.String() != n {
+			t.Fatalf("OpKind(%d).String() = %q, want %q", k, k.String(), n)
+		}
+	}
+}

@@ -122,6 +122,9 @@ func (h *HP) Scheme() smr.Scheme { return smr.HP }
 // Stats implements smr.Set.
 func (h *HP) Stats() smr.Stats { return h.e.Manager().Stats() }
 
+// RegisterObs implements obs.Registrar by forwarding to the scheme manager.
+func (h *HP) RegisterObs(reg *obs.Registry) { h.e.Manager().RegisterObs(reg) }
+
 // Session implements smr.Set.
 func (h *HP) Session(tid int) smr.Session { return &hpSession{h: h, t: h.e.Thread(tid)} }
 
@@ -164,6 +167,9 @@ func (h *EBR) Scheme() smr.Scheme { return smr.EBR }
 // Stats implements smr.Set.
 func (h *EBR) Stats() smr.Stats { return h.e.Manager().Stats() }
 
+// RegisterObs implements obs.Registrar by forwarding to the scheme manager.
+func (h *EBR) RegisterObs(reg *obs.Registry) { h.e.Manager().RegisterObs(reg) }
+
 // Session implements smr.Set.
 func (h *EBR) Session(tid int) smr.Session { return &ebrSession{h: h, t: h.e.Thread(tid)} }
 
@@ -205,6 +211,9 @@ func (h *NoRecl) Scheme() smr.Scheme { return smr.NoRecl }
 
 // Stats implements smr.Set.
 func (h *NoRecl) Stats() smr.Stats { return h.e.Manager().Stats() }
+
+// RegisterObs implements obs.Registrar by forwarding to the scheme manager.
+func (h *NoRecl) RegisterObs(reg *obs.Registry) { h.e.Manager().RegisterObs(reg) }
 
 // Session implements smr.Set.
 func (h *NoRecl) Session(tid int) smr.Session { return &noreclSession{h: h, t: h.e.Thread(tid)} }

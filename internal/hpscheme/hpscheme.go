@@ -23,7 +23,9 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/arena"
+	"repro/internal/obs"
 	"repro/internal/smr"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a Manager.
@@ -63,27 +65,40 @@ type Manager[T any] struct {
 	cfg     Config
 	pool    *alloc.Pool[T]
 	threads []*Thread[T]
+	tracer  *trace.Recorder
 }
 
 // NewManager builds a manager; reset zeroes a node at allocation.
 func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 	cfg.fill()
 	m := &Manager[T]{
-		cfg:  cfg,
-		pool: alloc.New(cfg.Capacity, cfg.LocalPool, reset),
+		cfg:    cfg,
+		pool:   alloc.New(cfg.Capacity, cfg.LocalPool, reset),
+		tracer: trace.NewRecorder(cfg.MaxThreads, 0),
 	}
 	m.threads = make([]*Thread[T], cfg.MaxThreads)
 	for i := range m.threads {
-		m.threads[i] = &Thread[T]{
+		t := &Thread[T]{
 			mgr:     m,
 			id:      i,
 			hps:     make([]atomic.Uint64, cfg.HPsPerThread),
 			retired: make([]uint32, 0, cfg.ScanThreshold+8),
 			view:    m.pool.Arena().View(),
+			ring:    m.tracer.Ring(i),
 		}
+		t.local.Trace = t.ring
+		m.threads[i] = t
 	}
 	return m
 }
+
+// TraceRecorder exposes the per-thread protocol event rings (validation
+// restarts, scan passes, allocation refills).
+func (m *Manager[T]) TraceRecorder() *trace.Recorder { return m.tracer }
+
+// RegisterObs implements obs.Registrar: the scheme's only deep source is
+// its event trace (counters flow through smr.Stats).
+func (m *Manager[T]) RegisterObs(reg *obs.Registry) { reg.Trace(m.tracer) }
 
 // Arena exposes node storage.
 func (m *Manager[T]) Arena() *arena.Arena[T] { return m.pool.Arena() }
@@ -120,6 +135,7 @@ type Thread[T any] struct {
 	local   alloc.Local
 	view    arena.View[T] // chunk-directory snapshot: atomic-free Node
 	scratch smr.SlotSet   // reused sorted hazard-pointer snapshot
+	ring    *trace.Ring   // protocol event ring (gated on trace.Enabled)
 
 	// Counters are atomic so Stats may aggregate them live (monitoring
 	// endpoints, harness snapshots) without stopping the owner thread.
@@ -164,7 +180,12 @@ func (t *Thread[T]) ClearAll() {
 
 // CountRestart bumps the restart counter (validation failures that force a
 // traversal restart are accounted by the data structure through this).
-func (t *Thread[T]) CountRestart() { t.restarts.Add(1) }
+func (t *Thread[T]) CountRestart() {
+	t.restarts.Add(1)
+	if trace.Enabled() {
+		t.ring.Record(trace.EvRestart, uint64(trace.CauseValidate))
+	}
+}
 
 // Alloc returns a zeroed slot from the shared pool.
 func (t *Thread[T]) Alloc() uint32 {
@@ -214,6 +235,9 @@ func (t *Thread[T]) Scan() {
 	t.reRetired.Add(reRetired)
 	t.retired = kept
 	t.mgr.pool.Flush(&t.local)
+	if trace.Enabled() {
+		t.ring.Record(trace.EvDrain, trace.DrainPayload(recycled, reRetired))
+	}
 }
 
 // RetiredLocally reports how many slots wait in the local retired list —

@@ -3,6 +3,7 @@ package list
 import (
 	"repro/internal/anchors"
 	"repro/internal/arena"
+	"repro/internal/obs"
 	"repro/internal/smr"
 )
 
@@ -187,6 +188,9 @@ func (l *AnchorsList) Scheme() smr.Scheme { return smr.Anchors }
 
 // Stats implements smr.Set.
 func (l *AnchorsList) Stats() smr.Stats { return l.e.mgr.Stats() }
+
+// RegisterObs implements obs.Registrar by forwarding to the scheme manager.
+func (l *AnchorsList) RegisterObs(reg *obs.Registry) { l.e.mgr.RegisterObs(reg) }
 
 // Session implements smr.Set.
 func (l *AnchorsList) Session(tid int) smr.Session {

@@ -3,6 +3,7 @@ package list
 import (
 	"repro/internal/arena"
 	"repro/internal/ebr"
+	"repro/internal/obs"
 	"repro/internal/smr"
 )
 
@@ -157,6 +158,9 @@ func (l *EBR) Scheme() smr.Scheme { return smr.EBR }
 
 // Stats implements smr.Set.
 func (l *EBR) Stats() smr.Stats { return l.e.mgr.Stats() }
+
+// RegisterObs implements obs.Registrar by forwarding to the scheme manager.
+func (l *EBR) RegisterObs(reg *obs.Registry) { l.e.mgr.RegisterObs(reg) }
 
 // Session implements smr.Set.
 func (l *EBR) Session(tid int) smr.Session { return &ebrSession{t: l.e.Thread(tid), head: l.head} }

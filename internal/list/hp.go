@@ -3,6 +3,7 @@ package list
 import (
 	"repro/internal/arena"
 	"repro/internal/hpscheme"
+	"repro/internal/obs"
 	"repro/internal/smr"
 )
 
@@ -181,6 +182,9 @@ func (l *HP) Scheme() smr.Scheme { return smr.HP }
 
 // Stats implements smr.Set.
 func (l *HP) Stats() smr.Stats { return l.e.mgr.Stats() }
+
+// RegisterObs implements obs.Registrar by forwarding to the scheme manager.
+func (l *HP) RegisterObs(reg *obs.Registry) { l.e.mgr.RegisterObs(reg) }
 
 // Session implements smr.Set.
 func (l *HP) Session(tid int) smr.Session { return &hpSession{t: l.e.Thread(tid), head: l.head} }

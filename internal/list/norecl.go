@@ -3,6 +3,7 @@ package list
 import (
 	"repro/internal/arena"
 	"repro/internal/norecl"
+	"repro/internal/obs"
 	"repro/internal/smr"
 )
 
@@ -147,6 +148,9 @@ func (l *NoRecl) Scheme() smr.Scheme { return smr.NoRecl }
 
 // Stats implements smr.Set.
 func (l *NoRecl) Stats() smr.Stats { return l.e.mgr.Stats() }
+
+// RegisterObs implements obs.Registrar by forwarding to the scheme manager.
+func (l *NoRecl) RegisterObs(reg *obs.Registry) { l.e.mgr.RegisterObs(reg) }
 
 // Session implements smr.Set.
 func (l *NoRecl) Session(tid int) smr.Session {

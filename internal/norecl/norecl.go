@@ -10,7 +10,9 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/arena"
+	"repro/internal/obs"
 	"repro/internal/smr"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a Manager.
@@ -28,6 +30,7 @@ type Manager[T any] struct {
 	cfg     Config
 	pool    *alloc.Pool[T]
 	threads []*Thread[T]
+	tracer  *trace.Recorder
 }
 
 // NewManager builds a manager; reset zeroes a node at allocation.
@@ -36,15 +39,27 @@ func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 		cfg.MaxThreads = 1
 	}
 	m := &Manager[T]{
-		cfg:  cfg,
-		pool: alloc.New(cfg.Capacity, cfg.LocalPool, reset),
+		cfg:    cfg,
+		pool:   alloc.New(cfg.Capacity, cfg.LocalPool, reset),
+		tracer: trace.NewRecorder(cfg.MaxThreads, 0),
 	}
 	m.threads = make([]*Thread[T], cfg.MaxThreads)
 	for i := range m.threads {
-		m.threads[i] = &Thread[T]{mgr: m, id: i, view: m.pool.Arena().View()}
+		t := &Thread[T]{mgr: m, id: i, view: m.pool.Arena().View()}
+		t.local.Trace = m.tracer.Ring(i)
+		m.threads[i] = t
 	}
 	return m
 }
+
+// TraceRecorder exposes the per-thread event rings. NoRecl never
+// recycles, so the only events are allocation-pool refills — a useful
+// denominator when comparing refill cadence across schemes.
+func (m *Manager[T]) TraceRecorder() *trace.Recorder { return m.tracer }
+
+// RegisterObs implements obs.Registrar: the scheme's only deep source is
+// its event trace (counters flow through smr.Stats).
+func (m *Manager[T]) RegisterObs(reg *obs.Registry) { reg.Trace(m.tracer) }
 
 // Arena exposes node storage.
 func (m *Manager[T]) Arena() *arena.Arena[T] { return m.pool.Arena() }

@@ -15,26 +15,38 @@ import (
 //
 //	/metrics       Prometheus text exposition
 //	/stats.json    JSON snapshot of every source
+//	/trace         protocol event trace: Chrome trace_event JSON by
+//	               default (load in chrome://tracing or Perfetto),
+//	               ?format=jsonl for one JSON object per event line
 //	/debug/pprof/  the standard net/http/pprof handlers
 func HandlerFor(get func() *Registry) http.Handler {
 	mux := http.NewServeMux()
-	withReg := func(serve func(r *Registry, w http.ResponseWriter)) http.HandlerFunc {
-		return func(w http.ResponseWriter, _ *http.Request) {
+	withReg := func(serve func(r *Registry, w http.ResponseWriter, req *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, req *http.Request) {
 			r := get()
 			if r == nil {
 				http.Error(w, "no registry active", http.StatusServiceUnavailable)
 				return
 			}
-			serve(r, w)
+			serve(r, w, req)
 		}
 	}
-	mux.HandleFunc("/metrics", withReg(func(r *Registry, w http.ResponseWriter) {
+	mux.HandleFunc("/metrics", withReg(func(r *Registry, w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	}))
-	mux.HandleFunc("/stats.json", withReg(func(r *Registry, w http.ResponseWriter) {
+	mux.HandleFunc("/stats.json", withReg(func(r *Registry, w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
+	}))
+	mux.HandleFunc("/trace", withReg(func(r *Registry, w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = r.WriteTraceJSONL(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteTraceChrome(w)
 	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -46,7 +58,7 @@ func HandlerFor(get func() *Registry) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "oamem observability: /metrics /stats.json /debug/pprof/\n")
+		fmt.Fprint(w, "oamem observability: /metrics /stats.json /trace /debug/pprof/\n")
 	})
 	return mux
 }

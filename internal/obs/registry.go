@@ -3,10 +3,13 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // GaugeFunc samples one gauge value.
@@ -58,6 +61,12 @@ type Registry struct {
 	vecCounters []vecCounterEntry
 	threads     []threadEntry
 	hists       []histEntry
+
+	// tracers holds the registered protocol event recorders behind an
+	// atomic pointer (copy-on-write under mu) so the trace_events_total
+	// counter can sample them from inside a locked scrape without
+	// re-entering the mutex.
+	tracers atomic.Pointer[[]*trace.Recorder]
 }
 
 // NewRegistry returns an empty registry.
@@ -115,13 +124,104 @@ func (r *Registry) Histogram(name, help string, h *metrics.Histogram) {
 	r.hists = append(r.hists, histEntry{name, help, h})
 }
 
-// jsonHist is the JSON rendering of a histogram snapshot.
+// Trace registers a protocol event recorder: its merged rings become the
+// /trace endpoint's payload (TraceEvents, WriteTrace*), and the first
+// registration adds a trace_events_total counter reporting how many
+// events were ever recorded across all registered recorders (including
+// ones the rings have since overwritten).
+func (r *Registry) Trace(rec *trace.Recorder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.tracers.Load()
+	var recs []*trace.Recorder
+	if old != nil {
+		recs = append(recs, *old...)
+	}
+	recs = append(recs, rec)
+	r.tracers.Store(&recs)
+	if old == nil {
+		r.counters = append(r.counters, counterEntry{
+			"trace_events_total",
+			"protocol events recorded by the trace rings (including overwritten)",
+			r.TraceTotal,
+		})
+	}
+}
+
+func (r *Registry) traceRecs() []*trace.Recorder {
+	if p := r.tracers.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// TraceTotal returns how many protocol events were ever recorded across
+// the registered recorders. Lock-free, so it is safe both as a counter
+// source inside a scrape and from signal handlers.
+func (r *Registry) TraceTotal() uint64 {
+	var n uint64
+	for _, rec := range r.traceRecs() {
+		n += rec.Total()
+	}
+	return n
+}
+
+// TraceEvents snapshots every registered recorder and returns the merged
+// timeline. When more than one recorder is registered (several managers
+// feeding one registry), thread ids are offset per recorder so each
+// (recorder, thread) pair keeps a distinct track.
+func (r *Registry) TraceEvents() []trace.Event {
+	recs := r.traceRecs()
+	var out []trace.Event
+	base := int32(0)
+	for _, rec := range recs {
+		evs := rec.Events()
+		if base != 0 {
+			for i := range evs {
+				evs[i].TID += base
+			}
+		}
+		out = append(out, evs...)
+		base += int32(rec.Threads())
+	}
+	if len(recs) > 1 {
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i], out[j]
+			if a.TS != b.TS {
+				return a.TS < b.TS
+			}
+			if a.TID != b.TID {
+				return a.TID < b.TID
+			}
+			return a.Seq < b.Seq
+		})
+	}
+	return out
+}
+
+// WriteTraceChrome writes the merged trace in Chrome trace_event format
+// (chrome://tracing, Perfetto).
+func (r *Registry) WriteTraceChrome(w io.Writer) error {
+	return trace.WriteChrome(w, r.TraceEvents())
+}
+
+// WriteTraceJSONL writes the merged trace as one JSON object per line.
+func (r *Registry) WriteTraceJSONL(w io.Writer) error {
+	return trace.WriteJSONL(w, r.TraceEvents())
+}
+
+// jsonHist is the JSON rendering of a histogram snapshot. The original
+// fields keep their names and meaning (older tooling parses them); the
+// extra percentiles are additive.
 type jsonHist struct {
 	Count  uint64 `json:"count"`
 	SumNs  uint64 `json:"sum_ns"`
 	MeanNs uint64 `json:"mean_ns"`
 	MaxNs  uint64 `json:"max_ns"`
+	P50Ns  uint64 `json:"p50_ns"`
+	P90Ns  uint64 `json:"p90_ns"`
 	P99Ns  uint64 `json:"p99_ns"`
+	P999Ns uint64 `json:"p999_ns"`
 }
 
 // jsonSnapshot is the /stats.json document.
@@ -189,7 +289,10 @@ func (r *Registry) snapshot() jsonSnapshot {
 		if snap.Count > 0 {
 			jh.MeanNs = snap.Sum / snap.Count
 		}
+		jh.P50Ns = snap.QuantileNs(0.50)
+		jh.P90Ns = snap.QuantileNs(0.90)
 		jh.P99Ns = snap.QuantileNs(0.99)
+		jh.P999Ns = snap.QuantileNs(0.999)
 		s.Histograms[he.name] = jh
 	}
 	return s

@@ -118,14 +118,27 @@ func (s *ShardedCountedStack) Push(ba *BlockArena, idx, home uint32) {
 // in a pseudo-random full-cycle order seeded from *rng. It returns
 // (NoBlock, StatusEmpty) only after a full sweep found every shard empty.
 func (s *ShardedCountedStack) Pop(ba *BlockArena, home uint32, rng *uint64) (uint32, Status) {
+	blk, _, st := s.PopFrom(ba, home, rng)
+	return blk, st
+}
+
+// HomeShard returns the shard index thread context home pushes to and
+// pops from first.
+func (s *ShardedCountedStack) HomeShard(home uint32) int { return int(home & s.mask) }
+
+// PopFrom is Pop plus the index of the shard that served the block (−1
+// when every shard was empty), so callers can attribute home refills vs
+// steals — e.g. to a trace recorder — without the pool knowing about
+// either.
+func (s *ShardedCountedStack) PopFrom(ba *BlockArena, home uint32, rng *uint64) (uint32, int, Status) {
 	h := home & s.mask
 	if blk, st := s.shards[h].s.Pop(ba); st == StatusOK {
 		s.shards[h].blocks.Add(-1)
-		return blk, StatusOK
+		return blk, int(h), StatusOK
 	}
 	n := uint32(len(s.shards))
 	if n == 1 {
-		return NoBlock, StatusEmpty
+		return NoBlock, -1, StatusEmpty
 	}
 	// Odd stride on a power-of-two ring visits every shard exactly once.
 	r := nextRand(rng)
@@ -139,10 +152,10 @@ func (s *ShardedCountedStack) Pop(ba *BlockArena, home uint32, rng *uint64) (uin
 		if blk, st := s.shards[j].s.Pop(ba); st == StatusOK {
 			s.shards[j].blocks.Add(-1)
 			s.shards[j].steals.Add(1)
-			return blk, StatusOK
+			return blk, int(j), StatusOK
 		}
 	}
-	return NoBlock, StatusEmpty
+	return NoBlock, -1, StatusEmpty
 }
 
 // Drain pops every block from every shard and calls visit for each. Only
@@ -276,12 +289,23 @@ func (s *ShardedVStack) Push(ba *BlockArena, idx, ver, home uint32) Status {
 // a shard at a newer version was empty at ver when it froze, so nothing at
 // ver is missed) and StatusEmpty otherwise.
 func (s *ShardedVStack) Pop(ba *BlockArena, ver, home uint32, rng *uint64) (uint32, Status) {
+	blk, _, st := s.PopFrom(ba, ver, home, rng)
+	return blk, st
+}
+
+// HomeShard returns the shard index thread context home pushes to and
+// pops from first.
+func (s *ShardedVStack) HomeShard(home uint32) int { return int(home & s.mask) }
+
+// PopFrom is Pop plus the index of the shard that served the block (−1
+// when no shard yielded one) — see ShardedCountedStack.PopFrom.
+func (s *ShardedVStack) PopFrom(ba *BlockArena, ver, home uint32, rng *uint64) (uint32, int, Status) {
 	h := home & s.mask
 	mismatch := false
 	switch blk, st := s.shards[h].s.Pop(ba, ver); st {
 	case StatusOK:
 		s.shards[h].blocks.Add(-1)
-		return blk, StatusOK
+		return blk, int(h), StatusOK
 	case StatusVerMismatch:
 		mismatch = true
 	}
@@ -299,16 +323,16 @@ func (s *ShardedVStack) Pop(ba *BlockArena, ver, home uint32, rng *uint64) (uint
 			case StatusOK:
 				s.shards[j].blocks.Add(-1)
 				s.shards[j].steals.Add(1)
-				return blk, StatusOK
+				return blk, int(j), StatusOK
 			case StatusVerMismatch:
 				mismatch = true
 			}
 		}
 	}
 	if mismatch {
-		return NoBlock, StatusVerMismatch
+		return NoBlock, -1, StatusVerMismatch
 	}
-	return NoBlock, StatusEmpty
+	return NoBlock, -1, StatusEmpty
 }
 
 // ChainStats walks every shard's chain and returns total blocks and slots.

@@ -3,6 +3,7 @@ package skiplist
 import (
 	"repro/internal/arena"
 	"repro/internal/ebr"
+	"repro/internal/obs"
 	"repro/internal/smr"
 )
 
@@ -29,6 +30,9 @@ func (s *EBRSkipList) Scheme() smr.Scheme { return smr.EBR }
 
 // Stats implements smr.Set.
 func (s *EBRSkipList) Stats() smr.Stats { return s.mgr.Stats() }
+
+// RegisterObs implements obs.Registrar by forwarding to the scheme manager.
+func (s *EBRSkipList) RegisterObs(reg *obs.Registry) { s.mgr.RegisterObs(reg) }
 
 // Session implements smr.Set.
 func (s *EBRSkipList) Session(tid int) smr.Session {

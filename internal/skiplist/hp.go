@@ -3,6 +3,7 @@ package skiplist
 import (
 	"repro/internal/arena"
 	"repro/internal/hpscheme"
+	"repro/internal/obs"
 	"repro/internal/smr"
 )
 
@@ -45,6 +46,9 @@ func (s *HPSkipList) Scheme() smr.Scheme { return smr.HP }
 
 // Stats implements smr.Set.
 func (s *HPSkipList) Stats() smr.Stats { return s.mgr.Stats() }
+
+// RegisterObs implements obs.Registrar by forwarding to the scheme manager.
+func (s *HPSkipList) RegisterObs(reg *obs.Registry) { s.mgr.RegisterObs(reg) }
 
 // Session implements smr.Set.
 func (s *HPSkipList) Session(tid int) smr.Session {

@@ -3,6 +3,7 @@ package skiplist
 import (
 	"repro/internal/arena"
 	"repro/internal/norecl"
+	"repro/internal/obs"
 	"repro/internal/smr"
 )
 
@@ -30,6 +31,9 @@ func (s *NoReclSkipList) Scheme() smr.Scheme { return smr.NoRecl }
 
 // Stats implements smr.Set.
 func (s *NoReclSkipList) Stats() smr.Stats { return s.mgr.Stats() }
+
+// RegisterObs implements obs.Registrar by forwarding to the scheme manager.
+func (s *NoReclSkipList) RegisterObs(reg *obs.Registry) { s.mgr.RegisterObs(reg) }
 
 // Session implements smr.Set.
 func (s *NoReclSkipList) Session(tid int) smr.Session {

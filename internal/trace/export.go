@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Exporters. Both operate on the merged []Event from Recorder.Events (or
+// any slice assembled by hand in tests) and write with stdlib only. The
+// JSONL form is one self-describing object per line — trivially greppable
+// and streamable. The Chrome form is the trace_event JSON array loadable
+// in chrome://tracing and Perfetto: every event becomes an instant event
+// ("ph":"i", thread scope) on the recording thread's track, with the
+// decoded payload in "args" so the UI shows cause/phase/shard at a click.
+
+// appendArgs decodes an event's payload word into JSON object fields
+// (without braces), shared by both exporters so the two outputs never
+// disagree on the decoding.
+func appendArgs(b []byte, e Event) []byte {
+	switch e.Kind {
+	case EvRestart:
+		b = append(b, `"cause":"`...)
+		b = append(b, Cause(e.Arg).String()...)
+		b = append(b, '"')
+	case EvDrain:
+		b = append(b, `"recycled":`...)
+		b = strconv.AppendUint(b, e.Arg&0xFFFFFFFF, 10)
+		b = append(b, `,"re_retired":`...)
+		b = strconv.AppendUint(b, e.Arg>>32, 10)
+	case EvFreeze:
+		b = append(b, `"phase":`...)
+		b = strconv.AppendUint(b, e.Arg>>32, 10)
+		b = append(b, `,"shard":`...)
+		b = strconv.AppendUint(b, e.Arg&0xFFFFFFFF, 10)
+	case EvPhase, EvWarnSet, EvWarnCheck, EvWarnAck:
+		b = append(b, `"phase":`...)
+		b = strconv.AppendUint(b, e.Arg, 10)
+	case EvSteal, EvRefill:
+		b = append(b, `"shard":`...)
+		b = strconv.AppendUint(b, e.Arg, 10)
+	default:
+		b = append(b, `"arg":`...)
+		b = strconv.AppendUint(b, e.Arg, 10)
+	}
+	return b
+}
+
+// WriteJSONL writes one JSON object per event per line:
+//
+//	{"ts_ns":12345,"tid":3,"seq":17,"kind":"restart","cause":"read_barrier"}
+//
+// The raw payload word is decoded into kind-specific fields (cause,
+// recycled/re_retired, phase, shard) exactly as in the Chrome export.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var b []byte
+	for _, e := range events {
+		b = b[:0]
+		b = append(b, `{"ts_ns":`...)
+		b = strconv.AppendInt(b, e.TS, 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(e.TID), 10)
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendUint(b, e.Seq, 10)
+		b = append(b, `,"kind":"`...)
+		b = append(b, e.Kind.String()...)
+		b = append(b, `",`...)
+		b = appendArgs(b, e)
+		b = append(b, '}', '\n')
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteChrome writes the events as a Chrome trace_event JSON document
+// ({"traceEvents":[...]}) loadable in chrome://tracing and Perfetto.
+// Each event is a thread-scoped instant event on track (pid 1, tid =
+// thread context id); timestamps are the trace clock converted to
+// microseconds with sub-µs precision preserved as a decimal fraction.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	var b []byte
+	for i, e := range events {
+		b = b[:0]
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, "\n"+`{"name":"`...)
+		b = append(b, e.Kind.String()...)
+		b = append(b, `","ph":"i","s":"t","pid":1,"tid":`...)
+		b = strconv.AppendInt(b, int64(e.TID), 10)
+		b = append(b, `,"ts":`...)
+		b = appendMicros(b, e.TS)
+		b = append(b, `,"args":{`...)
+		b = appendArgs(b, e)
+		b = append(b, `}}`...)
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendMicros formats ns nanoseconds as decimal microseconds ("12.345")
+// without going through float64, keeping exact nanosecond precision.
+func appendMicros(b []byte, ns int64) []byte {
+	if ns < 0 {
+		// Cannot happen with the monotonic trace clock; clamp defensively
+		// rather than emit JSON Chrome refuses.
+		ns = 0
+	}
+	b = strconv.AppendInt(b, ns/1000, 10)
+	if frac := ns % 1000; frac != 0 {
+		b = append(b, '.', byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	}
+	return b
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/skiplist"
+	"repro/internal/trace"
 )
 
 // The data-structure hot paths must not allocate Go heap memory: all node
@@ -228,6 +229,59 @@ func TestInstrumentedOpsDoNotAllocate(t *testing.T) {
 		}
 		if avg := testing.AllocsPerRun(500, warm); avg > 0.05 {
 			t.Fatalf("instrumented ops + Recycling allocate %.2f objects/run", avg)
+		}
+	})
+}
+
+// Event tracing must stay off the Go heap as well: each Record is three
+// atomic stores into a pre-allocated ring plus one monotonic clock read,
+// so fully traced operations — including the Recycling passes that emit
+// phase/warning/drain/freeze events and the refill events on the alloc
+// path — run without allocations after the first phase warms the rings.
+func TestTracedOpsDoNotAllocate(t *testing.T) {
+	const capacity = 1 << 14
+	trace.SetEnabled(true)
+	defer trace.SetEnabled(false)
+
+	t.Run("ListOATraceOn", func(t *testing.T) {
+		l := list.NewOA(core.Config{MaxThreads: 1, Capacity: capacity})
+		s := l.Session(0)
+		for k := uint64(1); k <= 512; k++ {
+			s.Insert(k)
+		}
+		k := uint64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			k++
+			s.Contains(k%512 + 1)
+			s.Insert(k%512 + 600)
+			s.Delete(k%512 + 600)
+		}); avg > 0.05 {
+			t.Fatalf("traced list ops allocate %.2f objects/op", avg)
+		}
+	})
+
+	t.Run("ListOARecyclingTraceOn", func(t *testing.T) {
+		l := list.NewOA(core.Config{MaxThreads: 1, Capacity: capacity})
+		s := l.Session(0)
+		for k := uint64(1); k <= 512; k++ {
+			s.Insert(k)
+		}
+		th := l.Engine().Manager().Thread(0)
+		k := uint64(0)
+		warm := func() {
+			k++
+			s.Insert(k%512 + 600)
+			s.Delete(k%512 + 600)
+			th.Recycling()
+		}
+		for i := 0; i < 64; i++ {
+			warm()
+		}
+		if avg := testing.AllocsPerRun(500, warm); avg > 0.05 {
+			t.Fatalf("traced ops + Recycling allocate %.2f objects/run", avg)
+		}
+		if rec := l.Engine().Manager().TraceRecorder(); rec.Total() == 0 {
+			t.Fatal("no events recorded — the zero-alloc proof proved nothing")
 		}
 	})
 }
