@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all ci build test race race-full cover fuzz bench benchjson benchdiff benchdiff-smoke experiments stress obs-smoke trace-smoke clean
+.PHONY: all ci build test race race-full cover fuzz bench benchjson benchdiff benchdiff-smoke experiments stress obs-smoke trace-smoke serve-smoke clean
 
 all: build test
 
 # Everything a merge gate needs: compile+vet, tests, the race detector
-# over the reclamation core, the perf-diff smoke and the observability
-# and event-trace endpoint smoke tests.
-ci: build test race benchdiff-smoke obs-smoke trace-smoke
+# over the reclamation core, the perf-diff smoke, the observability and
+# event-trace endpoint smokes, and the end-to-end serving smoke.
+ci: build test race benchdiff-smoke obs-smoke trace-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -41,24 +41,24 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable Figure 1 snapshot for cross-commit perf tracking. The
-# note pins the baseline this file is diffed against (BENCH_3.json, taken
-# just before the tracing/latency PR landed).
-BASELINE_NOTE = baseline: BENCH_3.json (pre-tracing PR, same 1-vCPU host, \
-100ms x2); this run adds latency sampling (one timed op in 64 per thread \
--- 1-in-8 taxed the ~60ns hash ops 15-25%, see DESIGN.md 6.1) to every \
-cell with protocol tracing disabled, and must stay within noise of it \
+# note pins the baseline this file is diffed against (BENCH_4.json, taken
+# just before the session-leasing/server PR landed).
+BASELINE_NOTE = baseline: BENCH_4.json (pre-serving PR, same 1-vCPU host, \
+100ms x2); this run adds session leasing (Acquire/Release over the fixed \
+thread registry) on a path the harness does not touch -- workers still \
+bind fixed slots -- so every cell must stay within noise of the baseline \
 (noise band on this host: cell ratios 0.84-1.08); diff with make benchdiff
 
 benchjson:
 	$(GO) run ./cmd/oabench -experiment fig1 -duration 100ms -reps 2 \
-		-json BENCH_4.json -notes "$(BASELINE_NOTE)"
+		-json BENCH_5.json -notes "$(BASELINE_NOTE)"
 
 # Per-cell throughput ratio gate between two oabench snapshots:
 #   make benchdiff OLD=BENCH_3.json NEW=BENCH_4.json [THRESHOLD=0.85]
 # Exits nonzero when any joined cell regresses below THRESHOLD; the p99
 # latency comparison it appends is informational and never gates.
-OLD ?= BENCH_3.json
-NEW ?= BENCH_4.json
+OLD ?= BENCH_4.json
+NEW ?= BENCH_5.json
 THRESHOLD ?= 0.85
 
 benchdiff:
@@ -93,6 +93,13 @@ trace-smoke:
 		-keys 256 -duration 2s -trace $(TRACE_TMP)
 	$(GO) run ./cmd/tracecheck -require phase,restart,drain,refill $(TRACE_TMP)
 	@rm -f $(TRACE_TMP)
+
+# End-to-end probe of the network server: builds oaserver+oaload, bursts
+# 64 pipelined connections over a 32-slot session registry (leases must
+# recycle), asserts the throughput floor, then SIGTERMs mid-load and
+# checks the drain drops zero in-flight requests.
+serve-smoke:
+	$(GO) run ./cmd/servesmoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,152 @@
+// Command oaload drives an oaserver with pipelined load: -conns
+// concurrent connections, each keeping -window requests in flight over a
+// mixed GET/PUT/DEL/CAS workload, reconnecting after every -burst
+// requests so session leases recycle across connections (the server-side
+// behavior the load is designed to exercise: more connections over time
+// than the fixed thread registry has slots).
+//
+// On GOAWAY (server draining) a connection stops issuing, waits for all
+// its outstanding responses — counting any that never arrive as dropped —
+// and exits. The final stdout line is machine-readable:
+//
+//	oaload: ops=N busy=N dropped=N errs=N elapsed=1.234s ops_per_sec=N
+//
+// Exit status is nonzero when any response was dropped, any hard error
+// occurred, or no operations completed.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
+		conns    = flag.Int("conns", 64, "concurrent connections")
+		window   = flag.Int("window", 128, "pipelined requests in flight per connection")
+		burst    = flag.Int("burst", 2000, "requests per connection before reconnecting (0 = never)")
+		keys     = flag.Uint64("keys", 4096, "key space size")
+		duration = flag.Duration("duration", 2*time.Second, "load duration")
+	)
+	flag.Parse()
+
+	var ops, busy, dropped, errs atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	worker := func(w int) {
+		defer wg.Done()
+		rng := uint64(w)*0x9E3779B97F4A7C15 + 1
+		next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c, err := server.Dial(*addr, *window)
+			if err != nil {
+				// During server drain the listener is gone; that's a clean end.
+				return
+			}
+			calls := make([]*server.Call, 0, *window)
+			settle := func() bool {
+				c.Flush()
+				ok := true
+				for _, ca := range calls {
+					if err := ca.Wait(); err != nil {
+						dropped.Add(1)
+						ok = false
+						continue
+					}
+					if ca.Status == server.StBusy {
+						busy.Add(1)
+					} else {
+						ops.Add(1)
+					}
+				}
+				calls = calls[:0]
+				return ok
+			}
+			sent := 0
+			alive := true
+			for alive {
+				select {
+				case <-stop:
+					alive = false
+					continue
+				default:
+				}
+				if *burst > 0 && sent >= *burst {
+					break // reconnect: recycle the session lease
+				}
+				k := next() % *keys
+				var ca *server.Call
+				var err error
+				switch next() % 10 {
+				case 0:
+					ca, err = c.Del(k)
+				case 1:
+					ca, err = c.CAS(k, next()%3, next())
+				case 2, 3, 4:
+					ca, err = c.Put(k, next())
+				default:
+					ca, err = c.Get(k)
+				}
+				if err != nil {
+					if errors.Is(err, server.ErrGoAway) {
+						alive = false // drain announced: settle and exit
+						continue
+					}
+					errs.Add(1)
+					alive = false
+					continue
+				}
+				calls = append(calls, ca)
+				sent++
+				if len(calls) >= *window {
+					if !settle() {
+						alive = false
+					}
+				}
+			}
+			drainExit := c.GoAway()
+			settle()
+			c.Close()
+			if drainExit {
+				return
+			}
+		}
+	}
+
+	start := time.Now()
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go worker(w)
+	}
+	workersDone := make(chan struct{})
+	go func() { wg.Wait(); close(workersDone) }()
+	select {
+	case <-time.After(*duration):
+		close(stop)
+		<-workersDone
+	case <-workersDone: // server drained us out before the duration
+	}
+	elapsed := time.Since(start)
+
+	rate := float64(ops.Load()) / elapsed.Seconds()
+	fmt.Printf("oaload: ops=%d busy=%d dropped=%d errs=%d elapsed=%s ops_per_sec=%.0f\n",
+		ops.Load(), busy.Load(), dropped.Load(), errs.Load(),
+		elapsed.Round(time.Millisecond), rate)
+	if dropped.Load() > 0 || errs.Load() > 0 || ops.Load() == 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Command oaserver serves the OA key-value map over the pipelined binary
+// protocol (internal/server). Connections lease an SMR session from the
+// map's fixed thread registry on their first data request and hold it
+// until disconnect; when all -threads slots are leased, requests are
+// answered BUSY after a bounded wait.
+//
+// SIGTERM/SIGINT starts a graceful drain: stop accepting, GOAWAY every
+// connection, serve until clients finish their pipelines and close (or
+// -drain-timeout cuts the stragglers), then dump final stats as one JSON
+// line on stdout and exit 0.
+//
+// -debug exposes the observability endpoint (/metrics, /stats.json,
+// /trace, pprof) with both the map's SMR instrumentation and the
+// oa_server_* counters registered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvmap"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7070", "listen address")
+		debug        = flag.String("debug", "", "observability HTTP address (empty = off)")
+		threads      = flag.Int("threads", 32, "session registry size (max concurrent leases)")
+		capacity     = flag.Int("capacity", 1<<20, "node budget (live entries + reclamation slack)")
+		expected     = flag.Int("expected", 0, "expected live entries (0 = capacity/2)")
+		window       = flag.Int("window", 256, "per-connection in-flight response window")
+		leaseWait    = flag.Duration("lease-wait", 2*time.Millisecond, "max wait for a session slot before BUSY")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "max graceful drain on SIGTERM")
+		traceOn      = flag.Bool("trace", false, "record protocol trace events (lease/unlease, reclamation)")
+	)
+	flag.Parse()
+
+	if *expected <= 0 {
+		*expected = *capacity / 2
+	}
+	if *traceOn {
+		trace.SetEnabled(true)
+	}
+	obs.SetEnabled(true)
+
+	m := kvmap.New(core.Config{MaxThreads: *threads, Capacity: *capacity}, *expected)
+	srv := server.New(server.Config{
+		Map:          m,
+		Window:       *window,
+		LeaseWait:    *leaseWait,
+		DrainTimeout: *drainTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "oaserver: "+format+"\n", args...)
+		},
+	})
+
+	if *debug != "" {
+		reg := obs.NewRegistry()
+		m.Manager().RegisterObs(reg)
+		srv.RegisterObs(reg)
+		dln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oaserver:", err)
+			os.Exit(1)
+		}
+		go http.Serve(dln, reg.Handler())
+		fmt.Fprintf(os.Stderr, "oaserver: observability on http://%s/metrics\n", dln.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oaserver:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "oaserver: serving on %s (%d session slots, capacity %d)\n",
+		ln.Addr(), *threads, *capacity)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "oaserver: %v: draining\n", sig)
+		forced := srv.Shutdown()
+		<-done
+		// The map's registry closes only after the drain so in-flight
+		// connections could still lease mid-drain.
+		m.Close()
+		os.Stdout.Write(srv.FinalStats())
+		if forced > 0 {
+			fmt.Fprintf(os.Stderr, "oaserver: force-closed %d connections at drain timeout\n", forced)
+		}
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oaserver:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -32,10 +32,13 @@ const (
 )
 
 func main() {
-	set := oamem.NewOrderedSet(oamem.Options{
-		Threads:  producers + dispatches,
-		Capacity: 80_000, // live backlog + reclamation slack δ
-	})
+	set, err := oamem.Ordered(
+		oamem.WithThreads(producers+dispatches),
+		oamem.WithCapacity(80_000), // live backlog + reclamation slack δ
+	)
+	if err != nil {
+		panic(err)
+	}
 
 	var clock atomic.Uint64 // synthetic deadline source
 	clock.Store(1)
@@ -51,7 +54,11 @@ func main() {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			s := set.Session(p)
+			s, err := set.Acquire()
+			if err != nil {
+				panic(err) // cannot happen: goroutines == session slots
+			}
+			defer s.Release()
 			for !stop.Load() {
 				if scheduled.Load()-fired.Load() >= maxBacklog {
 					runtime.Gosched()
@@ -71,7 +78,12 @@ func main() {
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			s := set.ScanSession(producers + d)
+			// Leased sessions are scan-capable: RangeScan plus the set ops.
+			s, err := set.Acquire()
+			if err != nil {
+				panic(err)
+			}
+			defer s.Release()
 			due := make([]uint64, 0, 256)
 			for !stop.Load() {
 				now := clock.Load()

@@ -17,10 +17,11 @@ func main() {
 
 	// Capacity is the OA scheme's node budget: peak live set plus a
 	// reclamation slack δ. Here: ≤ ~40k live keys + ~25k slack.
-	set, err := oamem.NewHashSet(oamem.OA, oamem.Options{
-		Threads:  workers,
-		Capacity: 1 << 16,
-	}, 40_000)
+	set, err := oamem.HashSet(
+		oamem.WithThreads(workers),
+		oamem.WithCapacity(1<<16),
+		oamem.WithExpected(40_000),
+	)
 	if err != nil {
 		panic(err)
 	}
@@ -30,8 +31,12 @@ func main() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			// One session per goroutine, keyed by thread id.
-			s := set.Session(id)
+			// Lease one session per goroutine; Release returns the slot.
+			s, err := set.Acquire()
+			if err != nil {
+				panic(err) // cannot happen: workers == session slots
+			}
+			defer s.Release()
 			// Churn: cycle scratch keys through insert/delete so deleted
 			// nodes flow through retire → phase → recycle. Allocations here
 			// far exceed Capacity, which only works because the scheme
@@ -54,7 +59,11 @@ func main() {
 	}
 	wg.Wait()
 
-	probe := set.Session(0)
+	probe, err := set.Acquire()
+	if err != nil {
+		panic(err)
+	}
+	defer probe.Release()
 	present, absent := 0, 0
 	for id := 0; id < workers; id++ {
 		base := uint64(id) * 10_000

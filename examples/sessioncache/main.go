@@ -30,12 +30,17 @@ const (
 	runFor     = 300 * time.Millisecond
 )
 
-func workload(set oamem.Set) float64 {
-	// Prefill: the steady-state population of live sessions.
-	s0 := set.Session(0)
+func workload(set *oamem.Structure) float64 {
+	// Prefill: the steady-state population of live sessions. Release the
+	// lease before the workers start so all slots are free for them.
+	s0, err := set.Acquire()
+	if err != nil {
+		panic(err)
+	}
 	for tok := uint64(1); tok <= liveTokens; tok++ {
 		s0.Insert(tok)
 	}
+	s0.Release()
 
 	var stop atomic.Bool
 	var total atomic.Uint64
@@ -44,7 +49,11 @@ func workload(set oamem.Set) float64 {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			s := set.Session(id)
+			s, err := set.Acquire()
+			if err != nil {
+				panic(err) // cannot happen: workers == session slots
+			}
+			defer s.Release()
 			rng := uint64(id)*0x9E3779B97F4A7C15 + 1
 			n := uint64(0)
 			login := true
@@ -75,14 +84,18 @@ func workload(set oamem.Set) float64 {
 }
 
 func main() {
-	opt := oamem.Options{Threads: workers, Capacity: 1 << 16}
 	schemes := []oamem.Scheme{oamem.NoRecl, oamem.OA, oamem.HP, oamem.EBR}
 
 	fmt.Printf("session-cache: %d workers, %d live tokens, %v per scheme\n\n",
 		workers, liveTokens, runFor)
 	var base float64
 	for _, scheme := range schemes {
-		set, err := oamem.NewHashSet(scheme, opt, 2*liveTokens)
+		set, err := oamem.HashSet(
+			oamem.WithScheme(scheme),
+			oamem.WithThreads(workers),
+			oamem.WithCapacity(1<<16),
+			oamem.WithExpected(2*liveTokens),
+		)
 		if err != nil {
 			panic(err)
 		}

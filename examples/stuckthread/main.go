@@ -8,7 +8,11 @@
 // when it wakes.
 //
 // This example parks one worker mid-operation under both schemes and
-// measures how much memory churn the surviving workers can recycle.
+// measures how much memory churn the surviving workers can recycle. Under
+// OA the stuck worker holds a *leased* session (the session registry the
+// public oamem.Acquire API rides on): its lease is simply never returned,
+// which costs one slot — it never blocks the other workers or the
+// reclamation pipeline.
 //
 // Run with:
 //
@@ -31,17 +35,20 @@ const (
 	churn   = 150_000
 )
 
-// run drives churn through the surviving workers while thread 0 is stuck,
-// and reports how many nodes the scheme managed to recycle.
-func run(name string, set smr.Set, park func()) {
-	park() // thread 0 wedges mid-operation and never returns
+// run drives churn through the surviving workers while one thread is
+// stuck, and reports how many nodes the scheme managed to recycle. The
+// session hook maps a worker to its per-thread handle and returns the
+// matching release (a lease under OA, a no-op under EBR's fixed slots).
+func run(name string, set smr.Set, park func(), session func(id int) (smr.Session, func())) {
+	park() // one thread wedges mid-operation and never returns
 
 	var wg sync.WaitGroup
 	for id := 1; id <= workers; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			s := set.Session(id)
+			s, release := session(id)
+			defer release()
 			base := uint64(id) << 32
 			for i := 0; i < churn; i++ {
 				k := base + uint64(i%1024) + 1
@@ -66,22 +73,41 @@ func main() {
 	oaSet := hashtable.NewOA(core.Config{
 		MaxThreads: workers + 1, Capacity: 1 << 16, LocalPool: 126,
 	}, 4096)
-	run("OA", oaSet, func() {
-		th := oaSet.Engine().Manager().Thread(0)
-		pinned := th.Alloc()
-		th.ProtectCAS(arena.MakePtr(pinned), arena.NilPtr, arena.NilPtr)
-		// ...and the thread never runs again.
-	})
+	oaMgr := oaSet.Engine().Manager()
+	run("OA", oaSet,
+		func() {
+			// The stuck thread leases a session like any oamem.Acquire
+			// caller would... and never Releases it.
+			th, err := oaMgr.AcquireThread()
+			if err != nil {
+				panic(err)
+			}
+			pinned := th.Alloc()
+			th.ProtectCAS(arena.MakePtr(pinned), arena.NilPtr, arena.NilPtr)
+			// ...and the thread never runs again.
+		},
+		func(int) (smr.Session, func()) {
+			th, err := oaMgr.AcquireThread()
+			if err != nil {
+				panic(err)
+			}
+			return oaSet.Session(th.ID()), func() { oaMgr.ReleaseThread(th) }
+		})
 
 	// --- EBR: stuck thread parked inside an operation (its epoch
-	// announcement is live and never retracted).
+	// announcement is live and never retracted). The EBR engine has no
+	// lease registry, so workers bind fixed slots the pre-leasing way.
 	ebrSet := hashtable.NewEBR(ebr.Config{
 		MaxThreads: workers + 1, Capacity: 1 << 16, OpsPerScan: 64,
 	}, 4096)
-	run("EBR", ebrSet, func() {
-		th := ebrSet.Engine().Manager().Thread(0)
-		th.OnOpStart() // announce an epoch and never finish the operation
-	})
+	run("EBR", ebrSet,
+		func() {
+			th := ebrSet.Engine().Manager().Thread(0)
+			th.OnOpStart() // announce an epoch and never finish the operation
+		},
+		func(id int) (smr.Session, func()) {
+			return ebrSet.Session(id), func() {}
+		})
 
 	fmt.Println("\nexpected: OA reclaims essentially everything; EBR reclaims almost nothing")
 	fmt.Println("(its epoch cannot advance past the stuck announcement). This is why the")

@@ -65,6 +65,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/arena"
+	"repro/internal/lease"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/pools"
@@ -153,6 +154,7 @@ type Manager[T any] struct {
 	process  pools.ShardedVStack
 	threads  []*Thread[T]
 	reset    func(*T) // zeroes a node on allocation (Algorithm 5's memset)
+	lessor   *lease.Registry
 	phaseHst metrics.Histogram
 	stats    *obs.ThreadStats // per-thread counter blocks, one per context
 	tracer   *trace.Recorder  // per-thread protocol event rings
@@ -166,8 +168,9 @@ func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 	m := &Manager[T]{
 		cfg:   cfg,
 		nodes: arena.New[T](cfg.Capacity),
-		ba:    pools.NewBlockArena(cfg.Capacity),
-		reset: reset,
+		ba:     pools.NewBlockArena(cfg.Capacity),
+		reset:  reset,
+		lessor: lease.NewRegistry(cfg.MaxThreads),
 	}
 	m.ready.Init(cfg.Shards)
 	m.retire.Init(cfg.Shards, 0)
@@ -220,6 +223,36 @@ func (m *Manager[T]) Thread(id int) *Thread[T] { return m.threads[id] }
 
 // MaxThreads returns the configured thread count.
 func (m *Manager[T]) MaxThreads() int { return m.cfg.MaxThreads }
+
+// Lessor exposes the manager's session-slot registry: the lock-free free
+// list that multiplexes dynamically created goroutines onto the fixed
+// thread contexts (see package lease). Structures built on the manager
+// route their Acquire/Release surface through it.
+func (m *Manager[T]) Lessor() *lease.Registry { return m.lessor }
+
+// AcquireThread leases a free thread context for the calling goroutine.
+// It fails with lease.ErrNoFreeSessions when all MaxThreads contexts are
+// leased and with lease.ErrClosed after Close. The returned context must
+// be returned with ReleaseThread; contexts handed out via Thread(id)
+// (the fixed-slot API) bypass the registry and must never be released.
+func (m *Manager[T]) AcquireThread() (*Thread[T], error) {
+	id, err := m.lessor.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	return m.threads[id], nil
+}
+
+// ReleaseThread returns a context leased by AcquireThread to the free
+// pool. The thread's local alloc/retire blocks stay attached to the
+// context (the next lessee inherits them), so no slots are stranded by
+// lease churn. It panics on a context that is not currently leased.
+func (m *Manager[T]) ReleaseThread(t *Thread[T]) { m.lessor.Release(t.id) }
+
+// Close marks the session registry closed: AcquireThread fails with
+// lease.ErrClosed from then on, while outstanding leases stay valid so a
+// draining server can release them one by one.
+func (m *Manager[T]) Close() { m.lessor.Close() }
 
 // Phase returns the current (even) phase version of the retire pool,
 // i.e. twice the number of completed phase swaps. While a swap is in
@@ -303,6 +336,13 @@ func (m *Manager[T]) RegisterObs(reg *obs.Registry) {
 			}
 			return float64(tot[obs.Retires] - tot[obs.Recycled])
 		})
+	reg.Gauge("oa_sessions_leased", "thread contexts currently leased via AcquireThread",
+		func() float64 { return float64(m.lessor.Leased()) })
+	reg.Counter("oa_session_grants_total", "session leases ever granted",
+		m.lessor.Grants)
+	reg.Counter("oa_session_exhausted_total",
+		"AcquireThread calls rejected because every context was leased",
+		m.lessor.Exhausted)
 	reg.Gauge("oa_arena_slots_reserved", "node slots handed out by the arena",
 		func() float64 { return float64(m.nodes.Limit()) })
 	reg.Gauge("oa_arena_slots_capacity", "node slots backed by arena chunks",
@@ -428,15 +468,17 @@ func (m *Manager[T]) completeSwap(v uint32) {
 				continue
 			}
 			// sv == v+1: move the frozen chain into the processing shard.
-			// Count it before the CAS publishes it to drainers — afterwards
-			// concurrent pops make the walk unsafe. Only the CAS winner
-			// transfers the occupancy gauges.
+			// Only the CAS winner transfers the occupancy gauges, and it
+			// does so by taking the retire shard's gauge wholesale rather
+			// than walking the chain: a helper that loses this CAS could
+			// still be mid-walk after the winner publishes the chain to
+			// drainers, racing their pops and block recycling. The gauge
+			// equals the frozen chain's block count up to in-flight pusher
+			// increments, which the next phase's take sweeps along.
 			pv, ph := m.process.LoadShard(i)
-			if pv == v {
-				blocks, _ := pools.ChainLen(m.ba, h)
-				if m.process.CASShard(i, pv, ph, v+2, h) && blocks != 0 {
-					m.process.AdjustBlocks(i, int64(blocks))
-					m.retire.AdjustBlocks(i, -int64(blocks))
+			if pv == v && m.process.CASShard(i, pv, ph, v+2, h) {
+				if g := m.retire.TakeBlocks(i); g != 0 {
+					m.process.AdjustBlocks(i, g)
 				}
 			}
 			m.retire.CASShard(i, v+1, h, v+2, pools.NoBlock)

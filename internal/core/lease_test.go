@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lease"
+)
+
+type leaseNode struct{ v uint64 }
+
+func TestManagerThreadLeasing(t *testing.T) {
+	m := core.NewManager[leaseNode](core.Config{MaxThreads: 3, Capacity: 1 << 12},
+		func(n *leaseNode) { n.v = 0 })
+	seen := map[int]bool{}
+	var held []*core.Thread[leaseNode]
+	for i := 0; i < 3; i++ {
+		th, err := m.AcquireThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[th.ID()] {
+			t.Fatalf("context %d leased twice", th.ID())
+		}
+		seen[th.ID()] = true
+		held = append(held, th)
+	}
+	if _, err := m.AcquireThread(); !errors.Is(err, lease.ErrNoFreeSessions) {
+		t.Fatalf("exhausted AcquireThread: %v", err)
+	}
+	m.ReleaseThread(held[1])
+	th, err := m.AcquireThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.ID() != held[1].ID() {
+		t.Fatalf("recycled context %d, want %d", th.ID(), held[1].ID())
+	}
+	m.Close()
+	if _, err := m.AcquireThread(); !errors.Is(err, lease.ErrClosed) {
+		t.Fatalf("AcquireThread after Close: %v", err)
+	}
+}
+
+// TestLeasedThreadsAllocate drives allocation/retire churn through leased
+// contexts from more goroutines than contexts — the server's usage shape —
+// under the race detector.
+func TestLeasedThreadsAllocate(t *testing.T) {
+	const contexts = 4
+	m := core.NewManager[leaseNode](core.Config{MaxThreads: contexts, Capacity: 1 << 14},
+		func(n *leaseNode) { n.v = 0 })
+	var wg sync.WaitGroup
+	for w := 0; w < 4*contexts; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; {
+				th, err := m.AcquireThread()
+				if errors.Is(err, lease.ErrNoFreeSessions) {
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				slot := th.Alloc()
+				th.Retire(slot)
+				m.ReleaseThread(th)
+				i++
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Lessor().Leased(); got != 0 {
+		t.Fatalf("leaked %d thread leases", got)
+	}
+}

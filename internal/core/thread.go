@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/arena"
+	"repro/internal/lease"
 	"repro/internal/obs"
 	"repro/internal/pools"
 	"repro/internal/smr"
@@ -212,11 +213,16 @@ func (t *Thread[T]) Alloc() uint32 {
 			continue
 		}
 		if spins >= m.cfg.AllocSpinLimit {
-			panic(fmt.Sprintf(
+			// The panic value is an error wrapping the shared capacity
+			// sentinel so recover + errors.Is(err, ErrCapacityExhausted)
+			// can classify it; admission-control layers should reject
+			// load well before this point (see package lease).
+			panic(fmt.Errorf(
 				"core: allocation starved after %d recycling attempts; "+
 					"capacity %d is too small for the live set "+
-					"(size it as live nodes + δ, δ ≥ 2·threads·localPool = %d)",
-				spins, m.cfg.Capacity, 2*m.cfg.MaxThreads*m.cfg.LocalPool))
+					"(size it as live nodes + δ, δ ≥ 2·threads·localPool = %d): %w",
+				spins, m.cfg.Capacity, 2*m.cfg.MaxThreads*m.cfg.LocalPool,
+				lease.ErrCapacityExhausted))
 		}
 		t.Recycling()
 	}

@@ -40,6 +40,10 @@ type Map struct {
 	mgr   *core.Manager[Node]
 	heads []uint32
 	mask  uint32
+	// sessions caches one Session per thread context for the leasing API:
+	// a context's session (and its pending pre-allocated node) survives
+	// lease churn, so connect/disconnect cycles strand no slots.
+	sessions []*Session
 }
 
 // loadFactor matches the paper's hash benchmarks.
@@ -62,6 +66,10 @@ func New(cfg core.Config, expected int) *Map {
 	for i := range m.heads {
 		m.heads[i] = t.Alloc()
 	}
+	m.sessions = make([]*Session, m.mgr.MaxThreads())
+	for i := range m.sessions {
+		m.sessions[i] = m.Session(i)
+	}
 	return m
 }
 
@@ -76,15 +84,51 @@ func (m *Map) bucket(key uint64) uint32 {
 }
 
 // Session binds the map to worker tid; one session per goroutine.
+//
+// Deprecated: fixed thread ids cannot be assigned safely from dynamic
+// goroutine populations; use Acquire, which leases a free context.
 func (m *Map) Session(tid int) *Session {
 	return &Session{m: m, t: m.mgr.Thread(tid), pending: arena.NoSlot}
 }
 
+// Acquire leases a free thread context and returns its session. The
+// session must be used by one goroutine at a time and returned with
+// Release. Acquire fails with lease.ErrNoFreeSessions when all contexts
+// are leased and lease.ErrClosed after Close.
+func (m *Map) Acquire() (*Session, error) {
+	t, err := m.mgr.AcquireThread()
+	if err != nil {
+		return nil, err
+	}
+	s := m.sessions[t.ID()]
+	s.released.Store(false)
+	return s, nil
+}
+
+// Close marks the session registry closed: Acquire fails from then on,
+// outstanding sessions stay valid until Released.
+func (m *Map) Close() { m.mgr.Close() }
+
 // Session is the per-thread handle of a Map.
 type Session struct {
-	m       *Map
-	t       *core.Thread[Node]
-	pending uint32
+	m        *Map
+	t        *core.Thread[Node]
+	pending  uint32
+	released atomic.Bool
+}
+
+// TID returns the session's thread context id.
+func (s *Session) TID() int { return s.t.ID() }
+
+// Release returns a session obtained from Acquire to the free pool. It
+// panics on double release (two goroutines sharing one context would
+// corrupt hazard-pointer and warning state silently). Sessions obtained
+// from the deprecated fixed-slot Session method must not be released.
+func (s *Session) Release() {
+	if s.released.Swap(true) {
+		panic("kvmap: double Release of session")
+	}
+	s.m.mgr.ReleaseThread(s.t)
 }
 
 // Get returns the value stored under key.
@@ -236,6 +280,44 @@ func (s *Session) put(key, val uint64, overwrite bool) (bool, prevVal) {
 		}
 		s.pending = arena.NoSlot
 		return true, prevVal{}
+	}
+}
+
+// CompareAndSwap replaces the value under key with new only while the
+// current value equals old. It returns (swapped, found): (false, false)
+// when key is absent, (false, true) on a value mismatch. Like Put's
+// in-place update it is one observable CAS on the value word under the
+// Algorithm 2 write barrier, so it linearizes against concurrent Puts,
+// Removes and other CASes.
+func (s *Session) CompareAndSwap(key, old, new uint64) (swapped, found bool) {
+	th := s.t
+	head := s.m.bucket(key)
+	for {
+		_, cur, _, ckey, ok, restart := s.search(head, key)
+		if restart {
+			continue
+		}
+		if !ok || ckey != key {
+			return false, false
+		}
+		n := th.Node(cur.Slot())
+		v := n.Val.Load()
+		if th.Check() {
+			continue
+		}
+		if v != old {
+			return false, true
+		}
+		if th.ProtectCAS(cur, arena.NilPtr, arena.NilPtr) {
+			continue
+		}
+		won := n.Val.CompareAndSwap(old, new)
+		th.ClearCAS()
+		if won {
+			return true, true
+		}
+		// The value word moved between the read and the CAS: re-search and
+		// re-read — the next round reports mismatch or retries as needed.
 	}
 }
 

@@ -1,0 +1,151 @@
+package kvmap
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lease"
+)
+
+func TestAcquireReleaseChurn(t *testing.T) {
+	const (
+		threads = 4
+		workers = 32
+		rounds  = 200
+	)
+	m := New(core.Config{MaxThreads: threads, Capacity: 1 << 14}, 1024)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; {
+				s, err := m.Acquire()
+				if errors.Is(err, lease.ErrNoFreeSessions) {
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				k := uint64(w)<<32 | uint64(i) + 1
+				s.Put(k, k)
+				if v, ok := s.Get(k); !ok || v != k {
+					t.Errorf("get %d = %d,%v", k, v, ok)
+				}
+				s.Remove(k)
+				s.Release()
+				i++
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.Manager().Lessor().Leased(); got != 0 {
+		t.Fatalf("leaked %d leases", got)
+	}
+}
+
+// TestAcquireReusesSessionState proves the per-context session cache: a
+// context's pending pre-allocated node survives lease churn instead of
+// leaking one arena slot per connect/disconnect cycle.
+func TestAcquireReusesSessionState(t *testing.T) {
+	m := New(core.Config{MaxThreads: 1, Capacity: 1 << 12}, 256)
+	s1, err := m.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Put that finds the key present leaves a pending allocation behind.
+	s1.Put(7, 1)
+	s1.Put(7, 2)
+	tid := s1.TID()
+	s1.Release()
+	s2, err := m.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s1 || s2.TID() != tid {
+		t.Fatal("lease churn did not reuse the cached session")
+	}
+	s2.Release()
+}
+
+func TestAcquireExhaustionAndClose(t *testing.T) {
+	m := New(core.Config{MaxThreads: 2, Capacity: 1 << 12}, 256)
+	a, err := m.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(); !errors.Is(err, lease.ErrNoFreeSessions) {
+		t.Fatalf("exhausted acquire: %v", err)
+	}
+	m.Close()
+	a.Release()
+	if _, err := m.Acquire(); !errors.Is(err, lease.ErrClosed) {
+		t.Fatalf("acquire after close: %v", err)
+	}
+	b.Release()
+}
+
+func TestDoubleSessionReleasePanics(t *testing.T) {
+	m := New(core.Config{MaxThreads: 1, Capacity: 1 << 12}, 256)
+	s, err := m.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	s.Release()
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	m := New(core.Config{MaxThreads: 1, Capacity: 1 << 12}, 256)
+	s := m.Session(0)
+	if swapped, found := s.CompareAndSwap(1, 0, 10); swapped || found {
+		t.Fatalf("CAS on absent key = %v,%v", swapped, found)
+	}
+	s.Put(1, 10)
+	if swapped, found := s.CompareAndSwap(1, 9, 11); swapped || !found {
+		t.Fatalf("CAS mismatch = %v,%v", swapped, found)
+	}
+	if swapped, found := s.CompareAndSwap(1, 10, 11); !swapped || !found {
+		t.Fatalf("CAS = %v,%v", swapped, found)
+	}
+	if v, _ := s.Get(1); v != 11 {
+		t.Fatalf("value after CAS = %d", v)
+	}
+}
+
+func TestCompareAndSwapContended(t *testing.T) {
+	const workers = 4
+	m := New(core.Config{MaxThreads: workers, Capacity: 1 << 14}, 1024)
+	m.Session(0).Put(1, 0)
+	var wg sync.WaitGroup
+	per := 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := m.Session(w)
+			for i := 0; i < per; {
+				v, _ := s.Get(1)
+				if swapped, _ := s.CompareAndSwap(1, v, v+1); swapped {
+					i++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v, _ := m.Session(0).Get(1); v != uint64(workers*per) {
+		t.Fatalf("counter = %d, want %d (lost updates)", v, workers*per)
+	}
+}

@@ -214,6 +214,14 @@ func (s *ShardedVStack) Blocks(i int) int64 { return s.shards[i].blocks.Load() }
 // swap to account chains moved wholesale between pools.
 func (s *ShardedVStack) AdjustBlocks(i int, delta int64) { s.shards[i].blocks.Add(delta) }
 
+// TakeBlocks atomically drains shard i's occupancy gauge to zero and
+// returns the drained value. The phase swap's winner uses it to move a
+// frozen chain's gauge wholesale to the destination pool without walking
+// the chain (which races with drainers once the chain is published). A
+// pusher whose gauge increment lands after the take is swept up by the
+// next phase's take, so the per-pool gauges stay eventually consistent.
+func (s *ShardedVStack) TakeBlocks(i int) int64 { return s.shards[i].blocks.Swap(0) }
+
 // Steals returns how many pops were served from shard i to threads homed
 // elsewhere.
 func (s *ShardedVStack) Steals(i int) uint64 { return s.shards[i].steals.Load() }

@@ -1,0 +1,471 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kvmap"
+	"repro/internal/lease"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Config sizes a Server. Map is required; zero values elsewhere pick the
+// documented defaults.
+type Config struct {
+	// Map is the structure being served. Its thread registry bounds how
+	// many connections can hold a session lease simultaneously.
+	Map *kvmap.Map
+	// Window bounds the per-connection in-flight pipeline: responses
+	// executed but not yet written. When the writer falls this far behind,
+	// the reader stops reading from the socket, so backpressure reaches
+	// the client as TCP flow control. Default 256.
+	Window int
+	// LeaseWait bounds how long a request waits for a free session slot
+	// before the server answers BUSY. A short wait rides out lease churn
+	// from disconnecting peers without stalling the connection. Default
+	// 2ms.
+	LeaseWait time.Duration
+	// DrainTimeout bounds Shutdown: connections whose client has not
+	// closed by then are force-closed. Default 5s.
+	DrainTimeout time.Duration
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server serves the wire protocol over a listener. One Server serves one
+// Map; connections lease a session on their first data request and hold
+// it until disconnect.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+
+	nextConnID atomic.Uint64
+	draining   atomic.Bool
+
+	// Counters, exported via RegisterObs and the STATS op.
+	active      atomic.Int64  // open connections
+	connsTotal  atomic.Uint64 // connections accepted
+	reqsTotal   [8]atomic.Uint64
+	busyTotal   atomic.Uint64 // BUSY responses (lease wait exhausted)
+	capTotal    atomic.Uint64 // CAPACITY responses
+	badTotal    atomic.Uint64 // BAD_REQUEST responses
+	goawaysSent atomic.Uint64
+	forceClosed atomic.Uint64 // conns cut by DrainTimeout
+	reqsRead    atomic.Uint64 // requests decoded off sockets
+	respsSent   atomic.Uint64 // responses handed to writers
+}
+
+var opNames = [8]string{"", "get", "put", "del", "cas", "ping", "stats", "goaway"}
+
+// New builds a Server around cfg.Map.
+func New(cfg Config) *Server {
+	if cfg.Map == nil {
+		panic("server: Config.Map is required")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	if cfg.LeaseWait <= 0 {
+		cfg.LeaseWait = 2 * time.Millisecond
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	return &Server{cfg: cfg, conns: make(map[*conn]struct{})}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// RegisterObs registers the server's gauges and counters (oa_server_*)
+// with reg. Call once, before Serve.
+func (s *Server) RegisterObs(reg *obs.Registry) {
+	reg.Gauge("oa_server_connections", "open client connections",
+		func() float64 { return float64(s.active.Load()) })
+	reg.Counter("oa_server_connections_total", "connections accepted",
+		func() uint64 { return s.connsTotal.Load() })
+	reg.CounterVec("oa_server_requests_total", "requests served by opcode", "op",
+		len(opNames), func(i int) uint64 { return s.reqsTotal[i].Load() })
+	reg.Counter("oa_server_busy_total", "requests answered BUSY (no free session)",
+		func() uint64 { return s.busyTotal.Load() })
+	reg.Counter("oa_server_capacity_total", "requests answered CAPACITY",
+		func() uint64 { return s.capTotal.Load() })
+	reg.Counter("oa_server_goaways_total", "GOAWAY frames sent",
+		func() uint64 { return s.goawaysSent.Load() })
+	reg.Counter("oa_server_force_closed_total", "connections cut at DrainTimeout",
+		func() uint64 { return s.forceClosed.Load() })
+	reg.Counter("oa_server_requests_read_total", "requests decoded off sockets",
+		func() uint64 { return s.reqsRead.Load() })
+	reg.Counter("oa_server_responses_sent_total", "responses queued to writers",
+		func() uint64 { return s.respsSent.Load() })
+}
+
+// Serve accepts connections on ln until Shutdown (which returns nil here)
+// or a listener error. It owns ln and closes it on return.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	defer ln.Close()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		c := &conn{
+			s:      s,
+			id:     s.nextConnID.Add(1),
+			nc:     nc,
+			out:    make(chan []byte, s.cfg.Window),
+			goaway: make(chan struct{}),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connsTotal.Add(1)
+		s.active.Add(1)
+		if s.draining.Load() {
+			// Raced with Shutdown's broadcast: deliver the GOAWAY ourselves.
+			c.sendGoAway()
+		}
+		go c.run()
+	}
+}
+
+// Shutdown drains the server: stop accepting, send GOAWAY everywhere,
+// close the Map's session registry to new leases, and wait for clients to
+// finish their pipelines and close — up to DrainTimeout, after which the
+// stragglers are cut. It reports how many connections were force-closed.
+func (s *Server) Shutdown() int {
+	if s.draining.Swap(true) {
+		return 0 // already draining; first caller reports
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.sendGoAway()
+	}
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var forced int
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.nc.Close()
+		forced++
+	}
+	s.mu.Unlock()
+	s.forceClosed.Add(uint64(forced))
+
+	// Wait for the cut connections' goroutines to release their leases.
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return forced
+}
+
+// Snapshot is the server-side counter block of a STATS response.
+type Snapshot struct {
+	Connections   int64  `json:"connections"`
+	ConnsTotal    uint64 `json:"connections_total"`
+	RequestsRead  uint64 `json:"requests_read"`
+	ResponsesSent uint64 `json:"responses_sent"`
+	Busy          uint64 `json:"busy"`
+	Capacity      uint64 `json:"capacity"`
+	GoAways       uint64 `json:"goaways"`
+	ForceClosed   uint64 `json:"force_closed"`
+	SessionsCap   int    `json:"sessions_cap"`
+	SessionsInUse int    `json:"sessions_leased"`
+	SessionGrants uint64 `json:"session_grants"`
+}
+
+func (s *Server) snapshot() Snapshot {
+	lessor := s.cfg.Map.Manager().Lessor()
+	return Snapshot{
+		Connections:   s.active.Load(),
+		ConnsTotal:    s.connsTotal.Load(),
+		RequestsRead:  s.reqsRead.Load(),
+		ResponsesSent: s.respsSent.Load(),
+		Busy:          s.busyTotal.Load(),
+		Capacity:      s.capTotal.Load(),
+		GoAways:       s.goawaysSent.Load(),
+		ForceClosed:   s.forceClosed.Load(),
+		SessionsCap:   lessor.Cap(),
+		SessionsInUse: lessor.Leased(),
+		SessionGrants: lessor.Grants(),
+	}
+}
+
+// statsBody builds the STATS JSON: server counters plus the map's
+// reclamation stats.
+func (s *Server) statsBody() []byte {
+	b, err := json.Marshal(struct {
+		Server Snapshot `json:"server"`
+		Map    any      `json:"map"`
+	}{s.snapshot(), s.cfg.Map.Stats()})
+	if err != nil {
+		return []byte(`{}`)
+	}
+	return b
+}
+
+// FinalStats returns the STATS JSON document plus a newline — the
+// machine-readable shutdown dump commands print on stdout.
+func (s *Server) FinalStats() []byte {
+	return append(s.statsBody(), '\n')
+}
+
+// conn is one client connection: a reader goroutine that decodes,
+// executes and enqueues, and a writer goroutine that batches and flushes.
+type conn struct {
+	s      *Server
+	id     uint64
+	nc     net.Conn
+	out    chan []byte   // bounded in-flight window
+	goaway chan struct{} // closed (once) to push a GOAWAY frame
+	gaOnce sync.Once
+}
+
+func (c *conn) sendGoAway() {
+	c.gaOnce.Do(func() {
+		c.s.goawaysSent.Add(1)
+		close(c.goaway)
+	})
+}
+
+func (c *conn) run() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.writeLoop()
+	}()
+	c.readLoop()
+	close(c.out)
+	wg.Wait()
+	c.nc.Close()
+	c.s.mu.Lock()
+	delete(c.s.conns, c)
+	c.s.mu.Unlock()
+	c.s.active.Add(-1)
+}
+
+// lease acquires a session slot, waiting up to LeaseWait for churn from
+// disconnecting peers to free one.
+func (c *conn) lease() (*kvmap.Session, error) {
+	deadline := time.Now().Add(c.s.cfg.LeaseWait)
+	for {
+		sess, err := c.s.cfg.Map.Acquire()
+		if err == nil {
+			if trace.Enabled() {
+				c.s.cfg.Map.Manager().TraceRecorder().Ring(sess.TID()).Record(trace.EvLease, c.id)
+			}
+			return sess, nil
+		}
+		if errors.Is(err, lease.ErrClosed) || time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+func (c *conn) readLoop() {
+	fr := newFrameReader(c.nc)
+	var sess *kvmap.Session
+	defer func() {
+		if sess != nil {
+			if trace.Enabled() {
+				c.s.cfg.Map.Manager().TraceRecorder().Ring(sess.TID()).Record(trace.EvUnlease, c.id)
+			}
+			sess.Release()
+		}
+	}()
+	for {
+		f, err := fr.read()
+		if err != nil {
+			return // EOF: client closed; anything else: cut the pipeline
+		}
+		c.s.reqsRead.Add(1)
+		nargs, known := argWords(f.Code)
+		if !known || f.Code == OpGoAway || len(f.Body) != 8*nargs {
+			c.s.badTotal.Add(1)
+			c.reply(appendFrame(nil, f.ID, StBadRequest))
+			continue
+		}
+		c.s.reqsTotal[f.Code].Add(1)
+		switch f.Code {
+		case OpPing:
+			c.reply(appendFrame(nil, f.ID, StOK))
+			continue
+		case OpStats:
+			c.reply(appendBytesFrame(nil, f.ID, StOK, c.s.statsBody()))
+			continue
+		}
+		if sess == nil {
+			s2, err := c.lease()
+			if err != nil {
+				if errors.Is(err, lease.ErrClosed) {
+					c.reply(appendFrame(nil, f.ID, StClosed))
+				} else {
+					c.s.busyTotal.Add(1)
+					c.reply(appendFrame(nil, f.ID, StBusy))
+				}
+				continue
+			}
+			sess = s2
+		}
+		resp, fatal := c.execute(sess, f)
+		c.reply(resp)
+		if fatal {
+			return
+		}
+	}
+}
+
+// reply hands one encoded response to the writer. It blocks while the
+// window is full, which is exactly the backpressure contract: the reader
+// stops reading until the writer catches up.
+func (c *conn) reply(b []byte) {
+	c.s.respsSent.Add(1)
+	c.out <- b
+}
+
+// execute runs one data request on the connection's leased session. A
+// capacity-starved allocator panics with an error wrapping
+// lease.ErrCapacityExhausted; that is answered CAPACITY and treated as
+// fatal for the connection (the session's protocol state cannot be
+// trusted past a mid-operation unwind).
+func (c *conn) execute(sess *kvmap.Session, f frame) (resp []byte, fatal bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			err, ok := r.(error)
+			if !ok || !errors.Is(err, lease.ErrCapacityExhausted) {
+				panic(r)
+			}
+			c.s.capTotal.Add(1)
+			c.s.logf("conn %d: capacity exhausted: %v", c.id, err)
+			resp, fatal = appendFrame(nil, f.ID, StCapacity), true
+		}
+	}()
+	switch f.Code {
+	case OpGet:
+		if v, ok := sess.Get(f.word(0)); ok {
+			return appendFrame(nil, f.ID, StOK, v), false
+		}
+		return appendFrame(nil, f.ID, StNotFound), false
+	case OpPut:
+		prev, had := sess.Put(f.word(0), f.word(1))
+		if had {
+			return appendFrame(nil, f.ID, StOK, prev), false
+		}
+		return appendFrame(nil, f.ID, StNotFound, 0), false
+	case OpDel:
+		if v, ok := sess.Remove(f.word(0)); ok {
+			return appendFrame(nil, f.ID, StOK, v), false
+		}
+		return appendFrame(nil, f.ID, StNotFound), false
+	case OpCAS:
+		swapped, found := sess.CompareAndSwap(f.word(0), f.word(1), f.word(2))
+		switch {
+		case swapped:
+			return appendFrame(nil, f.ID, StOK), false
+		case found:
+			return appendFrame(nil, f.ID, StCASMismatch), false
+		default:
+			return appendFrame(nil, f.ID, StNotFound), false
+		}
+	}
+	return appendFrame(nil, f.ID, StBadRequest), false
+}
+
+// writeLoop batches responses: it greedily drains the window into the
+// buffered writer and flushes only when the queue goes empty (or the
+// buffer fills), so a pipelining client costs ~one syscall per batch, not
+// per response.
+func (c *conn) writeLoop() {
+	bw := bufio.NewWriterSize(c.nc, 32<<10)
+	goaway := c.goaway
+	for {
+		select {
+		case <-goaway:
+			goaway = nil
+			bw.Write(appendFrame(nil, 0, StGoAway))
+			bw.Flush()
+			continue
+		case b, ok := <-c.out:
+			if !ok {
+				bw.Flush()
+				return
+			}
+			bw.Write(b)
+		}
+	drain:
+		for {
+			select {
+			case <-goaway:
+				goaway = nil
+				bw.Write(appendFrame(nil, 0, StGoAway))
+			case b, ok := <-c.out:
+				if !ok {
+					bw.Flush()
+					return
+				}
+				bw.Write(b)
+			default:
+				break drain
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			// Socket gone: keep draining the window so the reader never
+			// blocks on a full channel, but stop writing.
+			for range c.out {
+			}
+			return
+		}
+	}
+}

@@ -39,6 +39,9 @@ func appendArgs(b []byte, e Event) []byte {
 	case EvSteal, EvRefill:
 		b = append(b, `"shard":`...)
 		b = strconv.AppendUint(b, e.Arg, 10)
+	case EvLease, EvUnlease:
+		b = append(b, `"owner":`...)
+		b = strconv.AppendUint(b, e.Arg, 10)
 	default:
 		b = append(b, `"arg":`...)
 		b = strconv.AppendUint(b, e.Arg, 10)

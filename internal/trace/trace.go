@@ -65,6 +65,13 @@ const (
 	// EvRefill is a local allocation-block refill from the shared pool.
 	// Payload: the shard the block came from (0 for unsharded pools).
 	EvRefill
+	// EvLease is a thread context leased to a dynamic worker (a server
+	// connection binding itself to the fixed registry). Payload: an
+	// owner id chosen by the leasing layer (the server's connection id).
+	EvLease
+	// EvUnlease is the matching context release back to the free pool.
+	// Payload: the same owner id.
+	EvUnlease
 
 	numKinds
 )
@@ -72,6 +79,7 @@ const (
 var kindNames = [numKinds]string{
 	"", "phase", "warn_set", "warn_check", "warn_ack",
 	"restart", "drain", "shard_freeze", "shard_steal", "refill",
+	"lease", "unlease",
 }
 
 // String returns the snake_case export name of the kind.

@@ -1,0 +1,29 @@
+package oamem
+
+import "repro/internal/lease"
+
+// Typed sentinel errors. They are the same values the internal layers
+// return, so errors.Is matches whether a caller got the error from this
+// package, from a *Map (package kvmap) or from the network server.
+var (
+	// ErrNoFreeSessions is returned by every Acquire when all Threads
+	// session slots are currently leased. It is a load condition, not a
+	// programming error: back off and retry, queue, or shed the caller.
+	// The registry recycles slots as soon as holders Release, so any
+	// number of goroutines can multiplex onto the fixed registry over
+	// time — just not simultaneously.
+	ErrNoFreeSessions = lease.ErrNoFreeSessions
+
+	// ErrClosed is returned by Acquire after the structure's Close.
+	// Sessions leased before Close stay valid until Released, which is
+	// what lets a draining server finish in-flight work first.
+	ErrClosed = lease.ErrClosed
+
+	// ErrCapacityExhausted reports that a structure's fixed node budget
+	// (under OA, Capacity = peak live set + reclamation slack δ) cannot
+	// admit more keys. Admission-control layers return it before the
+	// allocator starves; if the budget is truly overrun, the allocator
+	// panics with an error value wrapping this sentinel, so a recover
+	// handler can classify the failure with errors.Is.
+	ErrCapacityExhausted = lease.ErrCapacityExhausted
+)

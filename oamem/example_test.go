@@ -1,22 +1,29 @@
 package oamem_test
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/oamem"
 )
 
-// The canonical workflow: construct a structure with a scheme and a node
-// budget, then give each goroutine its own session.
-func ExampleNewHashSet() {
-	set, err := oamem.NewHashSet(oamem.OA, oamem.Options{
-		Threads:  2,
-		Capacity: 1 << 12,
-	}, 1024)
+// The canonical workflow: construct a structure with functional options,
+// then lease each goroutine a session with Acquire and return it with
+// Release.
+func ExampleHashSet() {
+	set, err := oamem.HashSet(
+		oamem.WithThreads(2),
+		oamem.WithCapacity(1<<12),
+		oamem.WithExpected(1024),
+	)
 	if err != nil {
 		panic(err)
 	}
-	s := set.Session(0)
+	s, err := set.Acquire()
+	if err != nil {
+		panic(err)
+	}
+	defer s.Release()
 	fmt.Println(s.Insert(7))
 	fmt.Println(s.Contains(7))
 	fmt.Println(s.Delete(7))
@@ -28,16 +35,39 @@ func ExampleNewHashSet() {
 	// false
 }
 
-func ExampleNewList() {
-	// The anchors scheme exists for the linked list only, as in the paper.
-	set, err := oamem.NewList(oamem.Anchors, oamem.Options{
-		Threads:  1,
-		Capacity: 4096,
-	})
+// Acquire fails fast with typed errors: ErrNoFreeSessions while every
+// slot is leased, ErrClosed after Close.
+func ExampleStructure_Acquire() {
+	set, err := oamem.List(oamem.WithThreads(1), oamem.WithCapacity(1024))
 	if err != nil {
 		panic(err)
 	}
-	s := set.Session(0)
+	s, _ := set.Acquire()
+	_, err = set.Acquire()
+	fmt.Println(errors.Is(err, oamem.ErrNoFreeSessions))
+	s.Release()
+	set.Close()
+	_, err = set.Acquire()
+	fmt.Println(errors.Is(err, oamem.ErrClosed))
+	// Output:
+	// true
+	// true
+}
+
+func ExampleList() {
+	// The anchors scheme exists for the linked list only, as in the paper.
+	set, err := oamem.List(
+		oamem.WithScheme(oamem.Anchors),
+		oamem.WithCapacity(4096),
+	)
+	if err != nil {
+		panic(err)
+	}
+	s, err := set.Acquire()
+	if err != nil {
+		panic(err)
+	}
+	defer s.Release()
 	s.Insert(3)
 	s.Insert(1)
 	s.Insert(2)
@@ -46,15 +76,16 @@ func ExampleNewList() {
 	// true true true false
 }
 
-func ExampleNewQueue() {
-	q, err := oamem.NewQueue(oamem.OA, oamem.Options{
-		Threads:  1,
-		Capacity: 1024,
-	})
+func ExampleFIFO() {
+	q, err := oamem.FIFO(oamem.WithCapacity(1024))
 	if err != nil {
 		panic(err)
 	}
-	s := q.QueueSession(0)
+	s, err := q.Acquire()
+	if err != nil {
+		panic(err)
+	}
+	defer s.Release()
 	s.Enqueue(10)
 	s.Enqueue(20)
 	v1, _ := s.Dequeue()
@@ -65,13 +96,21 @@ func ExampleNewQueue() {
 	// 10 20 false
 }
 
-func ExampleNewMap() {
-	m := oamem.NewMap(oamem.Options{Threads: 1, Capacity: 4096}, 256)
-	s := m.Session(0)
+func ExampleKV() {
+	m, err := oamem.KV(oamem.WithCapacity(4096), oamem.WithExpected(256))
+	if err != nil {
+		panic(err)
+	}
+	s, err := m.Acquire()
+	if err != nil {
+		panic(err)
+	}
+	defer s.Release()
 	s.Put(1, 100)
 	prev, had := s.Put(1, 200)
 	v, ok := s.Get(1)
-	fmt.Println(prev, had, v, ok)
+	swapped, _ := s.CompareAndSwap(1, 200, 300)
+	fmt.Println(prev, had, v, ok, swapped)
 	// Output:
-	// 100 true 200 true
+	// 100 true 200 true true
 }

@@ -13,17 +13,10 @@ import (
 	"repro/internal/smr"
 )
 
-// Queue is a concurrent FIFO queue of uint64 values (Michael-Scott).
-type Queue = smr.Queue
-
-// QueueSession is the per-goroutine handle of a Queue.
-type QueueSession = smr.QueueSession
-
-// NewQueue builds a Michael-Scott FIFO queue under the given scheme. Under
-// OA, Capacity bounds the element backlog (plus slack δ); producers must
-// apply admission control if consumers can fall arbitrarily behind.
-func NewQueue(scheme Scheme, o Options) (Queue, error) {
-	switch scheme {
+// buildQueue constructs the raw FIFO queue for a resolved config.
+func buildQueue(c config) (smr.Queue, error) {
+	o := c.o
+	switch c.scheme {
 	case NoRecl:
 		return queue.NewNoRecl(norecl.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}), nil
 	case OA:
@@ -35,33 +28,98 @@ func NewQueue(scheme Scheme, o Options) (Queue, error) {
 	case Anchors:
 		return nil, fmt.Errorf("oamem: anchors is implemented for the linked list only (as in the paper)")
 	default:
-		return nil, fmt.Errorf("oamem: unknown scheme %v", scheme)
+		return nil, fmt.Errorf("oamem: unknown scheme %v", c.scheme)
 	}
 }
 
-// OrderedSet is the OA skip list with range-scan support: ScanSession(tid)
-// returns a session whose RangeScan visits keys in ascending order with
-// weak (snapshot-free) consistency.
-type OrderedSet = skiplist.OASkipList
+// FIFO builds a Michael-Scott FIFO queue with session leasing. Under OA,
+// Capacity bounds the element backlog (plus slack δ); producers must
+// apply admission control if consumers can fall arbitrarily behind.
+func FIFO(opts ...Option) (*Queue, error) {
+	c, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := buildQueue(c)
+	if err != nil {
+		return nil, err
+	}
+	return newQueue(raw, c.o.threads()), nil
+}
 
-// NewOrderedSet builds an ordered set under the optimistic access scheme.
-func NewOrderedSet(o Options) *OrderedSet {
-	return skiplist.NewOA(core.Config{
+// NewQueue builds a Michael-Scott FIFO queue under the given scheme.
+//
+// Deprecated: use FIFO with functional options.
+func NewQueue(scheme Scheme, o Options) (*Queue, error) {
+	return FIFO(WithScheme(scheme), o)
+}
+
+// Ordered builds a skip-list ordered set under the optimistic access
+// scheme: leased ScanSessions support RangeScan, which visits keys in
+// ascending order with weak (snapshot-free) consistency.
+func Ordered(opts ...Option) (*OrderedSet, error) {
+	c, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	if c.scheme != OA {
+		return nil, fmt.Errorf("oamem: ordered range scans are implemented under the OA scheme only")
+	}
+	o := c.o
+	sl := skiplist.NewOA(core.Config{
 		MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool,
 	})
+	return &OrderedSet{OASkipList: sl, raw: make([]skiplist.ScanSession, o.threads())}, nil
+}
+
+// NewOrderedSet builds an ordered set under the optimistic access scheme.
+//
+// Deprecated: use Ordered with functional options.
+func NewOrderedSet(o Options) *OrderedSet {
+	os, err := Ordered(o)
+	if err != nil {
+		// Ordered only fails on invalid options or a non-OA scheme; this
+		// wrapper passes a struct and fixes the scheme, so it cannot.
+		panic(err)
+	}
+	return os
 }
 
 // Map is a lock-free uint64→uint64 hash map under the optimistic access
-// scheme (the library extension beyond the paper's sets).
+// scheme (the library extension beyond the paper's sets). Its sessions
+// lease natively: Map.Acquire / MapSession.Release.
 type Map = kvmap.Map
 
-// MapSession is the per-goroutine handle of a Map.
+// MapSession is the leased per-goroutine handle of a Map.
 type MapSession = kvmap.Session
+
+// KV builds a hash map under the optimistic access scheme. Size the key
+// space with WithExpected (default: half the capacity). This is the
+// structure the network server in internal/server serves.
+func KV(opts ...Option) (*Map, error) {
+	c, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	if c.scheme != OA {
+		return nil, fmt.Errorf("oamem: the kv map is implemented under the OA scheme only")
+	}
+	o := c.o
+	return kvmap.New(core.Config{
+		MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool,
+	}, c.expected), nil
+}
 
 // NewMap builds a hash map under the optimistic access scheme, sized for
 // expected entries.
+//
+// Deprecated: use KV with functional options.
 func NewMap(o Options, expected int) *Map {
-	return kvmap.New(core.Config{
-		MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool,
-	}, expected)
+	m, err := KV(o, WithExpected(expected))
+	if err != nil {
+		// KV only fails on invalid options or a non-OA scheme; this
+		// wrapper passes a struct and fixes the scheme, so it cannot.
+		panic(err)
+	}
+	return m
 }

@@ -6,21 +6,40 @@
 //
 // # Quick start
 //
-//	set, err := oamem.NewHashSet(oamem.OA, oamem.Options{Threads: 8, Capacity: 1 << 20}, 1<<16)
+//	set, err := oamem.HashSet(
+//		oamem.WithThreads(8),        // max concurrently leased sessions
+//		oamem.WithCapacity(1<<20),   // node budget: live set + slack δ
+//	)
 //	if err != nil { ... }
-//	s := set.Session(0) // one session per goroutine, by thread id
+//
+//	// In each worker goroutine:
+//	s, err := set.Acquire() // lease a session slot
+//	if err != nil { ... }   // ErrNoFreeSessions when all 8 are leased
+//	defer s.Release()
 //	s.Insert(42)
 //	s.Contains(42)
 //	s.Delete(42)
 //
-// Sessions are not goroutine-safe; create one per worker with a distinct
-// thread id below Options.Threads. All structures are linearizable sets of
+// A Session is not goroutine-safe; each goroutine leases its own with
+// Acquire and returns it with Release. The registry holds WithThreads
+// slots — when all are leased, Acquire fails fast with ErrNoFreeSessions
+// and the caller backs off or sheds load; slots recycle the moment a
+// holder releases, so any number of goroutines can multiplex onto the
+// fixed registry over time. (The underlying algorithms are specified
+// against a fixed thread registry; leasing is the standard bridge from
+// dynamic concurrency onto it.) All structures are linearizable sets of
 // uint64 keys and are lock-free under every scheme except EBR (whose
-// reclamation — not its operations — can be stalled by a preempted thread).
+// reclamation — not its operations — can be stalled by a preempted
+// thread).
 //
-// Beyond the paper's sets, the package provides NewQueue (Michael-Scott
-// FIFO), NewMap (uint64→uint64 hash map under OA) and NewOrderedSet (skip
-// list with ordered RangeScan) — see extensions.go.
+// Beyond the paper's sets, the package provides FIFO (Michael-Scott
+// queue), KV (uint64→uint64 hash map under OA, the type the network
+// server in internal/server serves) and Ordered (skip list with ordered
+// RangeScan) — see extensions.go.
+//
+// The pre-leasing constructors (NewList, NewHashSet, NewSkipListSet,
+// NewQueue, NewMap, NewOrderedSet) and the fixed-slot Session(i) methods
+// remain as thin deprecated wrappers.
 //
 // # Choosing a scheme
 //
@@ -63,16 +82,21 @@ const (
 	Anchors = smr.Anchors
 )
 
-// Set is a concurrent set of uint64 keys; Session binds it to one worker.
+// Set is the raw concurrent-set interface every scheme implements
+// (fixed-slot sessions, no leasing). The constructors return *Structure,
+// which implements it; the alias remains for code written against the
+// pre-leasing API.
 type Set = smr.Set
-
-// Session is the per-goroutine handle of a Set.
-type Session = smr.Session
 
 // Stats aggregates reclamation counters.
 type Stats = smr.Stats
 
 // Options sizes a structure.
+//
+// Deprecated: pass functional options (WithThreads, WithCapacity, ...)
+// instead. Options itself satisfies Option — its non-zero fields apply —
+// so existing call sites keep compiling against both constructor
+// families.
 type Options struct {
 	// Threads is the maximum number of concurrent sessions (thread ids
 	// 0..Threads-1). Fixed at construction.
@@ -100,10 +124,10 @@ func (o Options) threads() int {
 	return o.Threads
 }
 
-// NewList builds a sorted linked-list set (Harris-Michael) under the given
-// scheme. Best for small sets; operations are O(n).
-func NewList(scheme Scheme, o Options) (Set, error) {
-	switch scheme {
+// buildList constructs the raw linked-list set for a resolved config.
+func buildList(c config) (smr.Set, error) {
+	o := c.o
+	switch c.scheme {
 	case NoRecl:
 		return list.NewNoRecl(norecl.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}), nil
 	case OA:
@@ -115,33 +139,33 @@ func NewList(scheme Scheme, o Options) (Set, error) {
 	case Anchors:
 		return list.NewAnchors(anchors.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, ScanThreshold: o.ScanThreshold, K: o.AnchorsK}), nil
 	default:
-		return nil, fmt.Errorf("oamem: unknown scheme %v", scheme)
+		return nil, fmt.Errorf("oamem: unknown scheme %v", c.scheme)
 	}
 }
 
-// NewHashSet builds a hash set (Michael's lock-free hash table, load
-// factor 0.75) sized for expected elements. O(1) operations.
-func NewHashSet(scheme Scheme, o Options, expected int) (Set, error) {
-	switch scheme {
+// buildHashSet constructs the raw hash set for a resolved config.
+func buildHashSet(c config) (smr.Set, error) {
+	o := c.o
+	switch c.scheme {
 	case NoRecl:
-		return hashtable.NewNoRecl(norecl.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}, expected), nil
+		return hashtable.NewNoRecl(norecl.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}, c.expected), nil
 	case OA:
-		return hashtable.NewOA(core.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}, expected), nil
+		return hashtable.NewOA(core.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}, c.expected), nil
 	case HP:
-		return hashtable.NewHP(hpscheme.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, ScanThreshold: o.ScanThreshold}, expected), nil
+		return hashtable.NewHP(hpscheme.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, ScanThreshold: o.ScanThreshold}, c.expected), nil
 	case EBR:
-		return hashtable.NewEBR(ebr.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, OpsPerScan: 10 * o.ScanThreshold}, expected), nil
+		return hashtable.NewEBR(ebr.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, OpsPerScan: 10 * o.ScanThreshold}, c.expected), nil
 	case Anchors:
 		return nil, fmt.Errorf("oamem: anchors is implemented for the linked list only (as in the paper)")
 	default:
-		return nil, fmt.Errorf("oamem: unknown scheme %v", scheme)
+		return nil, fmt.Errorf("oamem: unknown scheme %v", c.scheme)
 	}
 }
 
-// NewSkipListSet builds a skip-list set (Herlihy-Shavit). O(log n)
-// operations over an ordered key space.
-func NewSkipListSet(scheme Scheme, o Options) (Set, error) {
-	switch scheme {
+// buildSkipList constructs the raw skip-list set for a resolved config.
+func buildSkipList(c config) (smr.Set, error) {
+	o := c.o
+	switch c.scheme {
 	case NoRecl:
 		return skiplist.NewNoRecl(norecl.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool}), nil
 	case OA:
@@ -153,6 +177,72 @@ func NewSkipListSet(scheme Scheme, o Options) (Set, error) {
 	case Anchors:
 		return nil, fmt.Errorf("oamem: anchors is implemented for the linked list only (as in the paper)")
 	default:
-		return nil, fmt.Errorf("oamem: unknown scheme %v", scheme)
+		return nil, fmt.Errorf("oamem: unknown scheme %v", c.scheme)
 	}
+}
+
+// List builds a sorted linked-list set (Harris-Michael) with session
+// leasing. Best for small sets; operations are O(n). Scheme defaults to
+// OA; override with WithScheme (Anchors is list-only, as in the paper).
+func List(opts ...Option) (*Structure, error) {
+	c, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	set, err := buildList(c)
+	if err != nil {
+		return nil, err
+	}
+	return newStructure(set, c.o.threads()), nil
+}
+
+// HashSet builds a hash set (Michael's lock-free hash table, load factor
+// 0.75) with session leasing. O(1) operations. Size it with WithExpected
+// (default: half the capacity).
+func HashSet(opts ...Option) (*Structure, error) {
+	c, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	set, err := buildHashSet(c)
+	if err != nil {
+		return nil, err
+	}
+	return newStructure(set, c.o.threads()), nil
+}
+
+// SkipList builds a skip-list set (Herlihy-Shavit) with session leasing.
+// O(log n) operations over an ordered key space; for ordered range
+// scans use Ordered.
+func SkipList(opts ...Option) (*Structure, error) {
+	c, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	set, err := buildSkipList(c)
+	if err != nil {
+		return nil, err
+	}
+	return newStructure(set, c.o.threads()), nil
+}
+
+// NewList builds a sorted linked-list set under the given scheme.
+//
+// Deprecated: use List with functional options.
+func NewList(scheme Scheme, o Options) (Set, error) {
+	return List(WithScheme(scheme), o)
+}
+
+// NewHashSet builds a hash set sized for expected elements.
+//
+// Deprecated: use HashSet with functional options.
+func NewHashSet(scheme Scheme, o Options, expected int) (Set, error) {
+	return HashSet(WithScheme(scheme), o, WithExpected(expected))
+}
+
+// NewSkipListSet builds a skip-list set under the given scheme.
+//
+// Deprecated: use SkipList with functional options.
+func NewSkipListSet(scheme Scheme, o Options) (Set, error) {
+	return SkipList(WithScheme(scheme), o)
 }

@@ -1,0 +1,104 @@
+package oamem
+
+import "fmt"
+
+// Option configures a constructor. Options are applied in order, so a
+// later option overrides an earlier one; the deprecated Options struct
+// itself satisfies Option (its non-zero fields apply), which is what
+// keeps pre-leasing call sites compiling against the new constructors.
+type Option interface {
+	applyOption(*config)
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) applyOption(c *config) { f(c) }
+
+// config is the resolved constructor configuration.
+type config struct {
+	o        Options
+	scheme   Scheme
+	expected int
+}
+
+// applyOption merges the struct's non-zero fields, making the deprecated
+// Options struct usable wherever an Option is expected.
+func (o Options) applyOption(c *config) {
+	if o.Threads != 0 {
+		c.o.Threads = o.Threads
+	}
+	if o.Capacity != 0 {
+		c.o.Capacity = o.Capacity
+	}
+	if o.LocalPool != 0 {
+		c.o.LocalPool = o.LocalPool
+	}
+	if o.ScanThreshold != 0 {
+		c.o.ScanThreshold = o.ScanThreshold
+	}
+	if o.AnchorsK != 0 {
+		c.o.AnchorsK = o.AnchorsK
+	}
+}
+
+// WithScheme selects the reclamation scheme (default OA, the paper's
+// contribution).
+func WithScheme(s Scheme) Option { return optionFunc(func(c *config) { c.scheme = s }) }
+
+// WithThreads sets the session registry size: the maximum number of
+// concurrently leased sessions (and the fixed thread-context count every
+// scheme's algorithms are specified against). Default 1.
+func WithThreads(n int) Option { return optionFunc(func(c *config) { c.o.Threads = n }) }
+
+// WithCapacity sets the node budget. Under OA this is a hard limit: size
+// it as the peak live set plus a reclamation slack δ (the paper uses
+// δ ≈ 8,000–50,000; more δ means fewer reclamation phases). Other
+// schemes grow past it on demand.
+func WithCapacity(n int) Option { return optionFunc(func(c *config) { c.o.Capacity = n }) }
+
+// WithLocalPool sets the per-thread transfer block size, 1..126
+// (126 default, the paper's choice).
+func WithLocalPool(n int) Option { return optionFunc(func(c *config) { c.o.LocalPool = n }) }
+
+// WithScanThreshold tunes HP (retires per scan) and Anchors; EBR uses
+// 10× this as its operations-per-scan. Zero picks scheme defaults.
+func WithScanThreshold(n int) Option {
+	return optionFunc(func(c *config) { c.o.ScanThreshold = n })
+}
+
+// WithAnchorsK sets the anchors scheme's fence amortization distance
+// (1000 default, as in the paper).
+func WithAnchorsK(k int) Option { return optionFunc(func(c *config) { c.o.AnchorsK = k }) }
+
+// WithExpected sizes hash-based structures (HashSet, KV) for the given
+// expected element count. Defaults to half the capacity (a hash table
+// at the paper's 0.75 load factor comfortably holds that live set).
+func WithExpected(n int) Option { return optionFunc(func(c *config) { c.expected = n }) }
+
+// resolve folds the options over the defaults and validates them.
+func resolve(opts []Option) (config, error) {
+	c := config{scheme: OA}
+	for _, opt := range opts {
+		if opt != nil {
+			opt.applyOption(&c)
+		}
+	}
+	if c.o.Threads < 0 {
+		return c, fmt.Errorf("oamem: negative Threads %d", c.o.Threads)
+	}
+	if c.o.Capacity < 0 {
+		return c, fmt.Errorf("oamem: negative Capacity %d", c.o.Capacity)
+	}
+	if c.expected < 0 {
+		return c, fmt.Errorf("oamem: negative Expected %d", c.expected)
+	}
+	if c.expected == 0 {
+		if c.o.Capacity > 0 {
+			c.expected = c.o.Capacity / 2
+		}
+		if c.expected < 1024 {
+			c.expected = 1024
+		}
+	}
+	return c, nil
+}

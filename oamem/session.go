@@ -1,0 +1,212 @@
+package oamem
+
+import (
+	"sync/atomic"
+
+	"repro/internal/lease"
+	"repro/internal/skiplist"
+	"repro/internal/smr"
+)
+
+// Structure is a concurrent set (list, hash set or skip list) plus the
+// session registry that multiplexes goroutines onto its fixed thread
+// contexts. Acquire leases a session for the calling goroutine; the
+// deprecated fixed-slot Session method remains for callers that manage
+// thread ids themselves (benchmark harnesses with pinned workers).
+type Structure struct {
+	set    smr.Set
+	lessor *lease.Registry
+	// raw caches the underlying per-context session of each slot: scheme
+	// sessions carry per-thread state (a pending pre-allocated node,
+	// anchor scratch), so a context's session must survive lease churn
+	// rather than be rebuilt per lease. A slot's cache entry is written
+	// while its lease is held and republished by the registry's CAS
+	// (Release happens-before the next Acquire of the same slot).
+	raw []smr.Session
+}
+
+func newStructure(set smr.Set, threads int) *Structure {
+	return &Structure{
+		set:    set,
+		lessor: lease.NewRegistry(threads),
+		raw:    make([]smr.Session, threads),
+	}
+}
+
+// Acquire leases a session for the calling goroutine. It fails with
+// ErrNoFreeSessions while all Threads slots are leased and with
+// ErrClosed after Close. The session must be used by one goroutine at a
+// time and returned with Release when the goroutine is done.
+func (st *Structure) Acquire() (*Session, error) {
+	tid, err := st.lessor.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	raw := st.raw[tid]
+	if raw == nil {
+		raw = st.set.Session(tid)
+		st.raw[tid] = raw
+	}
+	return &Session{Session: raw, st: st, tid: tid}, nil
+}
+
+// Session returns the fixed-slot handle for thread tid.
+//
+// Deprecated: fixed thread ids cannot be assigned safely from dynamic
+// goroutine populations (two goroutines must never share a slot); use
+// Acquire, which leases a free slot and hands it back on Release.
+func (st *Structure) Session(tid int) smr.Session { return st.set.Session(tid) }
+
+// Stats returns scheme counters aggregated over all threads.
+func (st *Structure) Stats() Stats { return st.set.Stats() }
+
+// Scheme reports which reclamation scheme backs the structure.
+func (st *Structure) Scheme() Scheme { return st.set.Scheme() }
+
+// Threads returns the session registry size.
+func (st *Structure) Threads() int { return st.lessor.Cap() }
+
+// SessionsLeased returns how many sessions are currently leased.
+func (st *Structure) SessionsLeased() int { return st.lessor.Leased() }
+
+// Close marks the structure closed: Acquire fails with ErrClosed from
+// then on, while already-leased sessions stay valid until Released (the
+// graceful-drain order: Close, finish in-flight work, Release).
+func (st *Structure) Close() { st.lessor.Close() }
+
+// Session is a leased per-goroutine handle of a Structure: the set
+// operations plus the lease. It must be used by a single goroutine at a
+// time and Released exactly once.
+type Session struct {
+	smr.Session
+	st       *Structure
+	tid      int
+	released atomic.Bool
+}
+
+// TID returns the leased thread context id (0..Threads-1).
+func (s *Session) TID() int { return s.tid }
+
+// Release returns the session's slot to the registry. It panics on a
+// second call: a double release would hand one SMR thread context to two
+// goroutines, silently corrupting hazard-pointer and warning state.
+func (s *Session) Release() {
+	if s.released.Swap(true) {
+		panic("oamem: double Release of Session")
+	}
+	s.st.lessor.Release(s.tid)
+}
+
+// Queue is a concurrent FIFO queue of uint64 values (Michael-Scott)
+// plus its session registry.
+type Queue struct {
+	q      smr.Queue
+	lessor *lease.Registry
+	raw    []smr.QueueSession
+}
+
+func newQueue(q smr.Queue, threads int) *Queue {
+	return &Queue{
+		q:      q,
+		lessor: lease.NewRegistry(threads),
+		raw:    make([]smr.QueueSession, threads),
+	}
+}
+
+// Acquire leases a queue session for the calling goroutine; see
+// Structure.Acquire for the error and ownership contract.
+func (q *Queue) Acquire() (*QueueSession, error) {
+	tid, err := q.lessor.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	raw := q.raw[tid]
+	if raw == nil {
+		raw = q.q.QueueSession(tid)
+		q.raw[tid] = raw
+	}
+	return &QueueSession{QueueSession: raw, q: q, tid: tid}, nil
+}
+
+// QueueSession returns the fixed-slot handle for thread tid.
+//
+// Deprecated: use Acquire (see Structure.Session).
+func (q *Queue) QueueSession(tid int) smr.QueueSession { return q.q.QueueSession(tid) }
+
+// Stats returns scheme counters aggregated over all threads.
+func (q *Queue) Stats() Stats { return q.q.Stats() }
+
+// Scheme reports which reclamation scheme backs the queue.
+func (q *Queue) Scheme() Scheme { return q.q.Scheme() }
+
+// Threads returns the session registry size.
+func (q *Queue) Threads() int { return q.lessor.Cap() }
+
+// Close marks the queue closed; see Structure.Close.
+func (q *Queue) Close() { q.lessor.Close() }
+
+// QueueSession is a leased per-goroutine handle of a Queue.
+type QueueSession struct {
+	smr.QueueSession
+	q        *Queue
+	tid      int
+	released atomic.Bool
+}
+
+// TID returns the leased thread context id.
+func (s *QueueSession) TID() int { return s.tid }
+
+// Release returns the session's slot; it panics on a second call.
+func (s *QueueSession) Release() {
+	if s.released.Swap(true) {
+		panic("oamem: double Release of QueueSession")
+	}
+	s.q.lessor.Release(s.tid)
+}
+
+// OrderedSet is the OA skip list with range-scan support plus session
+// leasing. It leases through the core manager's registry (the session
+// lease hooks the network server also uses), so SessionsLeased shows up
+// on the manager's observability gauges.
+type OrderedSet struct {
+	*skiplist.OASkipList
+	raw []skiplist.ScanSession
+}
+
+// Acquire leases a scan-capable session for the calling goroutine; see
+// Structure.Acquire for the error and ownership contract.
+func (o *OrderedSet) Acquire() (*ScanSession, error) {
+	tid, err := o.Manager().Lessor().Acquire()
+	if err != nil {
+		return nil, err
+	}
+	raw := o.raw[tid]
+	if raw == nil {
+		raw = o.ScanSession(tid)
+		o.raw[tid] = raw
+	}
+	return &ScanSession{ScanSession: raw, o: o, tid: tid}, nil
+}
+
+// Close marks the ordered set closed; see Structure.Close.
+func (o *OrderedSet) Close() { o.Manager().Close() }
+
+// ScanSession is a leased per-goroutine handle of an OrderedSet: the set
+// operations, ordered RangeScan, and the lease.
+type ScanSession struct {
+	skiplist.ScanSession
+	o        *OrderedSet
+	tid      int
+	released atomic.Bool
+}
+
+// TID returns the leased thread context id.
+func (s *ScanSession) TID() int { return s.tid }
+
+// Release returns the session's slot; it panics on a second call.
+func (s *ScanSession) Release() {
+	if s.released.Swap(true) {
+		panic("oamem: double Release of ScanSession")
+	}
+	s.o.Manager().Lessor().Release(s.tid)
+}

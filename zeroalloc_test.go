@@ -71,6 +71,47 @@ func TestSteadyStateOpsDoNotAllocate(t *testing.T) {
 		}
 	})
 
+	t.Run("MapOALeased", func(t *testing.T) {
+		// Ops through a leased session are the network server's hot path;
+		// the lease adds no per-op cost.
+		m := kvmap.New(core.Config{MaxThreads: 2, Capacity: capacity}, 512)
+		s, err := m.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Release()
+		k := uint64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			k++
+			s.Put(k%512+1, k)
+			s.Get(k%512 + 1)
+			s.CompareAndSwap(k%512+1, k, k+1)
+			s.Remove(k%512 + 1)
+		}); avg > 0.05 {
+			t.Fatalf("leased map ops allocate %.2f objects/op", avg)
+		}
+	})
+
+	t.Run("MapOALeaseChurn", func(t *testing.T) {
+		// A full Acquire/op/Release cycle is also allocation-free: the map
+		// caches one session per thread context, so lease churn (connection
+		// churn, in server terms) reuses it rather than rebuilding it.
+		m := kvmap.New(core.Config{MaxThreads: 2, Capacity: capacity}, 512)
+		k := uint64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			s, err := m.Acquire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			k++
+			s.Put(k%512+1, k)
+			s.Remove(k%512 + 1)
+			s.Release()
+		}); avg > 0.05 {
+			t.Fatalf("lease churn allocates %.2f objects/cycle", avg)
+		}
+	})
+
 	t.Run("QueueOA", func(t *testing.T) {
 		q := queue.NewOA(core.Config{MaxThreads: 1, Capacity: capacity})
 		s := q.QueueSession(0)
