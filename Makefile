@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all ci build test race race-full cover fuzz bench benchjson benchdiff benchdiff-smoke experiments stress obs-smoke trace-smoke serve-smoke clean
+.PHONY: all ci build test race race-full cover fuzz bench benchjson benchdiff benchdiff-smoke experiments stress obs-smoke trace-smoke serve-smoke resp-smoke shard-smoke clean
 
 all: build test
 
 # Everything a merge gate needs: compile+vet, tests, the race detector
 # over the reclamation core, the perf-diff smoke, the observability and
-# event-trace endpoint smokes, and the end-to-end serving smoke.
-ci: build test race benchdiff-smoke obs-smoke trace-smoke serve-smoke
+# event-trace endpoint smokes, and the end-to-end serving smokes (binary
+# protocol, RESP interop, shard scaling).
+ci: build test race benchdiff-smoke obs-smoke trace-smoke serve-smoke resp-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -41,24 +42,26 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable Figure 1 snapshot for cross-commit perf tracking. The
-# note pins the baseline this file is diffed against (BENCH_4.json, taken
-# just before the session-leasing/server PR landed).
-BASELINE_NOTE = baseline: BENCH_4.json (pre-serving PR, same 1-vCPU host, \
-100ms x2); this run adds session leasing (Acquire/Release over the fixed \
-thread registry) on a path the harness does not touch -- workers still \
-bind fixed slots -- so every cell must stay within noise of the baseline \
-(noise band on this host: cell ratios 0.84-1.08); diff with make benchdiff
+# note pins the baseline this file is diffed against (BENCH_5.json, taken
+# just before the shard-per-core PR landed).
+BASELINE_NOTE = baseline: BENCH_5.json (pre-sharding PR, same 1-vCPU host, \
+100ms, reps raised 2 to 3 for a tighter mean -- unbiased vs the baseline); \
+this run adds keyspace sharding in the serving layer (kvmap instances \
+behind internal/server) which the harness does not touch -- the \
+benchmarked structures are unchanged -- so every cell must stay within \
+noise of the baseline (noise band on this host: cell ratios 0.84-1.08); \
+diff with make benchdiff
 
 benchjson:
-	$(GO) run ./cmd/oabench -experiment fig1 -duration 100ms -reps 2 \
-		-json BENCH_5.json -notes "$(BASELINE_NOTE)"
+	$(GO) run ./cmd/oabench -experiment fig1 -duration 100ms -reps 3 \
+		-json BENCH_6.json -notes "$(BASELINE_NOTE)"
 
 # Per-cell throughput ratio gate between two oabench snapshots:
 #   make benchdiff OLD=BENCH_3.json NEW=BENCH_4.json [THRESHOLD=0.85]
 # Exits nonzero when any joined cell regresses below THRESHOLD; the p99
 # latency comparison it appends is informational and never gates.
-OLD ?= BENCH_4.json
-NEW ?= BENCH_5.json
+OLD ?= BENCH_5.json
+NEW ?= BENCH_6.json
 THRESHOLD ?= 0.85
 
 benchdiff:
@@ -100,6 +103,18 @@ trace-smoke:
 # checks the drain drops zero in-flight requests.
 serve-smoke:
 	$(GO) run ./cmd/servesmoke
+
+# RESP2 interop probe: serves the -resp listener and drives it with the
+# in-repo RESP client (round-trips, CAS extension, deep pipelining, typed
+# errors, clean drain).
+resp-smoke:
+	$(GO) run ./cmd/respsmoke
+
+# Shard scaling gate: measures the ops/s-vs-shards curve at 1/2/4 shards
+# under zipfian load; on a >= 4-core runner 4 shards must deliver >= 1.8x
+# the 1-shard rate (mechanics-only on smaller hosts).
+shard-smoke:
+	$(GO) run ./cmd/shardsmoke
 
 clean:
 	$(GO) clean ./...

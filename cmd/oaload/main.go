@@ -5,6 +5,12 @@
 // behavior the load is designed to exercise: more connections over time
 // than the fixed thread registry has slots).
 //
+// -dist zipf draws keys from a YCSB-style Zipf(-theta) popularity curve
+// instead of uniform, concentrating traffic on hot keys (and therefore
+// hot shards on a sharded server). -resp speaks RESP2 to a -resp
+// listener instead of the binary protocol, with the same mix, pipeline
+// discipline and summary line.
+//
 // On GOAWAY (server draining) a connection stops issuing, waits for all
 // its outstanding responses — counting any that never arrive as dropped —
 // and exits. The final stdout line is machine-readable:
@@ -16,10 +22,12 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,17 +43,38 @@ func main() {
 		burst    = flag.Int("burst", 2000, "requests per connection before reconnecting (0 = never)")
 		keys     = flag.Uint64("keys", 4096, "key space size")
 		duration = flag.Duration("duration", 2*time.Second, "load duration")
+		dist     = flag.String("dist", "uniform", "key distribution: uniform or zipf")
+		theta    = flag.Float64("theta", 0.99, "zipfian skew (0 < theta < 1; YCSB default 0.99)")
+		resp     = flag.Bool("resp", false, "speak RESP2 instead of the binary protocol")
 	)
 	flag.Parse()
+	if *dist != "uniform" && *dist != "zipf" {
+		fmt.Fprintf(os.Stderr, "oaload: unknown -dist %q (want uniform or zipf)\n", *dist)
+		os.Exit(2)
+	}
+	if *theta <= 0 || *theta >= 1 {
+		fmt.Fprintf(os.Stderr, "oaload: -theta %v out of range (0, 1)\n", *theta)
+		os.Exit(2)
+	}
 
 	var ops, busy, dropped, errs atomic.Uint64
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 
+	// keyGen builds the per-worker key stream for the chosen distribution.
+	keyGen := func(w int, next func() uint64) func() uint64 {
+		if *dist == "zipf" {
+			z := newZipfian(*keys, *theta, uint64(w)*0xA24BAED4963EE407+1)
+			return z.next
+		}
+		return func() uint64 { return next() % *keys }
+	}
+
 	worker := func(w int) {
 		defer wg.Done()
 		rng := uint64(w)*0x9E3779B97F4A7C15 + 1
 		next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+		key := keyGen(w, next)
 		for {
 			select {
 			case <-stop:
@@ -88,7 +117,7 @@ func main() {
 				if *burst > 0 && sent >= *burst {
 					break // reconnect: recycle the session lease
 				}
-				k := next() % *keys
+				k := key()
 				var ca *server.Call
 				var err error
 				switch next() % 10 {
@@ -127,10 +156,100 @@ func main() {
 		}
 	}
 
+	// respWorker drives the same mix over RESP2: Send/Recv pipelining at
+	// -window depth, -BUSY counted like the binary StBusy, reconnects per
+	// -burst. RESP has no GOAWAY: a drain surfaces as a cut connection,
+	// so in-flight replies lost to it count as dropped.
+	respWorker := func(w int) {
+		defer wg.Done()
+		rng := uint64(w)*0x9E3779B97F4A7C15 + 1
+		next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+		key := keyGen(w, next)
+		val := func() string { return strconv.FormatUint(next()%1_000_000, 10) }
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c, err := server.DialRESP(*addr)
+			if err != nil {
+				return // listener gone: clean end (drain or server exit)
+			}
+			inflight := 0
+			settle := func() bool {
+				if err := c.Flush(); err != nil {
+					dropped.Add(uint64(inflight))
+					inflight = 0
+					return false
+				}
+				ok := true
+				for ; inflight > 0; inflight-- {
+					v, err := c.Recv()
+					if err != nil {
+						dropped.Add(uint64(inflight))
+						inflight = 0
+						return false
+					}
+					switch {
+					case v.IsError() && bytes.HasPrefix(v.Str, []byte("BUSY")):
+						busy.Add(1)
+					case v.IsError():
+						errs.Add(1)
+						ok = false
+					default:
+						ops.Add(1)
+					}
+				}
+				return ok
+			}
+			sent := 0
+			alive := true
+			for alive {
+				select {
+				case <-stop:
+					alive = false
+					continue
+				default:
+				}
+				if *burst > 0 && sent >= *burst {
+					break // reconnect: recycle the per-shard session leases
+				}
+				k := strconv.FormatUint(key(), 10)
+				switch next() % 10 {
+				case 0:
+					c.Send("DEL", k)
+				case 1:
+					c.Send("CAS", k, val(), val())
+				case 2, 3, 4:
+					c.Send("SET", k, val())
+				default:
+					c.Send("GET", k)
+				}
+				inflight++
+				sent++
+				if inflight >= *window {
+					if !settle() {
+						alive = false
+					}
+				}
+			}
+			settled := settle()
+			c.Close()
+			if !settled {
+				return
+			}
+		}
+	}
+
 	start := time.Now()
 	for w := 0; w < *conns; w++ {
 		wg.Add(1)
-		go worker(w)
+		if *resp {
+			go respWorker(w)
+		} else {
+			go worker(w)
+		}
 	}
 	workersDone := make(chan struct{})
 	go func() { wg.Wait(); close(workersDone) }()

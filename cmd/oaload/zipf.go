@@ -1,0 +1,69 @@
+package main
+
+import "math"
+
+// zipfian draws keys from a Zipf(theta) popularity distribution over
+// [0, n), the YCSB generator (Gray et al.'s method): rank 0 is hottest.
+// The standard library's rand.Zipf needs s > 1 and so cannot express
+// YCSB's canonical theta = 0.99, which is the skew every KV benchmark
+// quotes; this is the incremental-zeta construction YCSB itself uses.
+type zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   uint64
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	var z float64
+	for i := uint64(1); i <= n; i++ {
+		z += 1 / math.Pow(float64(i), theta)
+	}
+	return z
+}
+
+func newZipfian(n uint64, theta float64, seed uint64) *zipfian {
+	if n < 2 {
+		n = 2
+	}
+	zetan := zeta(n, theta)
+	z := &zipfian{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/zetan),
+		rng:   seed | 1,
+	}
+	return z
+}
+
+// next returns the following rank; ~(1-theta)-skewed toward low ranks.
+func (z *zipfian) next() uint64 {
+	// xorshift64 uniform in [0,1).
+	z.rng ^= z.rng << 13
+	z.rng ^= z.rng >> 7
+	z.rng ^= z.rng << 17
+	u := float64(z.rng>>11) / (1 << 53)
+
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	rank := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	// Scatter ranks over the key space so the hottest keys are not
+	// adjacent integers (adjacent keys share hash-table neighborhoods).
+	// The odd multiplier makes this a bijection for power-of-two n; for
+	// other n rare collisions merge ranks, as in YCSB's scrambled
+	// generator.
+	return (rank * 0x9E3779B97F4A7C15) % z.n
+}

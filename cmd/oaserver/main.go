@@ -1,17 +1,25 @@
 // Command oaserver serves the OA key-value map over the pipelined binary
-// protocol (internal/server). Connections lease an SMR session from the
-// map's fixed thread registry on their first data request and hold it
-// until disconnect; when all -threads slots are leased, requests are
-// answered BUSY after a bounded wait.
+// protocol (internal/server), with an optional RESP2-compatible listener
+// (-resp) for stock Redis tooling. The keyspace is partitioned across
+// -shards independent map instances (0 = one per core): each shard is
+// its own OA universe — arena, session registry, reclamation phases — so
+// reclamation in one shard never fences operations in another.
+//
+// Connections lease an SMR session per shard on their first request
+// touching it and hold the leases until disconnect; when a shard's
+// -threads slots are all leased, requests routed there are answered
+// BUSY after a bounded wait.
 //
 // SIGTERM/SIGINT starts a graceful drain: stop accepting, GOAWAY every
-// connection, serve until clients finish their pipelines and close (or
-// -drain-timeout cuts the stragglers), then dump final stats as one JSON
-// line on stdout and exit 0.
+// binary-protocol connection, serve until clients finish their pipelines
+// and close (or -drain-timeout cuts the stragglers), then dump final
+// stats as one JSON line on stdout and exit 0.
 //
 // -debug exposes the observability endpoint (/metrics, /stats.json,
-// /trace, pprof) with both the map's SMR instrumentation and the
-// oa_server_* counters registered.
+// /trace, pprof) with shard 0's SMR instrumentation and the per-shard
+// oa_server_* counters registered. (Only shard 0's manager is exported:
+// the SMR metric names are fixed, so per-shard managers would collide;
+// oa_server_shard_ops{shard="i"} carries the per-shard traffic split.)
 package main
 
 import (
@@ -33,11 +41,13 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:7070", "listen address")
+		addr         = flag.String("addr", "127.0.0.1:7070", "listen address (binary protocol)")
+		respAddr     = flag.String("resp", "", "RESP2 listen address (empty = off)")
 		debug        = flag.String("debug", "", "observability HTTP address (empty = off)")
-		threads      = flag.Int("threads", 32, "session registry size (max concurrent leases)")
-		capacity     = flag.Int("capacity", 1<<20, "node budget (live entries + reclamation slack)")
-		expected     = flag.Int("expected", 0, "expected live entries (0 = capacity/2)")
+		threads      = flag.Int("threads", 32, "per-shard session registry size (max concurrent leases per shard)")
+		shards       = flag.Int("shards", 0, "keyspace shards, rounded up to a power of two (0 = one per core)")
+		capacity     = flag.Int("capacity", 1<<20, "total node budget across shards (live entries + reclamation slack)")
+		expected     = flag.Int("expected", 0, "expected live entries across shards (0 = capacity/2)")
 		window       = flag.Int("window", 256, "per-connection in-flight response window")
 		leaseWait    = flag.Duration("lease-wait", 2*time.Millisecond, "max wait for a session slot before BUSY")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "max graceful drain on SIGTERM")
@@ -53,9 +63,9 @@ func main() {
 	}
 	obs.SetEnabled(true)
 
-	m := kvmap.New(core.Config{MaxThreads: *threads, Capacity: *capacity}, *expected)
+	sh := kvmap.NewSharded(core.Config{MaxThreads: *threads, Capacity: *capacity}, *expected, *shards)
 	srv := server.New(server.Config{
-		Map:          m,
+		Shards:       sh,
 		Window:       *window,
 		LeaseWait:    *leaseWait,
 		DrainTimeout: *drainTimeout,
@@ -66,7 +76,7 @@ func main() {
 
 	if *debug != "" {
 		reg := obs.NewRegistry()
-		m.Manager().RegisterObs(reg)
+		sh.Shard(0).Manager().RegisterObs(reg)
 		srv.RegisterObs(reg)
 		dln, err := net.Listen("tcp", *debug)
 		if err != nil {
@@ -82,22 +92,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oaserver:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "oaserver: serving on %s (%d session slots, capacity %d)\n",
-		ln.Addr(), *threads, *capacity)
+	fmt.Fprintf(os.Stderr, "oaserver: serving on %s (%d shards, %d session slots/shard, capacity %d)\n",
+		ln.Addr(), sh.NumShards(), *threads, *capacity)
+
+	done := make(chan error, 2)
+	listeners := 1
+	go func() { done <- srv.Serve(ln) }()
+	if *respAddr != "" {
+		rln, err := net.Listen("tcp", *respAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oaserver:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "oaserver: RESP on %s\n", rln.Addr())
+		listeners++
+		go func() { done <- srv.ServeRESP(rln) }()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(ln) }()
 
 	select {
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "oaserver: %v: draining\n", sig)
 		forced := srv.Shutdown()
-		<-done
-		// The map's registry closes only after the drain so in-flight
+		for i := 0; i < listeners; i++ {
+			<-done
+		}
+		// The shard registries close only after the drain so in-flight
 		// connections could still lease mid-drain.
-		m.Close()
+		sh.Close()
 		os.Stdout.Write(srv.FinalStats())
 		if forced > 0 {
 			fmt.Fprintf(os.Stderr, "oaserver: force-closed %d connections at drain timeout\n", forced)

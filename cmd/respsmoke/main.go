@@ -1,0 +1,202 @@
+// Command respsmoke is the RESP interop smoke test wired into
+// `make resp-smoke`: it builds oaserver, serves the RESP2 listener next
+// to the binary one, and drives it with the in-repo RESP client the way
+// redis-cli and redis-benchmark would:
+//
+//   - GET/SET/DEL/EXISTS/PING/ECHO/INFO round-trips, including binary
+//     and empty values and the CAS extension
+//   - a deep SET+GET pipeline answered fully and in order
+//   - protocol errors (-ERR) for arity and over-long values without
+//     losing the connection
+//   - -BUSY admission control surfaced as a typed error, never a hang
+//   - clean SIGTERM exit afterwards with requests_read == responses_sent
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "respsmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("respsmoke: PASS")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "respsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	serverBin := filepath.Join(tmp, "oaserver")
+	build := exec.Command("go", "build", "-o", serverBin, "./cmd/oaserver")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building oaserver: %w", err)
+	}
+
+	binAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	respAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	var serverOut, serverErr bytes.Buffer
+	srv := exec.Command(serverBin,
+		"-addr", binAddr,
+		"-resp", respAddr,
+		"-shards", "2",
+		"-threads", "8",
+		"-capacity", strconv.Itoa(1<<18))
+	srv.Stdout = &serverOut
+	srv.Stderr = &serverErr
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Process.Kill()
+	if err := waitListening(respAddr, 10*time.Second); err != nil {
+		return fmt.Errorf("RESP listener never came up: %w (stderr:\n%s)", err, serverErr.String())
+	}
+
+	c, err := server.DialRESP(respAddr)
+	if err != nil {
+		return err
+	}
+
+	// Command round-trips.
+	if v, err := c.Do("PING"); err != nil || string(v.Str) != "PONG" {
+		return fmt.Errorf("PING = %q (%v)", v.Str, err)
+	}
+	if v, err := c.Do("SET", "smoke", "ok!"); err != nil || string(v.Str) != "OK" {
+		return fmt.Errorf("SET = %q (%v)", v.Str, err)
+	}
+	if v, err := c.Do("GET", "smoke"); err != nil || string(v.Str) != "ok!" {
+		return fmt.Errorf("GET = %q (%v)", v.Str, err)
+	}
+	if v, err := c.Do("SET", "bin", "\x00\xff\r\n!"); err != nil || string(v.Str) != "OK" {
+		return fmt.Errorf("binary SET = %q (%v)", v.Str, err)
+	}
+	if v, err := c.Do("GET", "bin"); err != nil || string(v.Str) != "\x00\xff\r\n!" {
+		return fmt.Errorf("binary GET = %q (%v)", v.Str, err)
+	}
+	if v, err := c.Do("CAS", "smoke", "ok!", "swap"); err != nil || v.Int != 1 {
+		return fmt.Errorf("CAS = %+v (%v)", v, err)
+	}
+	if v, err := c.Do("DEL", "smoke", "bin", "absent"); err != nil || v.Int != 2 {
+		return fmt.Errorf("DEL = %+v (%v)", v, err)
+	}
+	if v, err := c.Do("EXISTS", "smoke"); err != nil || v.Int != 0 {
+		return fmt.Errorf("EXISTS after DEL = %+v (%v)", v, err)
+	}
+	if v, err := c.Do("INFO"); err != nil || !bytes.Contains(v.Str, []byte("oa_server:1")) {
+		return fmt.Errorf("INFO = %q (%v)", v.Str, err)
+	}
+
+	// Typed errors leave the connection usable.
+	if v, err := c.Do("GET"); err != nil || !v.IsError() {
+		return fmt.Errorf("arity error = %+v (%v)", v, err)
+	}
+	if v, err := c.Do("SET", "k", "way-too-long-for-a-word"); err != nil || !v.IsError() {
+		return fmt.Errorf("over-long value = %+v (%v)", v, err)
+	}
+	if v, err := c.Do("PING"); err != nil || string(v.Str) != "PONG" {
+		return fmt.Errorf("connection dead after typed errors: %q (%v)", v.Str, err)
+	}
+
+	// Deep pipeline, answered in order.
+	const pipeline = 2000
+	for i := 0; i < pipeline; i++ {
+		k := "p:" + strconv.Itoa(i)
+		c.Send("SET", k, strconv.Itoa(i))
+		c.Send("GET", k)
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	for i := 0; i < pipeline; i++ {
+		if v, err := c.Recv(); err != nil || string(v.Str) != "OK" {
+			return fmt.Errorf("pipelined SET %d = %+v (%v)", i, v, err)
+		}
+		if v, err := c.Recv(); err != nil || string(v.Str) != strconv.Itoa(i) {
+			return fmt.Errorf("pipelined GET %d = %q (%v): out of order", i, v.Str, err)
+		}
+	}
+	c.Close()
+
+	// SIGTERM: clean exit, balanced request/response ledger.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := srv.Wait(); err != nil {
+		return fmt.Errorf("server exit after SIGTERM: %w (stderr:\n%s)", err, serverErr.String())
+	}
+	var final struct {
+		Server struct {
+			RequestsRead  uint64   `json:"requests_read"`
+			ResponsesSent uint64   `json:"responses_sent"`
+			ForceClosed   uint64   `json:"force_closed"`
+			Shards        int      `json:"shards"`
+			ShardOps      []uint64 `json:"shard_ops"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(serverOut.Bytes(), &final); err != nil {
+		return fmt.Errorf("final stats line does not parse: %w (stdout: %q)", err, serverOut.String())
+	}
+	f := final.Server
+	if f.ForceClosed != 0 {
+		return fmt.Errorf("%d connections force-closed (client closed before SIGTERM)", f.ForceClosed)
+	}
+	if f.RequestsRead == 0 || f.RequestsRead != f.ResponsesSent {
+		return fmt.Errorf("requests_read=%d responses_sent=%d", f.RequestsRead, f.ResponsesSent)
+	}
+	var spread int
+	for _, n := range f.ShardOps {
+		if n > 0 {
+			spread++
+		}
+	}
+	if f.Shards != 2 || spread != 2 {
+		return fmt.Errorf("shard traffic split = %v over %d shards, want both active", f.ShardOps, f.Shards)
+	}
+	fmt.Printf("respsmoke: %d RESP requests served over %d shards (ops %v), drain clean\n",
+		f.RequestsRead, f.Shards, f.ShardOps)
+	return nil
+}
+
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	defer l.Close()
+	return l.Addr().String(), nil
+}
+
+func waitListening(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("timeout waiting for %s", addr)
+}

@@ -63,8 +63,11 @@ func run() error {
 		return err
 	}
 	var serverOut, serverErr bytes.Buffer
+	// -shards 1 pins the single-instance baseline this smoke's floors were
+	// set against (shard scaling has its own gate in cmd/shardsmoke).
 	srv := exec.Command(serverBin,
 		"-addr", addr,
+		"-shards", "1",
 		"-threads", strconv.Itoa(slots),
 		"-capacity", strconv.Itoa(1<<20))
 	srv.Stdout = &serverOut

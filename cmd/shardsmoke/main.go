@@ -1,0 +1,194 @@
+// Command shardsmoke is the shard scaling gate wired into
+// `make shard-smoke`: it builds oaserver and oaload, measures pipelined
+// throughput at 1, 2 and 4 shards under the same zipfian load, prints
+// the ops/s-vs-shards curve, and checks the router mechanics from each
+// run's final stats (every shard saw traffic, nothing dropped, balanced
+// request/response ledger).
+//
+// On a runner with GOMAXPROCS >= 4 the curve is also a performance
+// assertion: 4 shards must deliver >= 1.8x the 1-shard rate. With fewer
+// cores there is no parallelism for sharding to unlock, so the ratio
+// check is skipped (stated in the output) and only the mechanics are
+// enforced.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+const (
+	slots    = 32
+	conns    = 16
+	loadTime = 2 * time.Second
+	minScale = 1.8 // 4-shard vs 1-shard floor on >= 4 cores
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "shardsmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("shardsmoke: PASS")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "shardsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	serverBin := filepath.Join(tmp, "oaserver")
+	loadBin := filepath.Join(tmp, "oaload")
+	for bin, pkg := range map[string]string{serverBin: "./cmd/oaserver", loadBin: "./cmd/oaload"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building %s: %w", pkg, err)
+		}
+	}
+
+	shardCounts := []int{1, 2, 4}
+	rates := make(map[int]float64, len(shardCounts))
+	for _, n := range shardCounts {
+		rate, err := measure(serverBin, loadBin, n)
+		if err != nil {
+			return fmt.Errorf("%d shards: %w", n, err)
+		}
+		rates[n] = rate
+	}
+
+	fmt.Println("shardsmoke: ops/s vs shards (zipfian keys, theta 0.99):")
+	for _, n := range shardCounts {
+		fmt.Printf("shardsmoke:   shards=%d  ops_per_sec=%.0f  (%.2fx of 1-shard)\n",
+			n, rates[n], rates[n]/rates[1])
+	}
+
+	if runtime.GOMAXPROCS(0) >= 4 {
+		if scale := rates[4] / rates[1]; scale < minScale {
+			return fmt.Errorf("4-shard scaling %.2fx below the %.1fx floor on a %d-core runner",
+				scale, minScale, runtime.GOMAXPROCS(0))
+		}
+	} else {
+		fmt.Printf("shardsmoke: GOMAXPROCS=%d < 4: no parallelism for sharding to unlock; "+
+			"scaling ratio not enforced (mechanics checked on every run)\n", runtime.GOMAXPROCS(0))
+	}
+	return nil
+}
+
+// measure serves with n shards, drives a zipfian load burst, SIGTERMs,
+// and returns the measured rate after checking the run's mechanics.
+func measure(serverBin, loadBin string, n int) (float64, error) {
+	addr, err := freeAddr()
+	if err != nil {
+		return 0, err
+	}
+	var serverOut, serverErr bytes.Buffer
+	srv := exec.Command(serverBin,
+		"-addr", addr,
+		"-shards", strconv.Itoa(n),
+		"-threads", strconv.Itoa(slots),
+		"-capacity", strconv.Itoa(1<<20))
+	srv.Stdout = &serverOut
+	srv.Stderr = &serverErr
+	if err := srv.Start(); err != nil {
+		return 0, err
+	}
+	defer srv.Process.Kill()
+	if err := waitListening(addr, 10*time.Second); err != nil {
+		return 0, fmt.Errorf("server never listened: %w (stderr:\n%s)", err, serverErr.String())
+	}
+
+	loadOut, err := exec.Command(loadBin,
+		"-addr", addr,
+		"-conns", strconv.Itoa(conns),
+		"-duration", loadTime.String(),
+		"-dist", "zipf", "-theta", "0.99",
+		"-keys", "65536",
+		"-burst", "0").CombinedOutput()
+	fmt.Print(string(loadOut))
+	if err != nil {
+		return 0, fmt.Errorf("oaload: %w", err)
+	}
+	m := loadLine.FindStringSubmatch(string(loadOut))
+	if m == nil {
+		return 0, fmt.Errorf("no oaload summary in output:\n%s", loadOut)
+	}
+	dropped, _ := strconv.ParseUint(m[2], 10, 64)
+	rate, _ := strconv.ParseFloat(m[3], 64)
+	if dropped != 0 {
+		return 0, fmt.Errorf("%d dropped responses", dropped)
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return 0, err
+	}
+	if err := srv.Wait(); err != nil {
+		return 0, fmt.Errorf("server exit: %w (stderr:\n%s)", err, serverErr.String())
+	}
+	var final struct {
+		Server struct {
+			RequestsRead  uint64   `json:"requests_read"`
+			ResponsesSent uint64   `json:"responses_sent"`
+			ForceClosed   uint64   `json:"force_closed"`
+			Shards        int      `json:"shards"`
+			ShardOps      []uint64 `json:"shard_ops"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(serverOut.Bytes(), &final); err != nil {
+		return 0, fmt.Errorf("final stats: %w (stdout %q)", err, serverOut.String())
+	}
+	f := final.Server
+	if f.Shards != n {
+		return 0, fmt.Errorf("server ran %d shards, want %d", f.Shards, n)
+	}
+	if f.ForceClosed != 0 {
+		return 0, fmt.Errorf("%d connections force-closed during drain", f.ForceClosed)
+	}
+	if f.RequestsRead != f.ResponsesSent {
+		return 0, fmt.Errorf("requests_read=%d != responses_sent=%d", f.RequestsRead, f.ResponsesSent)
+	}
+	for i, ops := range f.ShardOps {
+		if ops == 0 {
+			return 0, fmt.Errorf("shard %d saw no traffic (shard_ops %v): router degenerate", i, f.ShardOps)
+		}
+	}
+	return rate, nil
+}
+
+var loadLine = regexp.MustCompile(
+	`oaload: ops=(\d+) busy=\d+ dropped=(\d+) errs=\d+ elapsed=\S+ ops_per_sec=(\d+)`)
+
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	defer l.Close()
+	return l.Addr().String(), nil
+}
+
+func waitListening(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return errors.New("timeout")
+}

@@ -82,7 +82,7 @@ func (c *Client) GoAway() bool { return c.goaway.Load() }
 
 func (c *Client) readLoop() {
 	defer close(c.done)
-	fr := newFrameReader(c.nc)
+	fr := newFrameReader(c.nc, maxResponseFrame)
 	for {
 		f, err := fr.read()
 		if err != nil {
@@ -127,7 +127,7 @@ func (c *Client) send(op byte, args ...uint64) (*Call, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++
-	b := appendFrame(nil, c.nextID, op, args...)
+	b := AppendFrame(nil, c.nextID, op, args...)
 	if _, err := c.bw.Write(b); err != nil {
 		return nil, err
 	}

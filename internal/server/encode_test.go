@@ -1,0 +1,79 @@
+package server
+
+import (
+	"testing"
+)
+
+// The wire encoders for both protocols are append-style: with a
+// pre-sized destination they must not allocate, because the write loop
+// reuses one response buffer per connection and a stray escape would put
+// the GC into the per-request path.
+
+func TestFrameAppendDoesNotAllocate(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	var id uint64
+	if avg := testing.AllocsPerRun(2000, func() {
+		id++
+		buf = AppendFrame(buf[:0], id, StOK, id*3, id*7)
+	}); avg > 0.05 {
+		t.Fatalf("AppendFrame allocates %.2f objects/op into a sized buffer", avg)
+	}
+}
+
+func TestRESPEncodeDoesNotAllocate(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	body := []byte("1234567")
+	var n int64
+	if avg := testing.AllocsPerRun(2000, func() {
+		n++
+		buf = AppendRESPSimple(buf[:0], "OK")
+		buf = AppendRESPInt(buf, n)
+		buf = AppendRESPBulk(buf, body)
+		buf = AppendRESPNil(buf)
+		buf = AppendRESPError(buf, "ERR wrong number of arguments")
+	}); avg > 0.05 {
+		t.Fatalf("RESP encoders allocate %.2f objects/op into a sized buffer", avg)
+	}
+}
+
+func TestValuePackRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		{}, {0}, {0xFF}, []byte("a"), []byte("abc"), []byte("1234567"),
+		{0, 0, 0, 0, 0, 0, 0}, {0xFF, 0xFE, 0, 1, 2, 3, 4},
+	}
+	for _, v := range cases {
+		w, ok := packValue(v)
+		if !ok {
+			t.Fatalf("packValue(%q) refused", v)
+		}
+		got := appendUnpacked(nil, w)
+		if string(got) != string(v) {
+			t.Fatalf("round trip %q -> %#x -> %q", v, w, got)
+		}
+	}
+	if _, ok := packValue([]byte("8bytes!!")); ok {
+		t.Fatal("packValue accepted 8 bytes")
+	}
+}
+
+func BenchmarkFrameAppend(b *testing.B) {
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendFrame(buf[:0], uint64(i), StOK, uint64(i)*3)
+	}
+	sinkBytes = buf
+}
+
+func BenchmarkRESPEncode(b *testing.B) {
+	buf := make([]byte, 0, 256)
+	body := []byte("1234567")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRESPBulk(buf[:0], body)
+		buf = AppendRESPInt(buf, int64(i))
+	}
+	sinkBytes = buf
+}
+
+var sinkBytes []byte

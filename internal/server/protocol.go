@@ -43,6 +43,7 @@ package server
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -68,6 +69,7 @@ const (
 	StCapacity    = 5
 	StBadRequest  = 6
 	StGoAway      = 7
+	StFrameTooBig = 8
 )
 
 // argWords returns how many u64 argument words each opcode carries.
@@ -86,15 +88,27 @@ func argWords(op byte) (int, bool) {
 	}
 }
 
-// frameOverhead is id+code; maxFrame guards against corrupt lengths (it
-// must fit the STATS JSON body, which is well under a page).
+// frameOverhead is id+code. maxResponseFrame bounds what a client will
+// buffer for one response (it must fit the STATS JSON body, which is well
+// under a page); maxRequestFrame bounds what the server will buffer for
+// one request — the largest legitimate request is CAS at 9+24 bytes, so
+// anything past a small page is a corrupt or hostile length prefix, and
+// the server must reply with a typed error rather than trust the prefix
+// and attempt the allocation it names.
 const (
-	frameOverhead = 9
-	maxFrame      = 1 << 16
+	frameOverhead    = 9
+	maxResponseFrame = 1 << 16
+	maxRequestFrame  = 1 << 12
 )
 
-// appendFrame appends one wire frame to b.
-func appendFrame(b []byte, id uint64, code byte, body ...uint64) []byte {
+// ErrFrameTooLarge reports a frame whose length prefix exceeds the
+// reader's limit. The stream past the prefix cannot be trusted, so the
+// connection is cut after the typed FRAME_TOO_BIG response.
+var ErrFrameTooLarge = errors.New("server: frame length exceeds limit")
+
+// AppendFrame appends one wire frame to b. Exported so the zero-alloc
+// proofs and encode benchmarks exercise the exact production path.
+func AppendFrame(b []byte, id uint64, code byte, body ...uint64) []byte {
 	b = binary.LittleEndian.AppendUint32(b, uint32(frameOverhead+8*len(body)))
 	b = binary.LittleEndian.AppendUint64(b, id)
 	b = append(b, code)
@@ -125,15 +139,18 @@ func (f *frame) word(i int) uint64 {
 	return binary.LittleEndian.Uint64(f.Body[8*i:])
 }
 
-// frameReader decodes frames from a stream, reusing one buffer.
+// frameReader decodes frames from a stream, reusing one buffer. max
+// bounds the length prefix it will honor: a prefix past it fails with an
+// error wrapping ErrFrameTooLarge before any body allocation happens.
 type frameReader struct {
 	r   io.Reader
 	buf []byte
+	max uint32
 	hdr [4]byte
 }
 
-func newFrameReader(r io.Reader) *frameReader {
-	return &frameReader{r: r, buf: make([]byte, 0, 256)}
+func newFrameReader(r io.Reader, max uint32) *frameReader {
+	return &frameReader{r: r, buf: make([]byte, 0, 256), max: max}
 }
 
 // read decodes the next frame. io.EOF (clean close between frames) passes
@@ -143,7 +160,11 @@ func (fr *frameReader) read() (frame, error) {
 		return frame{}, err
 	}
 	n := binary.LittleEndian.Uint32(fr.hdr[:])
-	if n < frameOverhead || n > maxFrame {
+	if n > fr.max {
+		return frame{}, fmt.Errorf("server: frame length %d over the %d-byte limit: %w",
+			n, fr.max, ErrFrameTooLarge)
+	}
+	if n < frameOverhead {
 		return frame{}, fmt.Errorf("server: bad frame length %d", n)
 	}
 	if cap(fr.buf) < int(n) {

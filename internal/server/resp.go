@@ -1,0 +1,477 @@
+// RESP2-compatible listener. Alongside the binary protocol the server
+// speaks the Redis serialization protocol, so off-the-shelf tooling
+// (redis-cli, redis-benchmark, memtier) and real client libraries can
+// drive the system for honest external baselines. Both listeners share
+// one shard router and one session economy.
+//
+// Mapping onto the uint64→uint64 map:
+//
+//   - Keys are arbitrary byte strings, hashed to uint64 with FNV-1a 64.
+//     Distinct RESP keys collide only with ~2^-64 probability per pair;
+//     the binary protocol's raw-integer keyspace is shared.
+//   - Values are byte strings of at most 7 bytes, packed losslessly into
+//     the value word as {len:1B | bytes:7B}. Longer values are answered
+//     with a typed -ERR (redis-benchmark's default -d 3 fits).
+//
+// Commands: GET, SET, DEL (variadic), EXISTS (variadic), PING, ECHO,
+// INFO, plus the CAS extension:
+//
+//	CAS key old new  →  :1 swapped | :0 current value != old | $-1 absent
+//
+// Lease exhaustion answers -BUSY (retry after backoff), node-budget
+// exhaustion -OOM — both standard Redis error classes. RESP2 has no
+// server push, so there is no GOAWAY equivalent: on drain, connections
+// are served until their client closes or DrainTimeout cuts them.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/kvmap"
+	"repro/internal/lease"
+)
+
+// RESP reader limits: a command may carry at most respMaxArgs arguments
+// of at most respMaxBulk bytes each — far past any command we accept, but
+// tight enough that a hostile length prefix cannot demand an unbounded
+// allocation (same contract as the binary protocol's maxRequestFrame).
+const (
+	respMaxArgs = 64
+	respMaxBulk = 1 << 16
+)
+
+// respMaxValue is the longest SET value the word packing can hold.
+const respMaxValue = 7
+
+// ErrRESPProtocol reports a malformed or over-limit RESP command; the
+// connection is cut after an -ERR reply because the stream cannot be
+// resynchronized.
+var ErrRESPProtocol = errors.New("server: RESP protocol error")
+
+// --- encoding ------------------------------------------------------------
+
+// AppendRESPSimple appends +s\r\n. Exported (with the other encoders) so
+// the zero-alloc proofs and encode benchmarks cover the production path.
+func AppendRESPSimple(b []byte, s string) []byte {
+	b = append(b, '+')
+	b = append(b, s...)
+	return append(b, '\r', '\n')
+}
+
+// AppendRESPError appends -msg\r\n.
+func AppendRESPError(b []byte, msg string) []byte {
+	b = append(b, '-')
+	b = append(b, msg...)
+	return append(b, '\r', '\n')
+}
+
+// AppendRESPInt appends :n\r\n.
+func AppendRESPInt(b []byte, n int64) []byte {
+	b = append(b, ':')
+	b = strconv.AppendInt(b, n, 10)
+	return append(b, '\r', '\n')
+}
+
+// AppendRESPBulk appends $len\r\nbytes\r\n.
+func AppendRESPBulk(b, body []byte) []byte {
+	b = append(b, '$')
+	b = strconv.AppendInt(b, int64(len(body)), 10)
+	b = append(b, '\r', '\n')
+	b = append(b, body...)
+	return append(b, '\r', '\n')
+}
+
+// AppendRESPNil appends the RESP2 nil bulk $-1\r\n.
+func AppendRESPNil(b []byte) []byte {
+	return append(b, '$', '-', '1', '\r', '\n')
+}
+
+// --- value packing -------------------------------------------------------
+
+// packValue packs up to 7 bytes losslessly into a uint64: length in the
+// top byte, payload little-endian in the low bytes.
+func packValue(v []byte) (uint64, bool) {
+	if len(v) > respMaxValue {
+		return 0, false
+	}
+	w := uint64(len(v)) << 56
+	for i, c := range v {
+		w |= uint64(c) << (8 * i)
+	}
+	return w, true
+}
+
+// appendUnpacked appends a packed value's payload bytes to b.
+func appendUnpacked(b []byte, w uint64) []byte {
+	n := int(w >> 56)
+	if n > respMaxValue {
+		n = respMaxValue
+	}
+	for i := 0; i < n; i++ {
+		b = append(b, byte(w>>(8*i)))
+	}
+	return b
+}
+
+// hashKey maps a RESP key to the binary protocol's uint64 keyspace
+// (FNV-1a 64).
+func hashKey(k []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range k {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// --- decoding ------------------------------------------------------------
+
+// respReader decodes RESP2 commands (arrays of bulk strings, plus the
+// inline form redis-cli falls back to), reusing its buffers across
+// commands.
+type respReader struct {
+	br   *bufio.Reader
+	args [][]byte
+	flat []byte // backing storage for the args of one command
+	line []byte
+}
+
+func newRESPReader(br *bufio.Reader) *respReader {
+	return &respReader{br: br, args: make([][]byte, 0, 8), flat: make([]byte, 0, 256)}
+}
+
+// readLine reads up to \r\n, rejecting lines past respMaxBulk.
+func (r *respReader) readLine() ([]byte, error) {
+	r.line = r.line[:0]
+	for {
+		chunk, err := r.br.ReadSlice('\n')
+		r.line = append(r.line, chunk...)
+		if err == nil {
+			break
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+		if len(r.line) > respMaxBulk {
+			return nil, fmt.Errorf("line exceeds %d bytes: %w", respMaxBulk, ErrRESPProtocol)
+		}
+	}
+	n := len(r.line)
+	if n < 2 || r.line[n-2] != '\r' {
+		return nil, fmt.Errorf("line without CRLF terminator: %w", ErrRESPProtocol)
+	}
+	return r.line[:n-2], nil
+}
+
+// readCommand decodes one command into an argument vector. The returned
+// slices alias the reader's buffers and are valid until the next call.
+// io.EOF passes through clean (client closed between commands).
+func (r *respReader) readCommand() ([][]byte, error) {
+	first, err := r.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	r.args = r.args[:0]
+	r.flat = r.flat[:0]
+	if first != '*' {
+		// Inline command: a space-separated line (redis-cli's fallback and
+		// the simplest thing a human can type over nc).
+		line, err := r.readLine()
+		if err != nil {
+			return nil, err
+		}
+		r.flat = append(r.flat, first)
+		r.flat = append(r.flat, line...)
+		start := -1
+		for i := 0; i <= len(r.flat); i++ {
+			if i < len(r.flat) && r.flat[i] != ' ' {
+				if start < 0 {
+					start = i
+				}
+				continue
+			}
+			if start >= 0 {
+				r.args = append(r.args, r.flat[start:i])
+				start = -1
+			}
+		}
+		return r.args, nil
+	}
+	line, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	nargs, err := strconv.Atoi(string(line))
+	if err != nil || nargs < 0 || nargs > respMaxArgs {
+		return nil, fmt.Errorf("bad array header %q: %w", line, ErrRESPProtocol)
+	}
+	// Bulk lengths are parsed first and bounds-checked before any body
+	// read: a hostile $<huge> costs an error, not an allocation.
+	offs := make([]int, 0, 16)
+	if nargs > 16 {
+		offs = make([]int, 0, nargs)
+	}
+	for i := 0; i < nargs; i++ {
+		t, err := r.br.ReadByte()
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		if t != '$' {
+			return nil, fmt.Errorf("array element %d is type %q, want bulk string: %w", i, t, ErrRESPProtocol)
+		}
+		line, err := r.readLine()
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		n, err := strconv.Atoi(string(line))
+		if err != nil || n < 0 || n > respMaxBulk {
+			return nil, fmt.Errorf("bad bulk length %q: %w", line, ErrRESPProtocol)
+		}
+		start := len(r.flat)
+		r.flat = append(r.flat, make([]byte, n+2)...)
+		if _, err := io.ReadFull(r.br, r.flat[start:]); err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		if r.flat[start+n] != '\r' || r.flat[start+n+1] != '\n' {
+			return nil, fmt.Errorf("bulk string without CRLF terminator: %w", ErrRESPProtocol)
+		}
+		r.flat = r.flat[:start+n] // drop the CRLF from the arg view
+		offs = append(offs, start, start+n)
+	}
+	// Build the arg views only after flat stops growing (appends above may
+	// reallocate the backing array).
+	for i := 0; i < len(offs); i += 2 {
+		r.args = append(r.args, r.flat[offs[i]:offs[i+1]])
+	}
+	return r.args, nil
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// --- command dispatch ----------------------------------------------------
+
+// upper folds an ASCII command name to upper case in place and returns it.
+func upper(b []byte) []byte {
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return b
+}
+
+func eq(b []byte, s string) bool { return string(b) == s }
+
+// respReadLoop is the RESP twin of readLoop: decode, route by key hash,
+// lease the target shard lazily, execute in order, enqueue the encoded
+// reply. One command produces exactly one reply (except QUIT, which also
+// ends the connection), so pipelining works the RESP way: responses come
+// back in command order.
+func (c *conn) respReadLoop() {
+	rr := newRESPReader(bufio.NewReaderSize(c.nc, 32<<10))
+	for {
+		args, err := rr.readCommand()
+		if err != nil {
+			if errors.Is(err, ErrRESPProtocol) {
+				c.s.badTotal.Add(1)
+				c.reply(AppendRESPError(nil, "ERR protocol error: "+err.Error()))
+			}
+			return
+		}
+		c.stripe.reqsRead.Add(1)
+		if len(args) == 0 {
+			c.reply(AppendRESPError(nil, "ERR empty command"))
+			continue
+		}
+		resp, fatal := c.respExecute(upper(args[0]), args[1:])
+		c.reply(resp)
+		if fatal {
+			return
+		}
+	}
+}
+
+// respSession routes a RESP key and returns (shard session, shard,
+// errReply): errReply is non-nil when the shard's registry is exhausted
+// or closed.
+func (c *conn) respSession(key []byte) (*kvmap.Session, uint64, []byte) {
+	k := hashKey(key)
+	shard := c.s.shards.ShardIndex(k)
+	sess, err := c.session(shard)
+	if err != nil {
+		if errors.Is(err, lease.ErrClosed) {
+			return nil, 0, AppendRESPError(nil, "ERR server is draining")
+		}
+		c.s.busyTotal.Add(1)
+		return nil, 0, AppendRESPError(nil, "BUSY no free session slot on shard "+strconv.Itoa(shard)+"; retry")
+	}
+	c.s.stripes[shard].ops.Add(1)
+	return sess, k, nil
+}
+
+func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			err, ok := r.(error)
+			if !ok || !errors.Is(err, lease.ErrCapacityExhausted) {
+				panic(r)
+			}
+			c.s.capTotal.Add(1)
+			c.s.logf("conn %d: capacity exhausted: %v", c.id, err)
+			resp, fatal = AppendRESPError(nil, "OOM node budget exhausted"), true
+		}
+	}()
+	switch {
+	case eq(cmd, "PING"):
+		c.stripe.reqsTotal[OpPing].Add(1)
+		if len(args) == 1 {
+			return AppendRESPBulk(nil, args[0]), false
+		}
+		return AppendRESPSimple(nil, "PONG"), false
+	case eq(cmd, "ECHO"):
+		if len(args) != 1 {
+			return respWrongArity(cmd), false
+		}
+		return AppendRESPBulk(nil, args[0]), false
+	case eq(cmd, "GET"):
+		if len(args) != 1 {
+			return respWrongArity(cmd), false
+		}
+		c.stripe.reqsTotal[OpGet].Add(1)
+		sess, k, errReply := c.respSession(args[0])
+		if errReply != nil {
+			return errReply, false
+		}
+		if w, ok := sess.Get(k); ok {
+			return AppendRESPBulk(nil, appendUnpacked(nil, w)), false
+		}
+		return AppendRESPNil(nil), false
+	case eq(cmd, "SET"):
+		if len(args) != 2 {
+			return respWrongArity(cmd), false
+		}
+		c.stripe.reqsTotal[OpPut].Add(1)
+		w, ok := packValue(args[1])
+		if !ok {
+			return AppendRESPError(nil, "ERR value exceeds the 7-byte limit of the u64-packed store"), false
+		}
+		sess, k, errReply := c.respSession(args[0])
+		if errReply != nil {
+			return errReply, false
+		}
+		sess.Put(k, w)
+		return AppendRESPSimple(nil, "OK"), false
+	case eq(cmd, "DEL"):
+		if len(args) == 0 {
+			return respWrongArity(cmd), false
+		}
+		c.stripe.reqsTotal[OpDel].Add(1)
+		removed := int64(0)
+		for _, key := range args {
+			sess, k, errReply := c.respSession(key)
+			if errReply != nil {
+				return errReply, false
+			}
+			if _, ok := sess.Remove(k); ok {
+				removed++
+			}
+		}
+		return AppendRESPInt(nil, removed), false
+	case eq(cmd, "EXISTS"):
+		if len(args) == 0 {
+			return respWrongArity(cmd), false
+		}
+		c.stripe.reqsTotal[OpGet].Add(1)
+		found := int64(0)
+		for _, key := range args {
+			sess, k, errReply := c.respSession(key)
+			if errReply != nil {
+				return errReply, false
+			}
+			if _, ok := sess.Get(k); ok {
+				found++
+			}
+		}
+		return AppendRESPInt(nil, found), false
+	case eq(cmd, "CAS"):
+		// Extension: CAS key old new — the binary protocol's compare-and-
+		// swap, with old and new packed like SET values.
+		if len(args) != 3 {
+			return respWrongArity(cmd), false
+		}
+		c.stripe.reqsTotal[OpCAS].Add(1)
+		old, ok1 := packValue(args[1])
+		nv, ok2 := packValue(args[2])
+		if !ok1 || !ok2 {
+			return AppendRESPError(nil, "ERR value exceeds the 7-byte limit of the u64-packed store"), false
+		}
+		sess, k, errReply := c.respSession(args[0])
+		if errReply != nil {
+			return errReply, false
+		}
+		swapped, found := sess.CompareAndSwap(k, old, nv)
+		switch {
+		case swapped:
+			return AppendRESPInt(nil, 1), false
+		case found:
+			return AppendRESPInt(nil, 0), false
+		default:
+			return AppendRESPNil(nil), false
+		}
+	case eq(cmd, "INFO"):
+		c.stripe.reqsTotal[OpStats].Add(1)
+		return AppendRESPBulk(nil, c.s.respInfo(nil)), false
+	case eq(cmd, "COMMAND"), eq(cmd, "CONFIG"):
+		// redis-cli and benchmark tools probe these on connect; an empty
+		// array keeps them happy without pretending to implement them.
+		return append([]byte(nil), "*0\r\n"...), false
+	case eq(cmd, "SELECT"):
+		return AppendRESPSimple(nil, "OK"), false
+	case eq(cmd, "QUIT"):
+		return AppendRESPSimple(nil, "OK"), true
+	}
+	return AppendRESPError(nil, "ERR unknown command '"+string(cmd)+"'"), false
+}
+
+func respWrongArity(cmd []byte) []byte {
+	return AppendRESPError(nil, "ERR wrong number of arguments for '"+string(cmd)+"'")
+}
+
+// respInfo renders a redis-style INFO document from the server snapshot.
+func (s *Server) respInfo(b []byte) []byte {
+	snap := s.snapshot()
+	b = append(b, "# Server\r\noa_server:1\r\nprotocol:RESP2\r\n"...)
+	b = append(b, "# Keyspace\r\n"...)
+	b = appendInfoInt(b, "shards", int64(snap.Shards))
+	for i, n := range snap.ShardOps {
+		b = append(b, "shard_ops_"...)
+		b = strconv.AppendInt(b, int64(i), 10)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, n, 10)
+		b = append(b, '\r', '\n')
+	}
+	b = append(b, "# Stats\r\n"...)
+	b = appendInfoInt(b, "connected_clients", snap.Connections)
+	b = appendInfoInt(b, "total_connections_received", int64(snap.ConnsTotal))
+	b = appendInfoInt(b, "total_commands_processed", int64(snap.RequestsRead))
+	b = appendInfoInt(b, "sessions_cap", int64(snap.SessionsCap))
+	b = appendInfoInt(b, "sessions_leased", int64(snap.SessionsInUse))
+	b = appendInfoInt(b, "busy_rejections", int64(snap.Busy))
+	return b
+}
+
+func appendInfoInt(b []byte, k string, v int64) []byte {
+	b = append(b, k...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, v, 10)
+	return append(b, '\r', '\n')
+}

@@ -15,21 +15,26 @@ import (
 	"repro/internal/trace"
 )
 
-// Config sizes a Server. Map is required; zero values elsewhere pick the
-// documented defaults.
+// Config sizes a Server. One of Map or Shards is required; zero values
+// elsewhere pick the documented defaults.
 type Config struct {
-	// Map is the structure being served. Its thread registry bounds how
-	// many connections can hold a session lease simultaneously.
+	// Map is the single-structure path: serve one kvmap instance. Kept
+	// for existing callers; internally it is wrapped as one shard.
 	Map *kvmap.Map
+	// Shards is the scale-out path: the keyspace is partitioned across
+	// per-core kvmap instances and each request is routed by key hash in
+	// the connection's reader goroutine, so each shard sees an
+	// independent operation stream. Takes precedence over Map.
+	Shards *kvmap.Sharded
 	// Window bounds the per-connection in-flight pipeline: responses
 	// executed but not yet written. When the writer falls this far behind,
 	// the reader stops reading from the socket, so backpressure reaches
 	// the client as TCP flow control. Default 256.
 	Window int
 	// LeaseWait bounds how long a request waits for a free session slot
-	// before the server answers BUSY. A short wait rides out lease churn
-	// from disconnecting peers without stalling the connection. Default
-	// 2ms.
+	// on its target shard before the server answers BUSY. A short wait
+	// rides out lease churn from disconnecting peers without stalling the
+	// connection. Default 2ms.
 	LeaseWait time.Duration
 	// DrainTimeout bounds Shutdown: connections whose client has not
 	// closed by then are force-closed. Default 5s.
@@ -38,39 +43,57 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Server serves the wire protocol over a listener. One Server serves one
-// Map; connections lease a session on their first data request and hold
-// it until disconnect.
+// shardStripe is one cache-padded counter block. The per-request counters
+// used to be single shared atomics — three cross-core cache-line bounces
+// per request, the kind of hidden serial point sharding exists to remove —
+// so they are striped by shard (data ops) and by connection (protocol
+// ops), and summed at snapshot time.
+type shardStripe struct {
+	ops       atomic.Uint64 // data requests routed to this shard
+	reqsRead  atomic.Uint64 // requests decoded off sockets
+	respsSent atomic.Uint64 // responses handed to writers
+	reqsTotal [8]atomic.Uint64
+	_         [128 - 11*8]byte // pad the 88 bytes of counters to two cache lines
+}
+
+// Server serves the wire protocols over listeners. One Server serves one
+// sharded keyspace; connections lease a session per shard on their first
+// request touching that shard and hold it until disconnect.
 type Server struct {
-	cfg Config
+	cfg    Config
+	shards *kvmap.Sharded
 
 	mu     sync.Mutex
-	ln     net.Listener
+	lns    []net.Listener
 	conns  map[*conn]struct{}
 	closed bool
 
 	nextConnID atomic.Uint64
 	draining   atomic.Bool
 
-	// Counters, exported via RegisterObs and the STATS op.
+	// Hot striped counters (one stripe per shard) plus cold shared ones,
+	// exported via RegisterObs and the STATS op.
+	stripes     []shardStripe
+	stripeMask  uint64
 	active      atomic.Int64  // open connections
 	connsTotal  atomic.Uint64 // connections accepted
-	reqsTotal   [8]atomic.Uint64
 	busyTotal   atomic.Uint64 // BUSY responses (lease wait exhausted)
 	capTotal    atomic.Uint64 // CAPACITY responses
-	badTotal    atomic.Uint64 // BAD_REQUEST responses
+	badTotal    atomic.Uint64 // BAD_REQUEST / FRAME_TOO_BIG responses
 	goawaysSent atomic.Uint64
 	forceClosed atomic.Uint64 // conns cut by DrainTimeout
-	reqsRead    atomic.Uint64 // requests decoded off sockets
-	respsSent   atomic.Uint64 // responses handed to writers
 }
 
 var opNames = [8]string{"", "get", "put", "del", "cas", "ping", "stats", "goaway"}
 
-// New builds a Server around cfg.Map.
+// New builds a Server around cfg.Shards (or cfg.Map, wrapped as one
+// shard).
 func New(cfg Config) *Server {
-	if cfg.Map == nil {
-		panic("server: Config.Map is required")
+	if cfg.Shards == nil {
+		if cfg.Map == nil {
+			panic("server: Config.Map or Config.Shards is required")
+		}
+		cfg.Shards = kvmap.ShardedOf(cfg.Map)
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 256
@@ -81,13 +104,31 @@ func New(cfg Config) *Server {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
-	return &Server{cfg: cfg, conns: make(map[*conn]struct{})}
+	s := &Server{
+		cfg:     cfg,
+		shards:  cfg.Shards,
+		conns:   make(map[*conn]struct{}),
+		stripes: make([]shardStripe, cfg.Shards.NumShards()),
+	}
+	s.stripeMask = uint64(len(s.stripes) - 1)
+	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
 	}
+}
+
+// NumShards returns how many keyspace shards the server routes across.
+func (s *Server) NumShards() int { return len(s.stripes) }
+
+func (s *Server) sumStripes(f func(*shardStripe) uint64) uint64 {
+	var n uint64
+	for i := range s.stripes {
+		n += f(&s.stripes[i])
+	}
+	return n
 }
 
 // RegisterObs registers the server's gauges and counters (oa_server_*)
@@ -98,7 +139,17 @@ func (s *Server) RegisterObs(reg *obs.Registry) {
 	reg.Counter("oa_server_connections_total", "connections accepted",
 		func() uint64 { return s.connsTotal.Load() })
 	reg.CounterVec("oa_server_requests_total", "requests served by opcode", "op",
-		len(opNames), func(i int) uint64 { return s.reqsTotal[i].Load() })
+		len(opNames), func(i int) uint64 {
+			return s.sumStripes(func(st *shardStripe) uint64 { return st.reqsTotal[i].Load() })
+		})
+	reg.Gauge("oa_server_shards", "keyspace shards the router spreads over",
+		func() float64 { return float64(s.NumShards()) })
+	reg.CounterVec("oa_server_shard_ops", "data requests routed to each keyspace shard", "shard",
+		len(s.stripes), func(i int) uint64 { return s.stripes[i].ops.Load() })
+	reg.GaugeVec("oa_server_shard_sessions_leased", "sessions currently leased per shard", "shard",
+		s.shards.NumShards(), func(i int) float64 {
+			return float64(s.shards.Shard(i).Manager().Lessor().Leased())
+		})
 	reg.Counter("oa_server_busy_total", "requests answered BUSY (no free session)",
 		func() uint64 { return s.busyTotal.Load() })
 	reg.Counter("oa_server_capacity_total", "requests answered CAPACITY",
@@ -108,21 +159,30 @@ func (s *Server) RegisterObs(reg *obs.Registry) {
 	reg.Counter("oa_server_force_closed_total", "connections cut at DrainTimeout",
 		func() uint64 { return s.forceClosed.Load() })
 	reg.Counter("oa_server_requests_read_total", "requests decoded off sockets",
-		func() uint64 { return s.reqsRead.Load() })
+		func() uint64 { return s.sumStripes(func(st *shardStripe) uint64 { return st.reqsRead.Load() }) })
 	reg.Counter("oa_server_responses_sent_total", "responses queued to writers",
-		func() uint64 { return s.respsSent.Load() })
+		func() uint64 { return s.sumStripes(func(st *shardStripe) uint64 { return st.respsSent.Load() }) })
 }
 
-// Serve accepts connections on ln until Shutdown (which returns nil here)
-// or a listener error. It owns ln and closes it on return.
-func (s *Server) Serve(ln net.Listener) error {
+// Serve accepts binary-protocol connections on ln until Shutdown (which
+// returns nil here) or a listener error. It owns ln and closes it on
+// return.
+func (s *Server) Serve(ln net.Listener) error { return s.serve(ln, protoBinary) }
+
+// ServeRESP accepts RESP2 connections on ln — the listener off-the-shelf
+// Redis tooling (redis-cli, redis-benchmark, memtier) talks to. Both
+// listeners share one shard router and one session economy; a Server may
+// run both concurrently.
+func (s *Server) ServeRESP(ln net.Listener) error { return s.serve(ln, protoRESP) }
+
+func (s *Server) serve(ln net.Listener, proto uint8) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		ln.Close()
 		return errors.New("server: already shut down")
 	}
-	s.ln = ln
+	s.lns = append(s.lns, ln)
 	s.mu.Unlock()
 	defer ln.Close()
 	for {
@@ -134,12 +194,15 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		c := &conn{
-			s:      s,
-			id:     s.nextConnID.Add(1),
-			nc:     nc,
-			out:    make(chan []byte, s.cfg.Window),
-			goaway: make(chan struct{}),
+			s:        s,
+			id:       s.nextConnID.Add(1),
+			proto:    proto,
+			nc:       nc,
+			out:      make(chan []byte, s.cfg.Window),
+			goaway:   make(chan struct{}),
+			sessions: make([]*kvmap.Session, s.shards.NumShards()),
 		}
+		c.stripe = &s.stripes[c.id&s.stripeMask]
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -159,16 +222,18 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Shutdown drains the server: stop accepting, send GOAWAY everywhere,
-// close the Map's session registry to new leases, and wait for clients to
-// finish their pipelines and close — up to DrainTimeout, after which the
-// stragglers are cut. It reports how many connections were force-closed.
+// and wait for clients to finish their pipelines and close — up to
+// DrainTimeout, after which the stragglers are cut. It reports how many
+// connections were force-closed. (RESP has no in-band drain signal; RESP
+// connections drain when their client closes, or are cut at the
+// timeout.)
 func (s *Server) Shutdown() int {
 	if s.draining.Swap(true) {
 		return 0 // already draining; first caller reports
 	}
 	s.mu.Lock()
-	if s.ln != nil {
-		s.ln.Close()
+	for _, ln := range s.lns {
+		ln.Close()
 	}
 	for c := range s.conns {
 		c.sendGoAway()
@@ -210,44 +275,54 @@ func (s *Server) Shutdown() int {
 }
 
 // Snapshot is the server-side counter block of a STATS response.
+// Session fields aggregate across shards.
 type Snapshot struct {
-	Connections   int64  `json:"connections"`
-	ConnsTotal    uint64 `json:"connections_total"`
-	RequestsRead  uint64 `json:"requests_read"`
-	ResponsesSent uint64 `json:"responses_sent"`
-	Busy          uint64 `json:"busy"`
-	Capacity      uint64 `json:"capacity"`
-	GoAways       uint64 `json:"goaways"`
-	ForceClosed   uint64 `json:"force_closed"`
-	SessionsCap   int    `json:"sessions_cap"`
-	SessionsInUse int    `json:"sessions_leased"`
-	SessionGrants uint64 `json:"session_grants"`
+	Connections   int64    `json:"connections"`
+	ConnsTotal    uint64   `json:"connections_total"`
+	RequestsRead  uint64   `json:"requests_read"`
+	ResponsesSent uint64   `json:"responses_sent"`
+	Busy          uint64   `json:"busy"`
+	Capacity      uint64   `json:"capacity"`
+	GoAways       uint64   `json:"goaways"`
+	ForceClosed   uint64   `json:"force_closed"`
+	Shards        int      `json:"shards"`
+	ShardOps      []uint64 `json:"shard_ops"`
+	SessionsCap   int      `json:"sessions_cap"`
+	SessionsInUse int      `json:"sessions_leased"`
+	SessionGrants uint64   `json:"session_grants"`
 }
 
 func (s *Server) snapshot() Snapshot {
-	lessor := s.cfg.Map.Manager().Lessor()
+	shardOps := make([]uint64, len(s.stripes))
+	for i := range s.stripes {
+		shardOps[i] = s.stripes[i].ops.Load()
+	}
 	return Snapshot{
 		Connections:   s.active.Load(),
 		ConnsTotal:    s.connsTotal.Load(),
-		RequestsRead:  s.reqsRead.Load(),
-		ResponsesSent: s.respsSent.Load(),
+		RequestsRead:  s.sumStripes(func(st *shardStripe) uint64 { return st.reqsRead.Load() }),
+		ResponsesSent: s.sumStripes(func(st *shardStripe) uint64 { return st.respsSent.Load() }),
 		Busy:          s.busyTotal.Load(),
 		Capacity:      s.capTotal.Load(),
 		GoAways:       s.goawaysSent.Load(),
 		ForceClosed:   s.forceClosed.Load(),
-		SessionsCap:   lessor.Cap(),
-		SessionsInUse: lessor.Leased(),
-		SessionGrants: lessor.Grants(),
+		Shards:        s.shards.NumShards(),
+		ShardOps:      shardOps,
+		SessionsCap:   s.shards.SessionsCap(),
+		SessionsInUse: s.shards.SessionsLeased(),
+		SessionGrants: s.shards.SessionGrants(),
 	}
 }
 
-// statsBody builds the STATS JSON: server counters plus the map's
-// reclamation stats.
+// statsBody builds the STATS JSON: server counters plus per-shard
+// reclamation stats ("map" stays the shard-0 block for pre-sharding
+// consumers).
 func (s *Server) statsBody() []byte {
 	b, err := json.Marshal(struct {
 		Server Snapshot `json:"server"`
 		Map    any      `json:"map"`
-	}{s.snapshot(), s.cfg.Map.Stats()})
+		Maps   any      `json:"map_shards"`
+	}{s.snapshot(), s.shards.Shard(0).Stats(), s.shards.Stats()})
 	if err != nil {
 		return []byte(`{}`)
 	}
@@ -260,20 +335,32 @@ func (s *Server) FinalStats() []byte {
 	return append(s.statsBody(), '\n')
 }
 
-// conn is one client connection: a reader goroutine that decodes,
-// executes and enqueues, and a writer goroutine that batches and flushes.
+// Wire protocol selector for a connection.
+const (
+	protoBinary = iota
+	protoRESP
+)
+
+// conn is one client connection: a reader goroutine that decodes, routes
+// to a shard, executes and enqueues, and a writer goroutine that batches
+// and flushes. sessions holds the lazily leased per-shard sessions.
 type conn struct {
-	s      *Server
-	id     uint64
-	nc     net.Conn
-	out    chan []byte   // bounded in-flight window
-	goaway chan struct{} // closed (once) to push a GOAWAY frame
-	gaOnce sync.Once
+	s        *Server
+	id       uint64
+	proto    uint8
+	nc       net.Conn
+	out      chan []byte   // bounded in-flight window
+	goaway   chan struct{} // closed (once) to push a GOAWAY frame
+	gaOnce   sync.Once
+	stripe   *shardStripe // protocol-op counter stripe (by conn id)
+	sessions []*kvmap.Session
 }
 
 func (c *conn) sendGoAway() {
 	c.gaOnce.Do(func() {
-		c.s.goawaysSent.Add(1)
+		if c.proto == protoBinary {
+			c.s.goawaysSent.Add(1)
+		}
 		close(c.goaway)
 	})
 }
@@ -285,7 +372,12 @@ func (c *conn) run() {
 		defer wg.Done()
 		c.writeLoop()
 	}()
-	c.readLoop()
+	if c.proto == protoRESP {
+		c.respReadLoop()
+	} else {
+		c.readLoop()
+	}
+	c.releaseSessions()
 	close(c.out)
 	wg.Wait()
 	c.nc.Close()
@@ -295,16 +387,35 @@ func (c *conn) run() {
 	c.s.active.Add(-1)
 }
 
-// lease acquires a session slot, waiting up to LeaseWait for churn from
-// disconnecting peers to free one.
-func (c *conn) lease() (*kvmap.Session, error) {
+func (c *conn) releaseSessions() {
+	for i, sess := range c.sessions {
+		if sess == nil {
+			continue
+		}
+		if trace.Enabled() {
+			c.s.shards.Shard(i).Manager().TraceRecorder().Ring(sess.TID()).Record(trace.EvUnlease, c.id)
+		}
+		sess.Release()
+		c.sessions[i] = nil
+	}
+}
+
+// session returns the connection's leased session on shard, acquiring one
+// on first touch. Acquisition waits up to LeaseWait for churn from
+// disconnecting peers to free a slot on that shard.
+func (c *conn) session(shard int) (*kvmap.Session, error) {
+	if sess := c.sessions[shard]; sess != nil {
+		return sess, nil
+	}
+	m := c.s.shards.Shard(shard)
 	deadline := time.Now().Add(c.s.cfg.LeaseWait)
 	for {
-		sess, err := c.s.cfg.Map.Acquire()
+		sess, err := m.Acquire()
 		if err == nil {
 			if trace.Enabled() {
-				c.s.cfg.Map.Manager().TraceRecorder().Ring(sess.TID()).Record(trace.EvLease, c.id)
+				m.Manager().TraceRecorder().Ring(sess.TID()).Record(trace.EvLease, c.id)
 			}
+			c.sessions[shard] = sess
 			return sess, nil
 		}
 		if errors.Is(err, lease.ErrClosed) || time.Now().After(deadline) {
@@ -315,50 +426,50 @@ func (c *conn) lease() (*kvmap.Session, error) {
 }
 
 func (c *conn) readLoop() {
-	fr := newFrameReader(c.nc)
-	var sess *kvmap.Session
-	defer func() {
-		if sess != nil {
-			if trace.Enabled() {
-				c.s.cfg.Map.Manager().TraceRecorder().Ring(sess.TID()).Record(trace.EvUnlease, c.id)
-			}
-			sess.Release()
-		}
-	}()
+	fr := newFrameReader(c.nc, maxRequestFrame)
 	for {
 		f, err := fr.read()
 		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				// The length prefix named an allocation we refuse to make;
+				// answer with the typed error, then cut — the stream past a
+				// hostile prefix cannot be resynchronized.
+				c.s.badTotal.Add(1)
+				c.reply(AppendFrame(nil, 0, StFrameTooBig))
+			}
 			return // EOF: client closed; anything else: cut the pipeline
 		}
-		c.s.reqsRead.Add(1)
+		c.stripe.reqsRead.Add(1)
 		nargs, known := argWords(f.Code)
 		if !known || f.Code == OpGoAway || len(f.Body) != 8*nargs {
 			c.s.badTotal.Add(1)
-			c.reply(appendFrame(nil, f.ID, StBadRequest))
+			c.reply(AppendFrame(nil, f.ID, StBadRequest))
 			continue
 		}
-		c.s.reqsTotal[f.Code].Add(1)
+		c.stripe.reqsTotal[f.Code].Add(1)
 		switch f.Code {
 		case OpPing:
-			c.reply(appendFrame(nil, f.ID, StOK))
+			c.reply(AppendFrame(nil, f.ID, StOK))
 			continue
 		case OpStats:
 			c.reply(appendBytesFrame(nil, f.ID, StOK, c.s.statsBody()))
 			continue
 		}
-		if sess == nil {
-			s2, err := c.lease()
-			if err != nil {
-				if errors.Is(err, lease.ErrClosed) {
-					c.reply(appendFrame(nil, f.ID, StClosed))
-				} else {
-					c.s.busyTotal.Add(1)
-					c.reply(appendFrame(nil, f.ID, StBusy))
-				}
-				continue
+		// Route by key hash in this reader goroutine: each shard sees an
+		// independent stream, and responses stay in request order because
+		// execution is synchronous here regardless of the target shard.
+		shard := c.s.shards.ShardIndex(f.word(0))
+		sess, err := c.session(shard)
+		if err != nil {
+			if errors.Is(err, lease.ErrClosed) {
+				c.reply(AppendFrame(nil, f.ID, StClosed))
+			} else {
+				c.s.busyTotal.Add(1)
+				c.reply(AppendFrame(nil, f.ID, StBusy))
 			}
-			sess = s2
+			continue
 		}
+		c.s.stripes[shard].ops.Add(1)
 		resp, fatal := c.execute(sess, f)
 		c.reply(resp)
 		if fatal {
@@ -371,15 +482,15 @@ func (c *conn) readLoop() {
 // window is full, which is exactly the backpressure contract: the reader
 // stops reading until the writer catches up.
 func (c *conn) reply(b []byte) {
-	c.s.respsSent.Add(1)
+	c.stripe.respsSent.Add(1)
 	c.out <- b
 }
 
-// execute runs one data request on the connection's leased session. A
-// capacity-starved allocator panics with an error wrapping
-// lease.ErrCapacityExhausted; that is answered CAPACITY and treated as
-// fatal for the connection (the session's protocol state cannot be
-// trusted past a mid-operation unwind).
+// execute runs one data request on the connection's session for the
+// routed shard. A capacity-starved allocator panics with an error
+// wrapping lease.ErrCapacityExhausted; that is answered CAPACITY and
+// treated as fatal for the connection (the session's protocol state
+// cannot be trusted past a mid-operation unwind).
 func (c *conn) execute(sess *kvmap.Session, f frame) (resp []byte, fatal bool) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -389,44 +500,46 @@ func (c *conn) execute(sess *kvmap.Session, f frame) (resp []byte, fatal bool) {
 			}
 			c.s.capTotal.Add(1)
 			c.s.logf("conn %d: capacity exhausted: %v", c.id, err)
-			resp, fatal = appendFrame(nil, f.ID, StCapacity), true
+			resp, fatal = AppendFrame(nil, f.ID, StCapacity), true
 		}
 	}()
 	switch f.Code {
 	case OpGet:
 		if v, ok := sess.Get(f.word(0)); ok {
-			return appendFrame(nil, f.ID, StOK, v), false
+			return AppendFrame(nil, f.ID, StOK, v), false
 		}
-		return appendFrame(nil, f.ID, StNotFound), false
+		return AppendFrame(nil, f.ID, StNotFound), false
 	case OpPut:
 		prev, had := sess.Put(f.word(0), f.word(1))
 		if had {
-			return appendFrame(nil, f.ID, StOK, prev), false
+			return AppendFrame(nil, f.ID, StOK, prev), false
 		}
-		return appendFrame(nil, f.ID, StNotFound, 0), false
+		return AppendFrame(nil, f.ID, StNotFound, 0), false
 	case OpDel:
 		if v, ok := sess.Remove(f.word(0)); ok {
-			return appendFrame(nil, f.ID, StOK, v), false
+			return AppendFrame(nil, f.ID, StOK, v), false
 		}
-		return appendFrame(nil, f.ID, StNotFound), false
+		return AppendFrame(nil, f.ID, StNotFound), false
 	case OpCAS:
 		swapped, found := sess.CompareAndSwap(f.word(0), f.word(1), f.word(2))
 		switch {
 		case swapped:
-			return appendFrame(nil, f.ID, StOK), false
+			return AppendFrame(nil, f.ID, StOK), false
 		case found:
-			return appendFrame(nil, f.ID, StCASMismatch), false
+			return AppendFrame(nil, f.ID, StCASMismatch), false
 		default:
-			return appendFrame(nil, f.ID, StNotFound), false
+			return AppendFrame(nil, f.ID, StNotFound), false
 		}
 	}
-	return appendFrame(nil, f.ID, StBadRequest), false
+	return AppendFrame(nil, f.ID, StBadRequest), false
 }
 
 // writeLoop batches responses: it greedily drains the window into the
 // buffered writer and flushes only when the queue goes empty (or the
 // buffer fills), so a pipelining client costs ~one syscall per batch, not
-// per response.
+// per response. The GOAWAY push frame exists only in the binary protocol;
+// RESP2 has no server-initiated signal, so RESP connections just observe
+// the drain as their eventual close.
 func (c *conn) writeLoop() {
 	bw := bufio.NewWriterSize(c.nc, 32<<10)
 	goaway := c.goaway
@@ -434,8 +547,10 @@ func (c *conn) writeLoop() {
 		select {
 		case <-goaway:
 			goaway = nil
-			bw.Write(appendFrame(nil, 0, StGoAway))
-			bw.Flush()
+			if c.proto == protoBinary {
+				bw.Write(AppendFrame(nil, 0, StGoAway))
+				bw.Flush()
+			}
 			continue
 		case b, ok := <-c.out:
 			if !ok {
@@ -449,7 +564,9 @@ func (c *conn) writeLoop() {
 			select {
 			case <-goaway:
 				goaway = nil
-				bw.Write(appendFrame(nil, 0, StGoAway))
+				if c.proto == protoBinary {
+					bw.Write(AppendFrame(nil, 0, StGoAway))
+				}
 			case b, ok := <-c.out:
 				if !ok {
 					bw.Flush()

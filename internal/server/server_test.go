@@ -253,7 +253,7 @@ func TestGracefulDrain(t *testing.T) {
 	if issued.Load() != resolved.Load() {
 		t.Fatalf("issued %d, resolved %d: in-flight requests dropped", issued.Load(), resolved.Load())
 	}
-	if got := s.reqsRead.Load(); got < resolved.Load() {
+	if got := s.sumStripes(func(st *shardStripe) uint64 { return st.reqsRead.Load() }); got < resolved.Load() {
 		t.Fatalf("server read %d < client resolved %d", got, resolved.Load())
 	}
 	if s.cfg.Map.Manager().Lessor().Leased() != 0 {

@@ -110,6 +110,31 @@ func KV(opts ...Option) (*Map, error) {
 	}, c.expected), nil
 }
 
+// ShardedMap partitions a uint64→uint64 keyspace across power-of-two
+// independent Map instances routed by key hash. Each shard is its own
+// OA universe — arena, session registry, reclamation phases — so a
+// reclamation stall in one shard never fences operations in another.
+type ShardedMap = kvmap.Sharded
+
+// ShardedKV builds a hash map partitioned across per-core shards (see
+// WithServerShards). Threads is the per-shard session registry size —
+// a server connection may lease a session on every shard it touches.
+// Capacity and Expected are totals divided across the shards, so the
+// node budget is constant as the shard count varies.
+func ShardedKV(opts ...Option) (*ShardedMap, error) {
+	c, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	if c.scheme != OA {
+		return nil, fmt.Errorf("oamem: the kv map is implemented under the OA scheme only")
+	}
+	o := c.o
+	return kvmap.NewSharded(core.Config{
+		MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool,
+	}, c.expected, c.shards), nil
+}
+
 // NewMap builds a hash map under the optimistic access scheme, sized for
 // expected entries.
 //

@@ -59,3 +59,56 @@ func TestPublicMap(t *testing.T) {
 		t.Fatal("stats")
 	}
 }
+
+func TestPublicShardedKV(t *testing.T) {
+	sh, err := oamem.ShardedKV(
+		oamem.WithThreads(2),
+		oamem.WithCapacity(1<<14),
+		oamem.WithExpected(1<<12),
+		oamem.WithServerShards(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if sh.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", sh.NumShards())
+	}
+	if sh.SessionsCap() != 8 {
+		t.Fatalf("SessionsCap = %d, want 4 shards x 2 threads = 8", sh.SessionsCap())
+	}
+	sessions := make([]*oamem.MapSession, 4)
+	for i := range sessions {
+		s, err := sh.Shard(i).Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Release()
+		sessions[i] = s
+	}
+	for k := uint64(1); k <= 100; k++ {
+		sessions[sh.ShardIndex(k)].Put(k, k*3)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		if v, ok := sessions[sh.ShardIndex(k)].Get(k); !ok || v != k*3 {
+			t.Fatalf("key %d: %d/%v", k, v, ok)
+		}
+	}
+
+	if _, err := oamem.ShardedKV(oamem.WithScheme(oamem.HP)); err == nil {
+		t.Fatal("ShardedKV accepted a non-OA scheme")
+	}
+	if _, err := oamem.ShardedKV(oamem.WithServerShards(-1)); err == nil {
+		t.Fatal("ShardedKV accepted negative shards")
+	}
+
+	// Default shard count: one per core, capped by the registry size.
+	d, err := oamem.ShardedKV(oamem.WithThreads(1), oamem.WithCapacity(1<<12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.NumShards() != 1 {
+		t.Fatalf("default shards with Threads=1 = %d, want 1", d.NumShards())
+	}
+}

@@ -19,6 +19,7 @@ type config struct {
 	o        Options
 	scheme   Scheme
 	expected int
+	shards   int
 }
 
 // applyOption merges the struct's non-zero fields, making the deprecated
@@ -75,6 +76,14 @@ func WithAnchorsK(k int) Option { return optionFunc(func(c *config) { c.o.Anchor
 // at the paper's 0.75 load factor comfortably holds that live set).
 func WithExpected(n int) Option { return optionFunc(func(c *config) { c.expected = n }) }
 
+// WithServerShards sets the shard count for ShardedKV: the keyspace is
+// partitioned across that many independent map instances (rounded up to
+// a power of two), each with its own node budget, session registry and
+// reclamation phases. Zero (the default) picks one shard per core:
+// NextPow2(min(Threads, GOMAXPROCS)). Capacity and Expected are totals,
+// divided evenly across the shards.
+func WithServerShards(n int) Option { return optionFunc(func(c *config) { c.shards = n }) }
+
 // resolve folds the options over the defaults and validates them.
 func resolve(opts []Option) (config, error) {
 	c := config{scheme: OA}
@@ -91,6 +100,9 @@ func resolve(opts []Option) (config, error) {
 	}
 	if c.expected < 0 {
 		return c, fmt.Errorf("oamem: negative Expected %d", c.expected)
+	}
+	if c.shards < 0 {
+		return c, fmt.Errorf("oamem: negative ServerShards %d", c.shards)
 	}
 	if c.expected == 0 {
 		if c.o.Capacity > 0 {

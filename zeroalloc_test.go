@@ -9,6 +9,7 @@ import (
 	"repro/internal/list"
 	"repro/internal/obs"
 	"repro/internal/queue"
+	"repro/internal/server"
 	"repro/internal/skiplist"
 	"repro/internal/trace"
 )
@@ -324,5 +325,52 @@ func TestTracedOpsDoNotAllocate(t *testing.T) {
 		if rec := l.Engine().Manager().TraceRecorder(); rec.Total() == 0 {
 			t.Fatal("no events recorded — the zero-alloc proof proved nothing")
 		}
+	})
+}
+
+// The serving layer's encode paths must hold the same line: the binary
+// frame writer and the RESP reply writer both append into a per-
+// connection buffer that is reused across requests, so a steady-state
+// encode performs zero allocations. The shard router is pure arithmetic
+// and sits on the read path of every request.
+func TestServerEncodePathsDoNotAllocate(t *testing.T) {
+	t.Run("BinaryFrameAppend", func(t *testing.T) {
+		buf := make([]byte, 0, 256)
+		id := uint64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			id++
+			buf = server.AppendFrame(buf[:0], id, 0, id*3, id*7)
+		}); avg > 0.05 {
+			t.Fatalf("AppendFrame allocates %.2f objects/op", avg)
+		}
+	})
+
+	t.Run("RESPEncode", func(t *testing.T) {
+		buf := make([]byte, 0, 256)
+		body := []byte("1234567")
+		n := int64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			n++
+			buf = server.AppendRESPSimple(buf[:0], "OK")
+			buf = server.AppendRESPInt(buf, n)
+			buf = server.AppendRESPBulk(buf, body)
+			buf = server.AppendRESPNil(buf)
+		}); avg > 0.05 {
+			t.Fatalf("RESP encoders allocate %.2f objects/op", avg)
+		}
+	})
+
+	t.Run("ShardRouting", func(t *testing.T) {
+		sh := kvmap.NewSharded(core.Config{MaxThreads: 1, Capacity: 1 << 12}, 256, 4)
+		defer sh.Close()
+		k := uint64(0)
+		sink := 0
+		if avg := testing.AllocsPerRun(2000, func() {
+			k += 0x9E3779B97F4A7C15
+			sink += sh.ShardIndex(k)
+		}); avg > 0.05 {
+			t.Fatalf("ShardIndex allocates %.2f objects/op", avg)
+		}
+		_ = sink
 	})
 }
