@@ -17,12 +17,20 @@
 //
 //	oaload: ops=N busy=N dropped=N errs=N elapsed=1.234s ops_per_sec=N
 //
+// -json FILE additionally writes a structured report ("-" = stdout):
+// the counters above plus the client-observed latency distribution
+// (send→response, including pipeline queueing on both sides) as
+// count/mean/p50/p90/p99/p999/max nanoseconds. The SLO gate (cmd/
+// slocheck) reads this report and cross-checks it against the server's
+// own histograms.
+//
 // Exit status is nonzero when any response was dropped, any hard error
 // occurred, or no operations completed.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,8 +40,38 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
+
+// report is the -json document. Latency reuses the server's CmdLatency
+// shape so gate tooling parses one schema for both sides.
+type report struct {
+	Protocol  string            `json:"protocol"`
+	Conns     int               `json:"conns"`
+	Window    int               `json:"window"`
+	Ops       uint64            `json:"ops"`
+	Busy      uint64            `json:"busy"`
+	Dropped   uint64            `json:"dropped"`
+	Errs      uint64            `json:"errs"`
+	ElapsedNs int64             `json:"elapsed_ns"`
+	OpsPerSec float64           `json:"ops_per_sec"`
+	Latency   server.CmdLatency `json:"latency"`
+}
+
+func latencySummary(h *metrics.Histogram) server.CmdLatency {
+	snap := h.Snapshot()
+	cl := server.CmdLatency{Count: snap.Count, MaxNs: snap.Max}
+	if snap.Count > 0 {
+		cl.MeanNs = snap.Sum / snap.Count
+		cl.P50Ns = snap.QuantileNs(0.50)
+		cl.P90Ns = snap.QuantileNs(0.90)
+		cl.P99Ns = snap.QuantileNs(0.99)
+		cl.P999Ns = snap.QuantileNs(0.999)
+	}
+	return cl
+}
 
 func main() {
 	var (
@@ -46,6 +84,7 @@ func main() {
 		dist     = flag.String("dist", "uniform", "key distribution: uniform or zipf")
 		theta    = flag.Float64("theta", 0.99, "zipfian skew (0 < theta < 1; YCSB default 0.99)")
 		resp     = flag.Bool("resp", false, "speak RESP2 instead of the binary protocol")
+		jsonOut  = flag.String("json", "", `write a JSON report to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 	if *dist != "uniform" && *dist != "zipf" {
@@ -58,6 +97,9 @@ func main() {
 	}
 
 	var ops, busy, dropped, errs atomic.Uint64
+	// One shared histogram of client-observed round trips; metrics.
+	// Histogram is concurrent, so every worker records into it directly.
+	var lat metrics.Histogram
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 
@@ -86,6 +128,7 @@ func main() {
 				// During server drain the listener is gone; that's a clean end.
 				return
 			}
+			c.Latency = &lat
 			calls := make([]*server.Call, 0, *window)
 			settle := func() bool {
 				c.Flush()
@@ -176,6 +219,11 @@ func main() {
 			if err != nil {
 				return // listener gone: clean end (drain or server exit)
 			}
+			// Responses come back in send order, so a circular array of
+			// send timestamps (inflight never exceeds the window) pairs
+			// each Recv with its Send for the latency histogram.
+			stamps := make([]int64, *window)
+			var sendSeq, recvSeq uint64
 			inflight := 0
 			settle := func() bool {
 				if err := c.Flush(); err != nil {
@@ -191,6 +239,8 @@ func main() {
 						inflight = 0
 						return false
 					}
+					lat.ObserveNs(uint64(trace.Now() - stamps[recvSeq%uint64(*window)]))
+					recvSeq++
 					switch {
 					case v.IsError() && bytes.HasPrefix(v.Str, []byte("BUSY")):
 						busy.Add(1)
@@ -216,6 +266,8 @@ func main() {
 					break // reconnect: recycle the per-shard session leases
 				}
 				k := strconv.FormatUint(key(), 10)
+				stamps[sendSeq%uint64(*window)] = trace.Now()
+				sendSeq++
 				switch next() % 10 {
 				case 0:
 					c.Send("DEL", k)
@@ -265,6 +317,31 @@ func main() {
 	fmt.Printf("oaload: ops=%d busy=%d dropped=%d errs=%d elapsed=%s ops_per_sec=%.0f\n",
 		ops.Load(), busy.Load(), dropped.Load(), errs.Load(),
 		elapsed.Round(time.Millisecond), rate)
+	if *jsonOut != "" {
+		proto := "binary"
+		if *resp {
+			proto = "resp"
+		}
+		rep := report{
+			Protocol: proto, Conns: *conns, Window: *window,
+			Ops: ops.Load(), Busy: busy.Load(), Dropped: dropped.Load(), Errs: errs.Load(),
+			ElapsedNs: elapsed.Nanoseconds(), OpsPerSec: rate,
+			Latency: latencySummary(&lat),
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			out = append(out, '\n')
+			if *jsonOut == "-" {
+				_, err = os.Stdout.Write(out)
+			} else {
+				err = os.WriteFile(*jsonOut, out, 0o644)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oaload: writing -json report:", err)
+			os.Exit(1)
+		}
+	}
 	if dropped.Load() > 0 || errs.Load() > 0 || ops.Load() == 0 {
 		os.Exit(1)
 	}

@@ -16,8 +16,9 @@
 // stats as one JSON line on stdout and exit 0.
 //
 // -debug exposes the observability endpoint (/metrics, /stats.json,
-// /trace, pprof) with shard 0's SMR instrumentation and the per-shard
-// oa_server_* counters registered. (Only shard 0's manager is exported:
+// /trace, /debug/slowlog, pprof) with shard 0's SMR instrumentation and
+// the per-shard oa_server_* counters and per-(command, shard) latency
+// histograms registered. (Only shard 0's manager is exported:
 // the SMR metric names are fixed, so per-shard managers would collide;
 // oa_server_shard_ops{shard="i"} carries the per-shard traffic split.)
 package main
@@ -52,6 +53,9 @@ func main() {
 		leaseWait    = flag.Duration("lease-wait", 2*time.Millisecond, "max wait for a session slot before BUSY")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "max graceful drain on SIGTERM")
 		traceOn      = flag.Bool("trace", false, "record protocol trace events (lease/unlease, reclamation)")
+		slowThresh   = flag.Duration("slow-threshold", time.Millisecond, "server-side latency past which a request enters /debug/slowlog")
+		slowlogSize  = flag.Int("slowlog", 256, "slow-request ring capacity (rounded up to a power of two)")
+		spanSample   = flag.Int("span-sample", 64, "emit every Nth request span into the trace rings (with -trace)")
 	)
 	flag.Parse()
 
@@ -65,10 +69,13 @@ func main() {
 
 	sh := kvmap.NewSharded(core.Config{MaxThreads: *threads, Capacity: *capacity}, *expected, *shards)
 	srv := server.New(server.Config{
-		Shards:       sh,
-		Window:       *window,
-		LeaseWait:    *leaseWait,
-		DrainTimeout: *drainTimeout,
+		Shards:        sh,
+		Window:        *window,
+		LeaseWait:     *leaseWait,
+		DrainTimeout:  *drainTimeout,
+		SlowThreshold: *slowThresh,
+		SlowLogSize:   *slowlogSize,
+		SpanSample:    *spanSample,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "oaserver: "+format+"\n", args...)
 		},

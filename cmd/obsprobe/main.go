@@ -6,6 +6,13 @@
 // kinds the trace timeline must carry), then interrupts the process and
 // checks the graceful-shutdown contract (verification still runs, final
 // stats dump, exit status 130).
+//
+// A second phase probes the server's request observability: it builds
+// oaserver, starts it with -debug and -slow-threshold 1ns (so every
+// request lands in the slow-request ring), drives a short mixed workload
+// over the binary protocol, then requires the per-(command, shard)
+// latency histogram families and request counters on /metrics and a
+// non-empty /debug/slowlog whose entries carry the per-stage breakdown.
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"repro/internal/server"
 )
 
 // requiredMetrics are the names README/DESIGN promise on /metrics.
@@ -40,6 +49,19 @@ var requiredMetrics = []string{
 	"stress_contains_latency_seconds_bucket",
 	"stress_insert_latency_seconds_bucket",
 	"stress_delete_latency_seconds_bucket",
+}
+
+// requiredServerMetrics are the request-observability families oaserver
+// must export once traffic has flowed (DESIGN.md §9).
+var requiredServerMetrics = []string{
+	"oa_server_requests_total",
+	"oa_server_requests_read_total",
+	"oa_server_responses_sent_total",
+	"oa_server_slow_requests_total",
+	"oa_server_latency_get_seconds_bucket",
+	"oa_server_latency_put_seconds_bucket",
+	"oa_server_latency_del_seconds_bucket",
+	"oa_server_latency_cas_seconds_bucket",
 }
 
 // sampleLine matches one Prometheus text-format sample.
@@ -89,7 +111,7 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("scraping /metrics: %w (output so far:\n%s)", err, out.String())
 	}
-	if err := checkMetrics(metrics); err != nil {
+	if err := checkMetrics(metrics, requiredMetrics); err != nil {
 		return fmt.Errorf("/metrics: %w", err)
 	}
 	fmt.Println("obsprobe: /metrics ok,", len(strings.Split(strings.TrimSpace(metrics), "\n")), "lines")
@@ -150,6 +172,122 @@ func run() error {
 		}
 	}
 	fmt.Println("obsprobe: SIGINT handled — verification ran, stats dumped, exit 130")
+
+	return serverPhase(tmp)
+}
+
+// serverPhase drives a short workload against oaserver and validates the
+// request-observability surface: the RED metric families on /metrics and
+// the slow-request ring on /debug/slowlog (every request qualifies at a
+// 1ns threshold).
+func serverPhase(tmp string) error {
+	bin := filepath.Join(tmp, "oaserver")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/oaserver")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building oaserver: %w", err)
+	}
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	debugAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	var out bytes.Buffer
+	srv := exec.Command(bin,
+		"-addr", addr, "-debug", debugAddr,
+		"-threads", "8", "-capacity", "65536",
+		"-slow-threshold", "1ns")
+	srv.Stdout = &out
+	srv.Stderr = &out
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Process.Kill()
+
+	// Drive one of each data command (plus misses) so every histogram
+	// family has samples and the slowlog has entries of several kinds.
+	if err := driveServer(addr, 10*time.Second); err != nil {
+		return fmt.Errorf("driving oaserver: %w (output:\n%s)", err, out.String())
+	}
+
+	base := "http://" + debugAddr
+	metrics, err := pollGet(base+"/metrics", 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("scraping oaserver /metrics: %w (output:\n%s)", err, out.String())
+	}
+	if err := checkMetrics(metrics, requiredServerMetrics); err != nil {
+		return fmt.Errorf("oaserver /metrics: %w", err)
+	}
+	fmt.Println("obsprobe: oaserver /metrics ok — request counters and per-command latency families present")
+
+	slowBody, err := pollGet(base+"/debug/slowlog", 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("scraping /debug/slowlog: %w", err)
+	}
+	var slow struct {
+		ThresholdNs int64 `json:"threshold_ns"`
+		Total       uint64
+		Entries     []struct {
+			Op       string           `json:"op"`
+			Status   string           `json:"status"`
+			ServerNs int64            `json:"server_ns"`
+			Stages   map[string]int64 `json:"stages"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(slowBody), &slow); err != nil {
+		return fmt.Errorf("/debug/slowlog does not parse: %w\n%s", err, slowBody)
+	}
+	if slow.ThresholdNs != 1 {
+		return fmt.Errorf("/debug/slowlog threshold_ns = %d, want 1", slow.ThresholdNs)
+	}
+	if len(slow.Entries) == 0 {
+		return fmt.Errorf("/debug/slowlog empty at a 1ns threshold:\n%s", slowBody)
+	}
+	for i, e := range slow.Entries {
+		if e.Op == "" || e.Status == "" || e.ServerNs <= 0 || len(e.Stages) == 0 {
+			return fmt.Errorf("/debug/slowlog entry %d incomplete: %+v", i, e)
+		}
+	}
+	fmt.Printf("obsprobe: /debug/slowlog ok, %d entries with per-stage breakdowns\n", len(slow.Entries))
+	return nil
+}
+
+// driveServer issues a small mixed workload over the binary protocol —
+// one of each data command per key so every latency family has samples.
+func driveServer(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var c *server.Client
+	for {
+		var err error
+		if c, err = server.Dial(addr, 16); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dialing: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer c.Close()
+	for k := uint64(1); k <= 32; k++ {
+		for _, issue := range []func() (*server.Call, error){
+			func() (*server.Call, error) { return c.Put(k, k*3) },
+			func() (*server.Call, error) { return c.Get(k) },
+			func() (*server.Call, error) { return c.CAS(k, k*3, k*4) },
+			func() (*server.Call, error) { return c.Del(k) },
+		} {
+			ca, err := issue()
+			if err != nil {
+				return err
+			}
+			if err := ca.Wait(); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -226,7 +364,7 @@ func pollTrace(url string, timeout time.Duration) error {
 
 // checkMetrics validates the Prometheus text format line by line and the
 // presence of the promised metric names.
-func checkMetrics(body string) error {
+func checkMetrics(body string, required []string) error {
 	seen := map[string]bool{}
 	for i, line := range strings.Split(body, "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -241,7 +379,7 @@ func checkMetrics(body string) error {
 		}
 		seen[name] = true
 	}
-	for _, want := range requiredMetrics {
+	for _, want := range required {
 		if !seen[want] {
 			return fmt.Errorf("missing required metric %s", want)
 		}

@@ -1,0 +1,251 @@
+// Command slocheck is the SLO gate wired into `make slo-smoke`: it
+// builds oaserver and oaload, drives a pipelined mixed load, and
+// asserts the service-level objectives from the server's OWN latency
+// histograms (the per-(command, shard) families behind /metrics, STATS
+// and INFO latency) — not just from the client's stopwatch — so the
+// gate fails if either the service regresses or its instrumentation
+// stops measuring.
+//
+// Checked on every run (mechanics):
+//
+//   - the load completed: ops > 0, nothing dropped, no hard errors
+//   - the drain ledger balances: requests_read == responses_sent,
+//     force_closed == 0
+//   - the histograms saw the traffic: per-command latency counts sum to
+//     ~the data ops served, and quantiles are nonzero
+//   - the client report (-json) and the server's final stats agree on
+//     the order of magnitude of work done
+//
+// Enforced only on runners with GOMAXPROCS >= 4 (like shard-smoke, a
+// starved host proves nothing about the service):
+//
+//   - throughput floor: ops/s >= 50k
+//   - server-side p99 per command <= 20ms
+//   - BUSY rejections <= 0.1% of operations
+//   - cross-check: server-side p99 must not exceed the client-observed
+//     p99 by more than the log₂-bucket inflation allows (the server
+//     excludes socket wait and pipeline queueing, so genuinely larger
+//     values mean the instrumentation is broken)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+const (
+	conns      = 16
+	loadTime   = 2 * time.Second
+	minRate    = 50_000.0              // ops/s floor on >= 4 cores
+	maxP99     = 20 * time.Millisecond // server-side per-command p99 ceiling
+	maxBusyPct = 0.1                   // BUSY rejections per 100 ops
+	slackNs    = int64(time.Millisecond)
+)
+
+type cmdLatency struct {
+	Count  uint64 `json:"count"`
+	MeanNs uint64 `json:"mean_ns"`
+	P50Ns  uint64 `json:"p50_ns"`
+	P90Ns  uint64 `json:"p90_ns"`
+	P99Ns  uint64 `json:"p99_ns"`
+	P999Ns uint64 `json:"p999_ns"`
+	MaxNs  uint64 `json:"max_ns"`
+}
+
+type finalStats struct {
+	Server struct {
+		RequestsRead  uint64 `json:"requests_read"`
+		ResponsesSent uint64 `json:"responses_sent"`
+		Busy          uint64 `json:"busy"`
+		ForceClosed   uint64 `json:"force_closed"`
+		SlowRequests  uint64 `json:"slow_requests"`
+	} `json:"server"`
+	Latency map[string]cmdLatency `json:"latency"`
+}
+
+type clientReport struct {
+	Ops       uint64     `json:"ops"`
+	Busy      uint64     `json:"busy"`
+	Dropped   uint64     `json:"dropped"`
+	Errs      uint64     `json:"errs"`
+	OpsPerSec float64    `json:"ops_per_sec"`
+	Latency   cmdLatency `json:"latency"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slocheck: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("slocheck: PASS")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "slocheck")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	serverBin := filepath.Join(tmp, "oaserver")
+	loadBin := filepath.Join(tmp, "oaload")
+	for bin, pkg := range map[string]string{serverBin: "./cmd/oaserver", loadBin: "./cmd/oaload"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building %s: %w", pkg, err)
+		}
+	}
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	var serverOut, serverErr bytes.Buffer
+	srv := exec.Command(serverBin,
+		"-addr", addr,
+		"-threads", "32",
+		"-capacity", strconv.Itoa(1<<20),
+		"-slow-threshold", "5ms")
+	srv.Stdout = &serverOut
+	srv.Stderr = &serverErr
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Process.Kill()
+	if err := waitListening(addr, 10*time.Second); err != nil {
+		return fmt.Errorf("server never listened: %w (stderr:\n%s)", err, serverErr.String())
+	}
+
+	reportPath := filepath.Join(tmp, "load.json")
+	loadOut, err := exec.Command(loadBin,
+		"-addr", addr,
+		"-conns", strconv.Itoa(conns),
+		"-duration", loadTime.String(),
+		"-burst", "0",
+		"-json", reportPath).CombinedOutput()
+	fmt.Print(string(loadOut))
+	if err != nil {
+		return fmt.Errorf("oaload: %w", err)
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		return fmt.Errorf("client report: %w", err)
+	}
+	var client clientReport
+	if err := json.Unmarshal(raw, &client); err != nil {
+		return fmt.Errorf("client report: %w\n%s", err, raw)
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := srv.Wait(); err != nil {
+		return fmt.Errorf("server exit: %w (stderr:\n%s)", err, serverErr.String())
+	}
+	var final finalStats
+	if err := json.Unmarshal(serverOut.Bytes(), &final); err != nil {
+		return fmt.Errorf("final stats: %w (stdout %q)", err, serverOut.String())
+	}
+
+	// --- mechanics, enforced on every runner ---------------------------
+	if client.Ops == 0 || client.Dropped != 0 || client.Errs != 0 {
+		return fmt.Errorf("load mechanics: ops=%d dropped=%d errs=%d", client.Ops, client.Dropped, client.Errs)
+	}
+	if client.Latency.Count == 0 || client.Latency.P99Ns == 0 {
+		return fmt.Errorf("client latency histogram empty: %+v", client.Latency)
+	}
+	f := final.Server
+	if f.ForceClosed != 0 {
+		return fmt.Errorf("%d connections force-closed during drain", f.ForceClosed)
+	}
+	if f.RequestsRead != f.ResponsesSent {
+		return fmt.Errorf("requests_read=%d != responses_sent=%d", f.RequestsRead, f.ResponsesSent)
+	}
+	var served uint64
+	for _, op := range []string{"get", "put", "del", "cas"} {
+		cl, ok := final.Latency[op]
+		if !ok {
+			return fmt.Errorf("final stats latency block missing %q", op)
+		}
+		if cl.Count > 0 && cl.P99Ns == 0 {
+			return fmt.Errorf("%s latency: %d samples but p99 = 0", op, cl.Count)
+		}
+		served += cl.Count
+	}
+	// The histograms must have seen the data traffic the client counted
+	// (BUSY responses are excluded from the histograms by design).
+	if served < client.Ops {
+		return fmt.Errorf("server histograms saw %d ops, client completed %d — instrumentation is dropping requests",
+			served, client.Ops)
+	}
+	fmt.Printf("slocheck: ops=%d ops_per_sec=%.0f busy=%d slow=%d client_p99=%s\n",
+		client.Ops, client.OpsPerSec, f.Busy, f.SlowRequests, time.Duration(client.Latency.P99Ns))
+	for _, op := range []string{"get", "put", "del", "cas"} {
+		cl := final.Latency[op]
+		fmt.Printf("slocheck:   %-3s count=%-8d p50=%-10s p99=%-10s max=%s\n",
+			op, cl.Count, time.Duration(cl.P50Ns), time.Duration(cl.P99Ns), time.Duration(cl.MaxNs))
+	}
+
+	// --- SLOs, enforced only where the hardware can meet them ----------
+	if runtime.GOMAXPROCS(0) < 4 {
+		fmt.Printf("slocheck: GOMAXPROCS=%d < 4: latency/throughput SLOs not enforced "+
+			"(mechanics checked on every run)\n", runtime.GOMAXPROCS(0))
+		return nil
+	}
+	if client.OpsPerSec < minRate {
+		return fmt.Errorf("throughput %.0f ops/s below the %.0f floor", client.OpsPerSec, minRate)
+	}
+	for _, op := range []string{"get", "put", "del", "cas"} {
+		cl := final.Latency[op]
+		if cl.Count == 0 {
+			continue
+		}
+		if cl.P99Ns > uint64(maxP99.Nanoseconds()) {
+			return fmt.Errorf("server-side %s p99 %s exceeds the %s SLO", op, time.Duration(cl.P99Ns), maxP99)
+		}
+		// Server-side p99 excludes socket wait and client pipeline
+		// queueing, so it can only exceed the client-observed p99 via
+		// log₂ bucket rounding (≤ 2x per side) plus scheduling slack. A
+		// larger excess means the span instrumentation is mismeasuring.
+		if int64(cl.P99Ns) > 4*int64(client.Latency.P99Ns)+slackNs {
+			return fmt.Errorf("server-side %s p99 %s implausibly exceeds client p99 %s",
+				op, time.Duration(cl.P99Ns), time.Duration(client.Latency.P99Ns))
+		}
+	}
+	if pct := 100 * float64(f.Busy) / float64(client.Ops); pct > maxBusyPct {
+		return fmt.Errorf("BUSY rejections %.2f%% of ops exceed the %.1f%% budget", pct, maxBusyPct)
+	}
+	return nil
+}
+
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	defer l.Close()
+	return l.Addr().String(), nil
+}
+
+func waitListening(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("timeout waiting for %s", addr)
+}

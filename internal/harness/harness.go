@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -336,6 +337,13 @@ func RepeatObserved(mk func() smr.Set, w Workload, reps int) (mean, ci float64, 
 // RepeatFull is RepeatObserved returning the final repetition's full
 // Result, so callers can read the latency histograms a LatencySample > 0
 // workload produced alongside the mean throughput.
+//
+// With reps >= 4 the single fastest and slowest repetitions are dropped
+// before averaging: on a shared host one hypervisor-descheduled
+// repetition drags a plain mean far below the machine's real capability
+// (and one lucky repetition inflates it), which turns cross-snapshot
+// throughput gates into coin flips. The trim is symmetric and applied
+// identically to every run, so benchdiff pairs stay unbiased.
 func RepeatFull(mk func() smr.Set, w Workload, reps int) (mean, ci float64, last Result) {
 	if reps <= 0 {
 		reps = 1
@@ -347,20 +355,28 @@ func RepeatFull(mk func() smr.Set, w Workload, reps int) (mean, ci float64, last
 		res := Run(mk(), wi)
 		xs[i] = res.Mops()
 		last = res
-		mean += xs[i]
 	}
-	mean /= float64(reps)
-	if reps < 2 {
+	agg := xs
+	if reps >= 4 {
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		agg = s[1 : len(s)-1]
+	}
+	for _, x := range agg {
+		mean += x
+	}
+	mean /= float64(len(agg))
+	if len(agg) < 2 {
 		return mean, 0, last
 	}
 	var ss float64
-	for _, x := range xs {
+	for _, x := range agg {
 		d := x - mean
 		ss += d * d
 	}
-	sd := ss / float64(reps-1)
+	sd := ss / float64(len(agg)-1)
 	// 1.96 · s/√n, the normal-approximation 95% interval.
-	ci = 1.96 * math.Sqrt(sd/float64(reps))
+	ci = 1.96 * math.Sqrt(sd/float64(len(agg)))
 	return mean, ci, last
 }
 

@@ -33,7 +33,13 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	ns := uint64(d.Nanoseconds())
+	h.ObserveNs(uint64(d.Nanoseconds()))
+}
+
+// ObserveNs records one duration given directly in nanoseconds — the
+// form the server's span instrumentation holds (monotonic-clock deltas),
+// saving a Duration round trip on the request path.
+func (h *Histogram) ObserveNs(ns uint64) {
 	b := bits.Len64(ns)
 	if b >= Buckets {
 		b = Buckets - 1

@@ -194,3 +194,18 @@ func TestSnapshotUnderConcurrency(t *testing.T) {
 		}
 	}
 }
+
+func TestObserveNsMatchesObserve(t *testing.T) {
+	var a, b Histogram
+	for _, ns := range []uint64{0, 1, 999, 1 << 20, 1<<40 + 7} {
+		a.Observe(time.Duration(ns))
+		b.ObserveNs(ns)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa != sb {
+		t.Fatalf("ObserveNs diverges from Observe:\n%+v\n%+v", sa, sb)
+	}
+	if sb.Count != 5 || sb.Max != 1<<40+7 {
+		t.Fatalf("snapshot count=%d max=%d", sb.Count, sb.Max)
+	}
+}

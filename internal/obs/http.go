@@ -19,6 +19,9 @@ import (
 //	               default (load in chrome://tracing or Perfetto),
 //	               ?format=jsonl for one JSON object per event line
 //	/debug/pprof/  the standard net/http/pprof handlers
+//
+// Routes registered on the active registry with Registry.Handle (the
+// server's /debug/slowlog) are served before the 404 fallback.
 func HandlerFor(get func() *Registry) http.Handler {
 	mux := http.NewServeMux()
 	withReg := func(serve func(r *Registry, w http.ResponseWriter, req *http.Request)) http.HandlerFunc {
@@ -54,11 +57,23 @@ func HandlerFor(get func() *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if r := get(); r != nil {
+			if h := r.route(req.URL.Path); h != nil {
+				h.ServeHTTP(w, req)
+				return
+			}
+		}
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "oamem observability: /metrics /stats.json /trace /debug/pprof/\n")
+		fmt.Fprint(w, "oamem observability: /metrics /stats.json /trace /debug/pprof/")
+		if r := get(); r != nil {
+			for _, p := range r.Routes() {
+				fmt.Fprint(w, " "+p)
+			}
+		}
+		fmt.Fprint(w, "\n")
 	})
 	return mux
 }

@@ -52,23 +52,39 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	for _, he := range r.hists {
-		snap := he.h.Snapshot()
 		p("# HELP %s %s\n# TYPE %s histogram\n", he.name, he.help, he.name)
-		var cum uint64
-		// The final log₂ bucket absorbs the tail, so it has no finite
-		// upper edge; it is folded into +Inf below.
-		for b := 0; b < metrics.Buckets-1; b++ {
-			cum += snap.Counts[b]
-			// Bucket b holds samples with bits.Len64(ns) == b, i.e.
-			// ns <= 2^b - 1; the edge is exported in seconds.
-			le := float64(uint64(1)<<uint(b)-1) / 1e9
-			p("%s_bucket{le=%q} %d\n", he.name, fmtFloat(le), cum)
+		promHist(p, he.name, "", he.h)
+	}
+	for _, vh := range r.vecHists {
+		p("# HELP %s %s\n# TYPE %s histogram\n", vh.name, vh.help, vh.name)
+		for i := 0; i < vh.n; i++ {
+			promHist(p, vh.name, vh.label+"="+strconv.Quote(strconv.Itoa(i))+",", vh.fn(i))
 		}
-		p("%s_bucket{le=\"+Inf\"} %d\n", he.name, snap.Count)
-		p("%s_sum %s\n", he.name, fmtFloat(float64(snap.Sum)/1e9))
-		p("%s_count %d\n", he.name, snap.Count)
 	}
 	return err
+}
+
+// promHist renders one histogram's bucket/sum/count series. labels is
+// either empty or a `label="v",` prefix spliced before the le label.
+func promHist(p func(format string, args ...any), name, labels string, h *metrics.Histogram) {
+	snap := h.Snapshot()
+	var cum uint64
+	// The final log₂ bucket absorbs the tail, so it has no finite
+	// upper edge; it is folded into +Inf below.
+	for b := 0; b < metrics.Buckets-1; b++ {
+		cum += snap.Counts[b]
+		// Bucket b holds samples with bits.Len64(ns) == b, i.e.
+		// ns <= 2^b - 1; the edge is exported in seconds.
+		le := float64(uint64(1)<<uint(b)-1) / 1e9
+		p("%s_bucket{%sle=%q} %d\n", name, labels, fmtFloat(le), cum)
+	}
+	p("%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, snap.Count)
+	if labels == "" {
+		p("%s_sum %s\n%s_count %d\n", name, fmtFloat(float64(snap.Sum)/1e9), name, snap.Count)
+	} else {
+		l := labels[:len(labels)-1] // drop the trailing comma
+		p("%s_sum{%s} %s\n%s_count{%s} %d\n", name, l, fmtFloat(float64(snap.Sum)/1e9), name, l, snap.Count)
+	}
 }
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -181,3 +181,99 @@ func TestHandlerNilRegistry(t *testing.T) {
 		t.Fatalf("nil registry: status %d, want 503", resp.StatusCode)
 	}
 }
+
+// HistogramVec families render one bucket/sum/count series per label
+// value under a single HELP/TYPE header, every line a valid sample.
+func TestWritePrometheusHistogramVec(t *testing.T) {
+	reg := NewRegistry()
+	var hs [2]metrics.Histogram
+	hs[0].Observe(100 * time.Nanosecond)
+	hs[0].Observe(3 * time.Millisecond)
+	hs[1].Observe(5 * time.Microsecond)
+	reg.HistogramVec("demo_latency_seconds", "request latency", "shard", 2,
+		func(i int) *metrics.Histogram { return &hs[i] })
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# TYPE demo_latency_seconds histogram"); n != 1 {
+		t.Fatalf("want exactly one TYPE header, got %d:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`demo_latency_seconds_bucket{shard="0",le="+Inf"} 2`,
+		`demo_latency_seconds_bucket{shard="1",le="+Inf"} 1`,
+		`demo_latency_seconds_count{shard="0"} 2`,
+		`demo_latency_seconds_count{shard="1"} 1`,
+		`demo_latency_seconds_sum{shard="0"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleRe.MatchString(line) {
+			t.Fatalf("bad sample line %q", line)
+		}
+	}
+
+	// The JSON snapshot carries the same family as name{label="i"} keys.
+	var jb strings.Builder
+	if err := reg.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Histograms map[string]struct {
+			Count uint64 `json:"count"`
+			P99Ns uint64 `json:"p99_ns"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(jb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Histograms[`demo_latency_seconds{shard="0"}`].Count != 2 ||
+		doc.Histograms[`demo_latency_seconds{shard="1"}`].Count != 1 {
+		t.Fatalf("JSON snapshot families wrong: %v", doc.Histograms)
+	}
+}
+
+// Registered routes are served by the registry handler before the 404
+// fallback and advertised on the index page.
+func TestHandlerExtraRoutes(t *testing.T) {
+	reg := buildTestRegistry()
+	reg.Handle("/debug/slowlog", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"entries":[]}`))
+	}))
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 256)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body[:n]), "entries") {
+		t.Fatalf("/debug/slowlog: status %d body %q", resp.StatusCode, body[:n])
+	}
+	if got := reg.Routes(); len(got) != 1 || got[0] != "/debug/slowlog" {
+		t.Fatalf("Routes() = %v", got)
+	}
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ = resp.Body.Read(body)
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), "/debug/slowlog") {
+		t.Fatalf("index page does not advertise the extra route: %q", body[:n])
+	}
+	if resp, err := http.Get(srv.URL + "/nope"); err != nil || resp.StatusCode != 404 {
+		t.Fatalf("unregistered path must stay 404")
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"net/http"
 	"sort"
 	"strconv"
 	"sync"
@@ -50,6 +51,12 @@ type vecCounterEntry struct {
 	fn                func(i int) uint64
 }
 
+type vecHistEntry struct {
+	name, help, label string
+	n                 int
+	fn                func(i int) *metrics.Histogram
+}
+
 // Registry collects metric sources and renders them as Prometheus text or
 // JSON. Registration happens at setup time; scrapes may run concurrently
 // with the writers feeding the sources (sources are sampled, not locked).
@@ -59,8 +66,10 @@ type Registry struct {
 	counters    []counterEntry
 	vecGauges   []vecGaugeEntry
 	vecCounters []vecCounterEntry
+	vecHists    []vecHistEntry
 	threads     []threadEntry
 	hists       []histEntry
+	routes      map[string]http.Handler
 
 	// tracers holds the registered protocol event recorders behind an
 	// atomic pointer (copy-on-write under mu) so the trace_events_total
@@ -105,6 +114,52 @@ func (r *Registry) CounterVec(name, help, label string, n int, fn func(i int) ui
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.vecCounters = append(r.vecCounters, vecCounterEntry{name, help, label, n, fn})
+}
+
+// HistogramVec registers a family of n histograms sharing one name and
+// help text, distinguished by a label: sample i exports in Prometheus
+// histogram format as name_bucket{label="i",le="..."} (plus the matching
+// _sum and _count series) and in the JSON snapshot as name{label="i"}.
+// Used for the server's per-(command, shard) latency families, where a
+// metric per shard would drown the scrape output in headers.
+func (r *Registry) HistogramVec(name, help, label string, n int, fn func(i int) *metrics.Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vecHists = append(r.vecHists, vecHistEntry{name, help, label, n, fn})
+}
+
+// Handle registers an extra HTTP route served by this registry's
+// handler (HandlerFor falls back to registered routes before 404). The
+// hook lets subsystems attach their own debug endpoints — the server's
+// /debug/slowlog — to the one observability listener without the
+// listener owner knowing about them.
+func (r *Registry) Handle(path string, h http.Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.routes == nil {
+		r.routes = make(map[string]http.Handler)
+	}
+	r.routes[path] = h
+}
+
+// route returns the handler registered for path, or nil.
+func (r *Registry) route(path string) http.Handler {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.routes[path]
+}
+
+// Routes returns the registered extra route paths (sorted), so probes
+// can discover and exercise every attached debug endpoint.
+func (r *Registry) Routes() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.routes))
+	for p := range r.routes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ThreadCounters registers a per-thread counter block set; each counter
@@ -280,22 +335,33 @@ func (r *Registry) snapshot() jsonSnapshot {
 			s.Counters[te.prefix+"_"+c.String()+"_total"] = tot[c]
 		}
 	}
-	if len(r.hists) > 0 {
+	if len(r.hists) > 0 || len(r.vecHists) > 0 {
 		s.Histograms = map[string]jsonHist{}
 	}
 	for _, he := range r.hists {
-		snap := he.h.Snapshot()
-		jh := jsonHist{Count: snap.Count, SumNs: snap.Sum, MaxNs: snap.Max}
-		if snap.Count > 0 {
-			jh.MeanNs = snap.Sum / snap.Count
+		s.Histograms[he.name] = histJSON(he.h)
+	}
+	for _, vh := range r.vecHists {
+		for i := 0; i < vh.n; i++ {
+			s.Histograms[vh.name+"{"+vh.label+"=\""+strconv.Itoa(i)+"\"}"] = histJSON(vh.fn(i))
 		}
-		jh.P50Ns = snap.QuantileNs(0.50)
-		jh.P90Ns = snap.QuantileNs(0.90)
-		jh.P99Ns = snap.QuantileNs(0.99)
-		jh.P999Ns = snap.QuantileNs(0.999)
-		s.Histograms[he.name] = jh
 	}
 	return s
+}
+
+// histJSON renders one histogram snapshot as the JSON block /stats.json
+// carries.
+func histJSON(h *metrics.Histogram) jsonHist {
+	snap := h.Snapshot()
+	jh := jsonHist{Count: snap.Count, SumNs: snap.Sum, MaxNs: snap.Max}
+	if snap.Count > 0 {
+		jh.MeanNs = snap.Sum / snap.Count
+	}
+	jh.P50Ns = snap.QuantileNs(0.50)
+	jh.P90Ns = snap.QuantileNs(0.90)
+	jh.P99Ns = snap.QuantileNs(0.99)
+	jh.P999Ns = snap.QuantileNs(0.999)
+	return jh
 }
 
 // WriteJSON renders every registered source as an indented JSON document.

@@ -7,6 +7,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // ErrGoAway is returned by Client sends after the server announced a
@@ -18,6 +21,7 @@ var ErrGoAway = errors.New("server: connection draining (GOAWAY received)")
 type Call struct {
 	c      *Client
 	op     byte
+	start  int64 // send timestamp for the optional latency histogram
 	done   chan struct{}
 	Status byte
 	Val    uint64
@@ -48,6 +52,13 @@ type Client struct {
 	goaway  atomic.Bool
 	readErr atomic.Value // error
 	done    chan struct{}
+
+	// Latency, when set before the first send, records each Call's
+	// send→response round trip (including local queueing and the
+	// server's batched flush — the client-observed latency a user
+	// program experiences). Load generators read the quantiles for
+	// their reports.
+	Latency *metrics.Histogram
 }
 
 // Dial connects a pipelined client. window bounds how many requests may
@@ -111,6 +122,9 @@ func (c *Client) readLoop() {
 		} else if len(f.Body) >= 8 {
 			ca.Val = f.word(0)
 		}
+		if c.Latency != nil {
+			c.Latency.ObserveNs(uint64(trace.Now() - ca.start))
+		}
 		close(ca.done)
 	}
 }
@@ -123,7 +137,7 @@ func (c *Client) send(op byte, args ...uint64) (*Call, error) {
 	if err, _ := c.readErr.Load().(error); err != nil {
 		return nil, err
 	}
-	ca := &Call{c: c, op: op, done: make(chan struct{})}
+	ca := &Call{c: c, op: op, start: trace.Now(), done: make(chan struct{})}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++

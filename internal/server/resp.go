@@ -26,13 +26,17 @@ package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"repro/internal/kvmap"
 	"repro/internal/lease"
+	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // RESP reader limits: a command may carry at most respMaxArgs arguments
@@ -271,6 +275,14 @@ func upper(b []byte) []byte {
 
 func eq(b []byte, s string) bool { return string(b) == s }
 
+// countCmd bumps the per-opcode request counter and pins the request's
+// span attribution to op (RESP commands map onto the binary opcodes:
+// SET→put, EXISTS→get, INFO→stats).
+func (c *conn) countCmd(op uint8) {
+	c.stripe.reqsTotal[op].Add(1)
+	c.reqOp = op
+}
+
 // respReadLoop is the RESP twin of readLoop: decode, route by key hash,
 // lease the target shard lazily, execute in order, enqueue the encoded
 // reply. One command produces exactly one reply (except QUIT, which also
@@ -279,6 +291,7 @@ func eq(b []byte, s string) bool { return string(b) == s }
 func (c *conn) respReadLoop() {
 	rr := newRESPReader(bufio.NewReaderSize(c.nc, 32<<10))
 	for {
+		c.sp.Begin()
 		args, err := rr.readCommand()
 		if err != nil {
 			if errors.Is(err, ErrRESPProtocol) {
@@ -287,27 +300,74 @@ func (c *conn) respReadLoop() {
 			}
 			return
 		}
+		c.sp.Mark(trace.StageRead)
 		c.stripe.reqsRead.Add(1)
 		if len(args) == 0 {
 			c.reply(AppendRESPError(nil, "ERR empty command"))
 			continue
 		}
+		// Dispatch routes inside respExecute (a variadic DEL touches
+		// several shards), so the per-request attribution travels on the
+		// conn: respSession fills it on the request's first shard touch.
+		c.reqOp, c.reqSess, c.reqTS, c.reqShrd = 0, nil, nil, 0
 		resp, fatal := c.respExecute(upper(args[0]), args[1:])
+		c.sp.Mark(trace.StageExec)
+		status := respStatusOf(resp)
 		c.reply(resp)
+		c.sp.Mark(trace.StageQueue)
+		var restarts, drains uint64
+		if c.reqTS != nil {
+			restarts = c.reqTS.Load(obs.Restarts) - c.reqR0
+			drains = c.reqTS.Load(obs.DrainPasses) - c.reqD0
+		}
+		c.finishSpan(c.reqSess, c.reqOp, status, int(c.reqShrd), restarts, drains)
 		if fatal {
 			return
 		}
 	}
 }
 
+// respStatusOf maps an encoded RESP reply onto the binary protocol's
+// status space, so both listeners feed the same histogram/slow-log
+// gates: -BUSY → BUSY, -OOM → CAPACITY, other errors → BAD_REQUEST,
+// nil bulk → NOT_FOUND, anything else → OK.
+func respStatusOf(resp []byte) uint8 {
+	if len(resp) == 0 {
+		return StOK
+	}
+	switch resp[0] {
+	case '-':
+		if len(resp) > 1 {
+			switch resp[1] {
+			case 'B':
+				return StBusy
+			case 'O':
+				return StCapacity
+			}
+		}
+		return StBadRequest
+	case '$':
+		if len(resp) >= 2 && resp[1] == '-' {
+			return StNotFound
+		}
+	}
+	return StOK
+}
+
 // respSession routes a RESP key and returns (shard session, shard,
 // errReply): errReply is non-nil when the shard's registry is exhausted
 // or closed.
 func (c *conn) respSession(key []byte) (*kvmap.Session, uint64, []byte) {
+	// Close the running exec leg (argument parse, or the previous key's
+	// op in a variadic command) before attributing route/lease time.
+	c.sp.Mark(trace.StageExec)
 	k := hashKey(key)
 	shard := c.s.shards.ShardIndex(k)
+	c.sp.Mark(trace.StageRoute)
 	sess, err := c.session(shard)
+	c.sp.Mark(trace.StageLease)
 	if err != nil {
+		c.reqShrd = int32(shard)
 		if errors.Is(err, lease.ErrClosed) {
 			return nil, 0, AppendRESPError(nil, "ERR server is draining")
 		}
@@ -315,6 +375,15 @@ func (c *conn) respSession(key []byte) (*kvmap.Session, uint64, []byte) {
 		return nil, 0, AppendRESPError(nil, "BUSY no free session slot on shard "+strconv.Itoa(shard)+"; retry")
 	}
 	c.s.stripes[shard].ops.Add(1)
+	if c.reqSess == nil {
+		// First shard touch of this request: pin span attribution and
+		// the restart/drain baselines to it.
+		c.reqSess = sess
+		c.reqShrd = int32(shard)
+		c.reqTS = c.s.shards.Shard(shard).Manager().ObsStats().At(sess.TID())
+		c.reqR0 = c.reqTS.Load(obs.Restarts)
+		c.reqD0 = c.reqTS.Load(obs.DrainPasses)
+	}
 	return sess, k, nil
 }
 
@@ -332,7 +401,7 @@ func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) 
 	}()
 	switch {
 	case eq(cmd, "PING"):
-		c.stripe.reqsTotal[OpPing].Add(1)
+		c.countCmd(OpPing)
 		if len(args) == 1 {
 			return AppendRESPBulk(nil, args[0]), false
 		}
@@ -346,7 +415,7 @@ func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) 
 		if len(args) != 1 {
 			return respWrongArity(cmd), false
 		}
-		c.stripe.reqsTotal[OpGet].Add(1)
+		c.countCmd(OpGet)
 		sess, k, errReply := c.respSession(args[0])
 		if errReply != nil {
 			return errReply, false
@@ -359,7 +428,7 @@ func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) 
 		if len(args) != 2 {
 			return respWrongArity(cmd), false
 		}
-		c.stripe.reqsTotal[OpPut].Add(1)
+		c.countCmd(OpPut)
 		w, ok := packValue(args[1])
 		if !ok {
 			return AppendRESPError(nil, "ERR value exceeds the 7-byte limit of the u64-packed store"), false
@@ -374,7 +443,7 @@ func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) 
 		if len(args) == 0 {
 			return respWrongArity(cmd), false
 		}
-		c.stripe.reqsTotal[OpDel].Add(1)
+		c.countCmd(OpDel)
 		removed := int64(0)
 		for _, key := range args {
 			sess, k, errReply := c.respSession(key)
@@ -390,7 +459,7 @@ func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) 
 		if len(args) == 0 {
 			return respWrongArity(cmd), false
 		}
-		c.stripe.reqsTotal[OpGet].Add(1)
+		c.countCmd(OpGet)
 		found := int64(0)
 		for _, key := range args {
 			sess, k, errReply := c.respSession(key)
@@ -408,7 +477,7 @@ func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) 
 		if len(args) != 3 {
 			return respWrongArity(cmd), false
 		}
-		c.stripe.reqsTotal[OpCAS].Add(1)
+		c.countCmd(OpCAS)
 		old, ok1 := packValue(args[1])
 		nv, ok2 := packValue(args[2])
 		if !ok1 || !ok2 {
@@ -428,8 +497,12 @@ func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) 
 			return AppendRESPNil(nil), false
 		}
 	case eq(cmd, "INFO"):
-		c.stripe.reqsTotal[OpStats].Add(1)
-		return AppendRESPBulk(nil, c.s.respInfo(nil)), false
+		c.countCmd(OpStats)
+		var section []byte
+		if len(args) >= 1 {
+			section = upper(args[0])
+		}
+		return AppendRESPBulk(nil, c.s.respInfo(nil, section)), false
 	case eq(cmd, "COMMAND"), eq(cmd, "CONFIG"):
 		// redis-cli and benchmark tools probe these on connect; an empty
 		// array keeps them happy without pretending to implement them.
@@ -446,26 +519,75 @@ func respWrongArity(cmd []byte) []byte {
 	return AppendRESPError(nil, "ERR wrong number of arguments for '"+string(cmd)+"'")
 }
 
-// respInfo renders a redis-style INFO document from the server snapshot.
-func (s *Server) respInfo(b []byte) []byte {
+// respInfo renders a redis-style INFO document. section narrows the
+// reply to one section (upper-cased by the caller; SERVER, KEYSPACE,
+// STATS or LATENCY); empty means all.
+//
+// The Stats and Latency sections are rendered by reflecting over the
+// same Snapshot / CmdLatency structs the STATS op and /stats.json
+// serialize, via their JSON field names — INFO cannot drift from the
+// binary surfaces because there is no second field list to forget to
+// update (TestInfoStatsParity pins this).
+func (s *Server) respInfo(b, section []byte) []byte {
+	want := func(name string) bool {
+		return len(section) == 0 || string(section) == name
+	}
 	snap := s.snapshot()
-	b = append(b, "# Server\r\noa_server:1\r\nprotocol:RESP2\r\n"...)
-	b = append(b, "# Keyspace\r\n"...)
-	b = appendInfoInt(b, "shards", int64(snap.Shards))
-	for i, n := range snap.ShardOps {
-		b = append(b, "shard_ops_"...)
-		b = strconv.AppendInt(b, int64(i), 10)
+	if want("SERVER") {
+		b = append(b, "# Server\r\noa_server:1\r\nprotocol:RESP2\r\n"...)
+	}
+	if want("KEYSPACE") {
+		b = append(b, "# Keyspace\r\n"...)
+		b = appendInfoInt(b, "shards", int64(snap.Shards))
+		for i, n := range snap.ShardOps {
+			b = append(b, "shard_ops_"...)
+			b = strconv.AppendInt(b, int64(i), 10)
+			b = append(b, ':')
+			b = strconv.AppendUint(b, n, 10)
+			b = append(b, '\r', '\n')
+		}
+	}
+	if want("STATS") {
+		b = append(b, "# Stats\r\n"...)
+		b = appendInfoJSON(b, "", snap)
+	}
+	if want("LATENCY") {
+		b = append(b, "# Latency\r\n"...)
+		lat := s.latencySnapshot()
+		for op := OpGet; op <= OpCAS; op++ {
+			b = appendInfoJSON(b, "latency_"+opNames[op]+"_", lat[opNames[op]])
+		}
+	}
+	return b
+}
+
+// appendInfoJSON renders v's scalar JSON fields as prefixed key:value
+// INFO lines, sorted by field name. Arrays and nested objects are
+// skipped (ShardOps is rendered per-shard in the Keyspace section).
+func appendInfoJSON(b []byte, prefix string, v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return b
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return b
+	}
+	keys := make([]string, 0, len(m))
+	for k, rv := range m {
+		if len(rv) > 0 && (rv[0] == '[' || rv[0] == '{') {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b = append(b, prefix...)
+		b = append(b, k...)
 		b = append(b, ':')
-		b = strconv.AppendUint(b, n, 10)
+		b = append(b, m[k]...)
 		b = append(b, '\r', '\n')
 	}
-	b = append(b, "# Stats\r\n"...)
-	b = appendInfoInt(b, "connected_clients", snap.Connections)
-	b = appendInfoInt(b, "total_connections_received", int64(snap.ConnsTotal))
-	b = appendInfoInt(b, "total_commands_processed", int64(snap.RequestsRead))
-	b = appendInfoInt(b, "sessions_cap", int64(snap.SessionsCap))
-	b = appendInfoInt(b, "sessions_leased", int64(snap.SessionsInUse))
-	b = appendInfoInt(b, "busy_rejections", int64(snap.Busy))
 	return b
 }
 

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/kvmap"
 	"repro/internal/lease"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -39,6 +41,18 @@ type Config struct {
 	// DrainTimeout bounds Shutdown: connections whose client has not
 	// closed by then are force-closed. Default 5s.
 	DrainTimeout time.Duration
+	// SlowThreshold is the server-side span duration (route+lease+exec+
+	// queue, excluding socket wait) past which a request is recorded in
+	// the slow-request ring at /debug/slowlog. Default 1ms.
+	SlowThreshold time.Duration
+	// SlowLogSize is the slow-request ring's capacity, rounded up to a
+	// power of two. Default 256.
+	SlowLogSize int
+	// SpanSample emits every Nth data request's span into the shard's
+	// trace ring (when tracing is enabled); 1 traces every request.
+	// Latency histograms and the slow log see every request regardless —
+	// sampling only thins the trace timeline. Default 64.
+	SpanSample int
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -82,6 +96,13 @@ type Server struct {
 	badTotal    atomic.Uint64 // BAD_REQUEST / FRAME_TOO_BIG responses
 	goawaysSent atomic.Uint64
 	forceClosed atomic.Uint64 // conns cut by DrainTimeout
+
+	// lat[op][shard] is the server-side latency histogram for one
+	// (command, shard) pair, recorded from the request span for every
+	// completed data op (statuses OK/NOT_FOUND/CAS_MISMATCH). Indexed by
+	// opcode; only OpGet..OpCAS rows are populated.
+	lat     [OpCAS + 1][]metrics.Histogram
+	slowlog *slowLog
 }
 
 var opNames = [8]string{"", "get", "put", "del", "cas", "ping", "stats", "goaway"}
@@ -104,13 +125,26 @@ func New(cfg Config) *Server {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = time.Millisecond
+	}
+	if cfg.SlowLogSize <= 0 {
+		cfg.SlowLogSize = 256
+	}
+	if cfg.SpanSample <= 0 {
+		cfg.SpanSample = 64
+	}
 	s := &Server{
 		cfg:     cfg,
 		shards:  cfg.Shards,
 		conns:   make(map[*conn]struct{}),
 		stripes: make([]shardStripe, cfg.Shards.NumShards()),
+		slowlog: newSlowLog(cfg.SlowLogSize),
 	}
 	s.stripeMask = uint64(len(s.stripes) - 1)
+	for op := OpGet; op <= OpCAS; op++ {
+		s.lat[op] = make([]metrics.Histogram, cfg.Shards.NumShards())
+	}
 	return s
 }
 
@@ -162,6 +196,18 @@ func (s *Server) RegisterObs(reg *obs.Registry) {
 		func() uint64 { return s.sumStripes(func(st *shardStripe) uint64 { return st.reqsRead.Load() }) })
 	reg.Counter("oa_server_responses_sent_total", "responses queued to writers",
 		func() uint64 { return s.sumStripes(func(st *shardStripe) uint64 { return st.respsSent.Load() }) })
+	reg.Counter("oa_server_bad_requests_total", "requests answered BAD_REQUEST or FRAME_TOO_BIG",
+		func() uint64 { return s.badTotal.Load() })
+	reg.Counter("oa_server_slow_requests_total", "requests whose server-side span crossed SlowThreshold",
+		func() uint64 { return s.slowlog.total() })
+	for op := OpGet; op <= OpCAS; op++ {
+		hs := s.lat[op]
+		reg.HistogramVec("oa_server_latency_"+opNames[op]+"_seconds",
+			"server-side "+opNames[op]+" latency (route+lease+exec+queue, socket wait excluded)",
+			"shard", len(hs),
+			func(i int) *metrics.Histogram { return &hs[i] })
+	}
+	reg.Handle("/debug/slowlog", http.HandlerFunc(s.serveSlowLog))
 }
 
 // Serve accepts binary-protocol connections on ln until Shutdown (which
@@ -283,6 +329,8 @@ type Snapshot struct {
 	ResponsesSent uint64   `json:"responses_sent"`
 	Busy          uint64   `json:"busy"`
 	Capacity      uint64   `json:"capacity"`
+	BadRequests   uint64   `json:"bad_requests"`
+	SlowRequests  uint64   `json:"slow_requests"`
 	GoAways       uint64   `json:"goaways"`
 	ForceClosed   uint64   `json:"force_closed"`
 	Shards        int      `json:"shards"`
@@ -304,6 +352,8 @@ func (s *Server) snapshot() Snapshot {
 		ResponsesSent: s.sumStripes(func(st *shardStripe) uint64 { return st.respsSent.Load() }),
 		Busy:          s.busyTotal.Load(),
 		Capacity:      s.capTotal.Load(),
+		BadRequests:   s.badTotal.Load(),
+		SlowRequests:  s.slowlog.total(),
 		GoAways:       s.goawaysSent.Load(),
 		ForceClosed:   s.forceClosed.Load(),
 		Shards:        s.shards.NumShards(),
@@ -314,15 +364,54 @@ func (s *Server) snapshot() Snapshot {
 	}
 }
 
-// statsBody builds the STATS JSON: server counters plus per-shard
-// reclamation stats ("map" stays the shard-0 block for pre-sharding
-// consumers).
+// CmdLatency summarizes one command's server-side latency histogram,
+// merged across shards. All durations are nanoseconds; quantiles are
+// log₂-bucket upper bounds.
+type CmdLatency struct {
+	Count  uint64 `json:"count"`
+	MeanNs uint64 `json:"mean_ns"`
+	P50Ns  uint64 `json:"p50_ns"`
+	P90Ns  uint64 `json:"p90_ns"`
+	P99Ns  uint64 `json:"p99_ns"`
+	P999Ns uint64 `json:"p999_ns"`
+	MaxNs  uint64 `json:"max_ns"`
+}
+
+// latencySnapshot merges each command's per-shard histograms and
+// summarizes them. This one snapshot feeds STATS, stats.json's server
+// block and the RESP INFO latency section, so the three surfaces cannot
+// drift.
+func (s *Server) latencySnapshot() map[string]CmdLatency {
+	out := make(map[string]CmdLatency, OpCAS)
+	for op := OpGet; op <= OpCAS; op++ {
+		var merged metrics.Histogram
+		for i := range s.lat[op] {
+			merged.Merge(&s.lat[op][i])
+		}
+		snap := merged.Snapshot()
+		cl := CmdLatency{Count: snap.Count, MaxNs: snap.Max}
+		if snap.Count > 0 {
+			cl.MeanNs = snap.Sum / snap.Count
+			cl.P50Ns = snap.QuantileNs(0.50)
+			cl.P90Ns = snap.QuantileNs(0.90)
+			cl.P99Ns = snap.QuantileNs(0.99)
+			cl.P999Ns = snap.QuantileNs(0.999)
+		}
+		out[opNames[op]] = cl
+	}
+	return out
+}
+
+// statsBody builds the STATS JSON: server counters, per-command latency
+// summaries, plus per-shard reclamation stats ("map" stays the shard-0
+// block for pre-sharding consumers).
 func (s *Server) statsBody() []byte {
 	b, err := json.Marshal(struct {
-		Server Snapshot `json:"server"`
-		Map    any      `json:"map"`
-		Maps   any      `json:"map_shards"`
-	}{s.snapshot(), s.shards.Shard(0).Stats(), s.shards.Stats()})
+		Server  Snapshot              `json:"server"`
+		Latency map[string]CmdLatency `json:"latency"`
+		Map     any                   `json:"map"`
+		Maps    any                   `json:"map_shards"`
+	}{s.snapshot(), s.latencySnapshot(), s.shards.Shard(0).Stats(), s.shards.Stats()})
 	if err != nil {
 		return []byte(`{}`)
 	}
@@ -354,6 +443,21 @@ type conn struct {
 	gaOnce   sync.Once
 	stripe   *shardStripe // protocol-op counter stripe (by conn id)
 	sessions []*kvmap.Session
+
+	// Request-span state, owned by the reader goroutine. sp is the
+	// per-request stopwatch, reused across requests; spanSeq drives the
+	// 1-in-SpanSample trace emission.
+	sp      trace.Span
+	spanSeq uint64
+	// Per-request attribution filled in by respSession for the RESP
+	// loop, whose dispatch routes inside respExecute (variadic commands
+	// touch several shards; the span is attributed to the first).
+	reqOp   uint8
+	reqSess *kvmap.Session
+	reqTS   *obs.PerThread
+	reqR0   uint64
+	reqD0   uint64
+	reqShrd int32
 }
 
 func (c *conn) sendGoAway() {
@@ -428,6 +532,7 @@ func (c *conn) session(shard int) (*kvmap.Session, error) {
 func (c *conn) readLoop() {
 	fr := newFrameReader(c.nc, maxRequestFrame)
 	for {
+		c.sp.Begin()
 		f, err := fr.read()
 		if err != nil {
 			if errors.Is(err, ErrFrameTooLarge) {
@@ -439,6 +544,7 @@ func (c *conn) readLoop() {
 			}
 			return // EOF: client closed; anything else: cut the pipeline
 		}
+		c.sp.Mark(trace.StageRead)
 		c.stripe.reqsRead.Add(1)
 		nargs, known := argWords(f.Code)
 		if !known || f.Code == OpGoAway || len(f.Body) != 8*nargs {
@@ -459,21 +565,66 @@ func (c *conn) readLoop() {
 		// independent stream, and responses stay in request order because
 		// execution is synchronous here regardless of the target shard.
 		shard := c.s.shards.ShardIndex(f.word(0))
+		c.sp.Mark(trace.StageRoute)
 		sess, err := c.session(shard)
+		c.sp.Mark(trace.StageLease)
 		if err != nil {
+			status := uint8(StBusy)
 			if errors.Is(err, lease.ErrClosed) {
-				c.reply(AppendFrame(nil, f.ID, StClosed))
+				status = StClosed
 			} else {
 				c.s.busyTotal.Add(1)
-				c.reply(AppendFrame(nil, f.ID, StBusy))
 			}
+			c.reply(AppendFrame(nil, f.ID, status))
+			c.sp.Mark(trace.StageQueue)
+			c.finishSpan(nil, f.Code, status, shard, 0, 0)
 			continue
 		}
 		c.s.stripes[shard].ops.Add(1)
+		// Restart/drain deltas around the op attribute reclamation work
+		// (scheme-forced restarts, drain passes) to the request that
+		// absorbed it — the session is leased to this connection and
+		// executes on this goroutine, so the counter block is quiescent
+		// outside the execute call.
+		ts := c.s.shards.Shard(shard).Manager().ObsStats().At(sess.TID())
+		r0, d0 := ts.Load(obs.Restarts), ts.Load(obs.DrainPasses)
 		resp, fatal := c.execute(sess, f)
+		c.sp.Mark(trace.StageExec)
+		status := resp[respStatusOffset]
 		c.reply(resp)
+		c.sp.Mark(trace.StageQueue)
+		c.finishSpan(sess, f.Code, status, shard,
+			ts.Load(obs.Restarts)-r0, ts.Load(obs.DrainPasses)-d0)
 		if fatal {
 			return
+		}
+	}
+}
+
+// respStatusOffset is the status byte's position in an encoded response
+// frame: after the u32 length and u64 id.
+const respStatusOffset = 12
+
+// finishSpan closes one routed request's span: the per-(command, shard)
+// latency histogram sees every completed data op, the slow log sees any
+// request (including BUSY) whose server-side time crossed the
+// threshold, and 1-in-SpanSample spans are emitted into the routed
+// shard's trace ring — the same single-writer ring the session's
+// reclamation events go to, because this goroutine holds the session.
+func (c *conn) finishSpan(sess *kvmap.Session, op, status uint8, shard int, restarts, drains uint64) {
+	serverNs := c.sp.ServerNs()
+	if op >= OpGet && op <= OpCAS && status <= StCASMismatch {
+		c.s.lat[op][shard].ObserveNs(uint64(serverNs))
+	}
+	if serverNs >= int64(c.s.cfg.SlowThreshold) {
+		c.s.slowlog.record(time.Now().UnixNano(), c.id, op, status, shard,
+			serverNs, c.sp.Durations(), restarts, drains)
+	}
+	if sess != nil && trace.Enabled() {
+		c.spanSeq++
+		if c.spanSeq%uint64(c.s.cfg.SpanSample) == 0 {
+			ring := c.s.shards.Shard(shard).Manager().TraceRecorder().Ring(sess.TID())
+			c.sp.Emit(ring, op, status, shard)
 		}
 	}
 }

@@ -1,0 +1,162 @@
+// Slow-request log: a fixed-size lock-free ring of the most recent
+// requests whose server-side span crossed Config.SlowThreshold, served
+// as JSON at /debug/slowlog. The ring answers the operational question
+// the latency histograms cannot: not "how slow is p99" but "which
+// requests were slow, on which shard, and where did the time go" — each
+// entry carries the span's per-stage breakdown plus the restart and
+// drain-pass deltas the optimistic-access scheme charged to the request.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// slowSlot is one seqlock-protected ring slot. Writers (connection
+// reader goroutines, one per conn, many per ring) claim a ticket from
+// the head counter and publish with an odd-while-writing sequence;
+// readers discard slots whose sequence is odd, stale, or changed under
+// the read. Every field is an atomic word, so torn reads are impossible
+// at the memory level and merely inconsistent entries are rejected by
+// the sequence check — no locks on either side.
+type slowSlot struct {
+	seq      atomic.Uint64 // 2*ticket+1 while writing, 2*ticket+2 published
+	unixNano atomic.Int64
+	conn     atomic.Uint64
+	meta     atomic.Uint64 // op<<24 | status<<16 | shard
+	serverNs atomic.Int64
+	restarts atomic.Uint64
+	drains   atomic.Uint64
+	stages   [trace.NumStages]atomic.Int64
+}
+
+// slowLog is the ring. head counts every slow request ever recorded
+// (the exported oa_server_slow_requests_total); the last len(slots) of
+// them are recoverable.
+type slowLog struct {
+	slots []slowSlot
+	mask  uint64
+	head  atomic.Uint64
+}
+
+func newSlowLog(size int) *slowLog {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &slowLog{slots: make([]slowSlot, n), mask: uint64(n - 1)}
+}
+
+// total returns how many slow requests have been recorded (including
+// entries since overwritten).
+func (l *slowLog) total() uint64 { return l.head.Load() }
+
+// record claims the next slot and publishes one entry. Wait-free for
+// writers: one atomic add, then plain atomic stores into the claimed
+// slot. If the ring wraps onto a slot another writer is still filling,
+// the sequence numbers disagree and readers skip the entry — losing one
+// ancient entry under extreme pressure, never blocking a request.
+func (l *slowLog) record(now int64, conn uint64, op, status uint8, shard int,
+	serverNs int64, stages [trace.NumStages]int64, restarts, drains uint64) {
+	t := l.head.Add(1) - 1
+	s := &l.slots[t&l.mask]
+	s.seq.Store(2*t + 1)
+	s.unixNano.Store(now)
+	s.conn.Store(conn)
+	s.meta.Store(uint64(op)<<24 | uint64(status)<<16 | uint64(shard)&0xFFFF)
+	s.serverNs.Store(serverNs)
+	s.restarts.Store(restarts)
+	s.drains.Store(drains)
+	for i := range stages {
+		s.stages[i].Store(stages[i])
+	}
+	s.seq.Store(2*t + 2)
+}
+
+// SlowEntry is one decoded slow-request record.
+type SlowEntry struct {
+	UnixNano int64            `json:"unix_nano"`
+	Conn     uint64           `json:"conn"`
+	Op       string           `json:"op"`
+	Status   string           `json:"status"`
+	Shard    int              `json:"shard"`
+	ServerNs int64            `json:"server_ns"`
+	Stages   map[string]int64 `json:"stages"`
+	Restarts uint64           `json:"restarts"`
+	Drains   uint64           `json:"drain_passes"`
+}
+
+var statusNames = [9]string{
+	"ok", "not_found", "cas_mismatch", "busy", "closed",
+	"capacity", "bad_request", "goaway", "frame_too_big",
+}
+
+func statusName(st uint8) string {
+	if int(st) < len(statusNames) {
+		return statusNames[st]
+	}
+	return "unknown"
+}
+
+// snapshot decodes the published entries, most recent first. Entries
+// mid-write or overwritten during the scan fail the sequence check and
+// are dropped rather than returned torn.
+func (l *slowLog) snapshot() []SlowEntry {
+	head := l.head.Load()
+	n := head
+	if n > uint64(len(l.slots)) {
+		n = uint64(len(l.slots))
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		t := head - 1 - i
+		s := &l.slots[t&l.mask]
+		s1 := s.seq.Load()
+		if s1 != 2*t+2 {
+			continue
+		}
+		var e SlowEntry
+		e.UnixNano = s.unixNano.Load()
+		e.Conn = s.conn.Load()
+		meta := s.meta.Load()
+		e.ServerNs = s.serverNs.Load()
+		e.Restarts = s.restarts.Load()
+		e.Drains = s.drains.Load()
+		stages := make(map[string]int64, trace.NumStages)
+		for st := trace.Stage(0); st < trace.NumStages; st++ {
+			if d := s.stages[st].Load(); d > 0 {
+				stages[st.String()] = d
+			}
+		}
+		if s.seq.Load() != s1 {
+			continue
+		}
+		op := uint8(meta >> 24)
+		if int(op) >= len(opNames) {
+			op = 0
+		}
+		e.Op = opNames[op]
+		e.Status = statusName(uint8(meta >> 16))
+		e.Shard = int(meta & 0xFFFF)
+		e.Stages = stages
+		out = append(out, e)
+	}
+	return out
+}
+
+// SlowLog returns the current slow-request entries, most recent first.
+func (s *Server) SlowLog() []SlowEntry { return s.slowlog.snapshot() }
+
+// serveSlowLog renders the slow log as JSON for /debug/slowlog.
+func (s *Server) serveSlowLog(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		ThresholdNs int64       `json:"threshold_ns"`
+		Size        int         `json:"size"`
+		Total       uint64      `json:"total"`
+		Entries     []SlowEntry `json:"entries"`
+	}{int64(s.cfg.SlowThreshold), len(s.slowlog.slots), s.slowlog.total(), s.slowlog.snapshot()})
+}

@@ -42,6 +42,20 @@ func appendArgs(b []byte, e Event) []byte {
 	case EvLease, EvUnlease:
 		b = append(b, `"owner":`...)
 		b = strconv.AppendUint(b, e.Arg, 10)
+	case EvReqSpan:
+		b = append(b, `"op":`...)
+		b = strconv.AppendUint(b, uint64(SpanOp(e.Arg)), 10)
+		b = append(b, `,"status":`...)
+		b = strconv.AppendUint(b, uint64(SpanStatus(e.Arg)), 10)
+		b = append(b, `,"shard":`...)
+		b = strconv.AppendInt(b, int64(SpanShard(e.Arg)), 10)
+		b = append(b, `,"server_ns":`...)
+		b = strconv.AppendInt(b, SpanNs(e.Arg), 10)
+	case EvReqStage:
+		b = append(b, `"stage":"`...)
+		b = append(b, StageOf(e.Arg).String()...)
+		b = append(b, `","ns":`...)
+		b = strconv.AppendInt(b, StageNs(e.Arg), 10)
 	default:
 		b = append(b, `"arg":`...)
 		b = strconv.AppendUint(b, e.Arg, 10)

@@ -72,6 +72,14 @@ const (
 	// EvUnlease is the matching context release back to the free pool.
 	// Payload: the same owner id.
 	EvUnlease
+	// EvReqSpan summarizes one sampled server request: the span helper
+	// (span.go) emits it after the response is handed to the writer.
+	// Payload: SpanPayload (opcode, status, shard, server-side ns).
+	EvReqSpan
+	// EvReqStage is one pipeline stage of a sampled request span (read,
+	// route, lease, exec, queue), emitted just before its EvReqSpan.
+	// Payload: StagePayload (stage id, stage ns).
+	EvReqStage
 
 	numKinds
 )
@@ -79,7 +87,7 @@ const (
 var kindNames = [numKinds]string{
 	"", "phase", "warn_set", "warn_check", "warn_ack",
 	"restart", "drain", "shard_freeze", "shard_steal", "refill",
-	"lease", "unlease",
+	"lease", "unlease", "req_span", "req_stage",
 }
 
 // String returns the snake_case export name of the kind.
