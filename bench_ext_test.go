@@ -13,6 +13,7 @@ import (
 	"repro/internal/hpscheme"
 	"repro/internal/kvmap"
 	"repro/internal/list"
+	"repro/internal/mpmc"
 	"repro/internal/norecl"
 	"repro/internal/queue"
 	"repro/internal/skiplist"
@@ -118,6 +119,42 @@ func BenchmarkExtRangeScan(b *testing.B) {
 		b.Fatalf("visited %d keys, want %d", visited, b.N*10000)
 	}
 	b.ReportMetric(float64(visited)/float64(b.N), "keys/scan")
+}
+
+// BenchmarkExtMPMC measures the bounded request ring the batched server
+// runs on: multi-word payload enqueue+dequeue pairs through one queue of
+// an OA-managed group, single-threaded (the per-op floor) and with the
+// parallel driver contending producers and consumers on one ring.
+func BenchmarkExtMPMC(b *testing.B) {
+	b.Run("pair", func(b *testing.B) {
+		g := mpmc.NewGroup(core.Config{MaxThreads: 1, Capacity: extCapacity}, 1, 1024)
+		q, s := g.Queue(0), g.Session(0)
+		var p mpmc.Payload
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p[0] = uint64(i)
+			s.TryEnqueue(q, &p)
+			s.Dequeue(q, &p)
+		}
+	})
+	b.Run("contended", func(b *testing.B) {
+		g := mpmc.NewGroup(core.Config{MaxThreads: 64, Capacity: extCapacity}, 1, 1024)
+		q := g.Queue(0)
+		b.RunParallel(func(pb *testing.PB) {
+			s, err := g.Acquire()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer s.Release()
+			var p mpmc.Payload
+			for pb.Next() {
+				if s.TryEnqueue(q, &p) {
+					s.Dequeue(q, &p)
+				}
+			}
+		})
+	})
 }
 
 // BenchmarkAllocatorSanity reproduces the paper's §5 sanity check that the

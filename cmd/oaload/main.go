@@ -20,9 +20,13 @@
 // -json FILE additionally writes a structured report ("-" = stdout):
 // the counters above plus the client-observed latency distribution
 // (send→response, including pipeline queueing on both sides) as
-// count/mean/p50/p90/p99/p999/max nanoseconds. The SLO gate (cmd/
+// count/mean/p50/p90/p99/p999/max nanoseconds. On the binary protocol
+// the report also carries an "exec" section sampled live over STATS:
+// the server's execution mode, peak ring queue depth, ring-full
+// refusals and the batch-size distribution (batches, max, average) the
+// per-shard executors achieved under this load. The SLO gate (cmd/
 // slocheck) reads this report and cross-checks it against the server's
-// own histograms.
+// own histograms and batching counters.
 //
 // Exit status is nonzero when any response was dropped, any hard error
 // occurred, or no operations completed.
@@ -58,6 +62,77 @@ type report struct {
 	ElapsedNs int64             `json:"elapsed_ns"`
 	OpsPerSec float64           `json:"ops_per_sec"`
 	Latency   server.CmdLatency `json:"latency"`
+	Exec      *execReport       `json:"exec,omitempty"`
+}
+
+// execReport summarizes the server's batched-execution pipeline as seen
+// over STATS polls during the load: peak ring occupancy and the batch
+// size distribution the executors actually achieved. Binary protocol
+// only (a RESP -addr has no STATS op); nil when the poll never landed.
+type execReport struct {
+	Mode          string  `json:"mode"`
+	RingCap       int     `json:"ring_cap"`
+	MaxQueueDepth int     `json:"max_queue_depth"`
+	RingFull      uint64  `json:"ring_full"`
+	Batches       uint64  `json:"batches"`
+	BatchedOps    uint64  `json:"batched_ops"`
+	MaxBatch      uint64  `json:"max_batch"`
+	AvgBatch      float64 `json:"avg_batch"`
+}
+
+// sampleExec polls STATS on its own connection until stop closes,
+// tracking the peak per-shard ring depth, and returns the final
+// counters. The poll connection is read-only load: STATS is answered on
+// the reader, never enqueued, so it does not perturb the rings.
+func sampleExec(addr string, stop <-chan struct{}) *execReport {
+	c, err := server.Dial(addr, 4)
+	if err != nil {
+		return nil
+	}
+	defer c.Close()
+	var rep *execReport
+	for final := false; ; {
+		raw, err := c.Stats()
+		if err != nil {
+			return rep
+		}
+		var snap struct {
+			Server struct {
+				ExecMode   string `json:"exec_mode"`
+				RingCap    int    `json:"ring_cap"`
+				RingDepth  []int  `json:"ring_depth"`
+				RingFull   uint64 `json:"ring_full"`
+				Batches    uint64 `json:"exec_batches"`
+				BatchedOps uint64 `json:"exec_batched_ops"`
+				MaxBatch   uint64 `json:"exec_max_batch"`
+			} `json:"server"`
+		}
+		if json.Unmarshal(raw, &snap) != nil {
+			return rep
+		}
+		s := snap.Server
+		if rep == nil {
+			rep = &execReport{Mode: s.ExecMode, RingCap: s.RingCap}
+		}
+		for _, d := range s.RingDepth {
+			if d > rep.MaxQueueDepth {
+				rep.MaxQueueDepth = d
+			}
+		}
+		rep.RingFull = s.RingFull
+		rep.Batches, rep.BatchedOps, rep.MaxBatch = s.Batches, s.BatchedOps, s.MaxBatch
+		if s.Batches > 0 {
+			rep.AvgBatch = float64(s.BatchedOps) / float64(s.Batches)
+		}
+		if final {
+			return rep
+		}
+		select {
+		case <-stop:
+			final = true // one more poll so the counters cover the whole run
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
 }
 
 func latencySummary(h *metrics.Histogram) server.CmdLatency {
@@ -303,6 +378,16 @@ func main() {
 			go worker(w)
 		}
 	}
+	// The exec sampler stops only after the workers settle so its final
+	// poll covers every batched op the load produced.
+	var execRep *execReport
+	sampStop := make(chan struct{})
+	sampDone := make(chan struct{})
+	if *jsonOut != "" && !*resp {
+		go func() { execRep = sampleExec(*addr, sampStop); close(sampDone) }()
+	} else {
+		close(sampDone)
+	}
 	workersDone := make(chan struct{})
 	go func() { wg.Wait(); close(workersDone) }()
 	select {
@@ -312,6 +397,8 @@ func main() {
 	case <-workersDone: // server drained us out before the duration
 	}
 	elapsed := time.Since(start)
+	close(sampStop)
+	<-sampDone
 
 	rate := float64(ops.Load()) / elapsed.Seconds()
 	fmt.Printf("oaload: ops=%d busy=%d dropped=%d errs=%d elapsed=%s ops_per_sec=%.0f\n",
@@ -327,6 +414,7 @@ func main() {
 			Ops: ops.Load(), Busy: busy.Load(), Dropped: dropped.Load(), Errs: errs.Load(),
 			ElapsedNs: elapsed.Nanoseconds(), OpsPerSec: rate,
 			Latency: latencySummary(&lat),
+			Exec:    execRep,
 		}
 		out, err := json.MarshalIndent(rep, "", "  ")
 		if err == nil {

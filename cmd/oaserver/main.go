@@ -5,10 +5,14 @@
 // its own OA universe — arena, session registry, reclamation phases — so
 // reclamation in one shard never fences operations in another.
 //
-// Connections lease an SMR session per shard on their first request
-// touching it and hold the leases until disconnect; when a shard's
-// -threads slots are all leased, requests routed there are answered
-// BUSY after a bounded wait.
+// By default (-exec batched) binary-protocol requests are routed onto
+// per-shard bounded MPMC rings and executed by one long-lived executor
+// goroutine per shard, so the leased session population is one per
+// shard regardless of connection count; a full ring answers BUSY after
+// -ring-wait. With -exec inline every connection leases an SMR session
+// per shard it touches and executes its own requests (the pre-batching
+// model, kept for comparison); RESP connections always run inline, so
+// -threads needs headroom above the shard count for them.
 //
 // SIGTERM/SIGINT starts a graceful drain: stop accepting, GOAWAY every
 // binary-protocol connection, serve until clients finish their pipelines
@@ -50,6 +54,10 @@ func main() {
 		capacity     = flag.Int("capacity", 1<<20, "total node budget across shards (live entries + reclamation slack)")
 		expected     = flag.Int("expected", 0, "expected live entries across shards (0 = capacity/2)")
 		window       = flag.Int("window", 256, "per-connection in-flight response window")
+		execMode     = flag.String("exec", "batched", "execution model: batched (per-shard executors over MPMC rings) or inline (per-connection leases)")
+		ringSize     = flag.Int("ring-size", 1024, "per-shard request ring bound (batched mode)")
+		ringWait     = flag.Duration("ring-wait", 0, "max wait for ring space before BUSY (0 = -lease-wait)")
+		maxConns     = flag.Int("max-conns", 1024, "batched-mode connection table size (excess connections fall back to inline)")
 		leaseWait    = flag.Duration("lease-wait", 2*time.Millisecond, "max wait for a session slot before BUSY")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "max graceful drain on SIGTERM")
 		traceOn      = flag.Bool("trace", false, "record protocol trace events (lease/unlease, reclamation)")
@@ -62,6 +70,10 @@ func main() {
 	if *expected <= 0 {
 		*expected = *capacity / 2
 	}
+	if *execMode != "batched" && *execMode != "inline" {
+		fmt.Fprintf(os.Stderr, "oaserver: unknown -exec %q (want batched or inline)\n", *execMode)
+		os.Exit(2)
+	}
 	if *traceOn {
 		trace.SetEnabled(true)
 	}
@@ -71,6 +83,10 @@ func main() {
 	srv := server.New(server.Config{
 		Shards:        sh,
 		Window:        *window,
+		Inline:        *execMode == "inline",
+		RingSize:      *ringSize,
+		RingWait:      *ringWait,
+		MaxConns:      *maxConns,
 		LeaseWait:     *leaseWait,
 		DrainTimeout:  *drainTimeout,
 		SlowThreshold: *slowThresh,
@@ -99,8 +115,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oaserver:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "oaserver: serving on %s (%d shards, %d session slots/shard, capacity %d)\n",
-		ln.Addr(), sh.NumShards(), *threads, *capacity)
+	fmt.Fprintf(os.Stderr, "oaserver: serving on %s (%s exec, %d shards, %d session slots/shard, capacity %d)\n",
+		ln.Addr(), *execMode, sh.NumShards(), *threads, *capacity)
 
 	done := make(chan error, 2)
 	listeners := 1

@@ -58,6 +58,10 @@ var requiredServerMetrics = []string{
 	"oa_server_requests_read_total",
 	"oa_server_responses_sent_total",
 	"oa_server_slow_requests_total",
+	"oa_server_ring_depth",
+	"oa_server_ring_full_total",
+	"oa_server_exec_batches_total",
+	"oa_server_exec_batched_ops_total",
 	"oa_server_latency_get_seconds_bucket",
 	"oa_server_latency_put_seconds_bucket",
 	"oa_server_latency_del_seconds_bucket",

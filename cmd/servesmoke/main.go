@@ -1,14 +1,17 @@
 // Command servesmoke is the end-to-end serving smoke test wired into
 // `make serve-smoke`: it builds oaserver and oaload, serves a 32-slot
-// registry, drives it with 64 pipelined connections (so leases must
-// recycle across connections), then SIGTERMs the server mid-setup of the
-// next burst and checks the full drain contract:
+// registry in the default batched mode, drives it with 64 pipelined
+// connections churning through reconnects, then SIGTERMs the server
+// mid-setup of the next burst and checks the full drain contract:
 //
 //   - oaload sustains >= 100k pipelined ops/s with zero dropped responses
 //   - the server exits 0 with a final JSON stats line where no connection
 //     was force-closed and every request read got its response
 //     (requests_read == responses_sent: nothing in flight was dropped)
-//   - session grants exceed the registry size (leases recycled)
+//   - the batched lease economy held: session grants equal the shard
+//     count (executors hold the only leases — connections never lease,
+//     no matter how many churn), everything flowed through the rings
+//     (exec_batched_ops > 0), and no lease outlives the drain
 package main
 
 import (
@@ -133,16 +136,20 @@ func run() error {
 		return fmt.Errorf("%d responses dropped during drain", drainStats.dropped)
 	}
 
-	// Final server stats line: clean drain, no force-closes, leases
-	// recycled well past the registry size.
+	// Final server stats line: clean drain, no force-closes, and the
+	// batched lease economy — one executor lease per shard, full stop.
 	var final struct {
 		Server struct {
 			RequestsRead  uint64 `json:"requests_read"`
 			ResponsesSent uint64 `json:"responses_sent"`
 			ForceClosed   uint64 `json:"force_closed"`
 			SessionsCap   int    `json:"sessions_cap"`
+			SessionsInUse int    `json:"sessions_leased"`
 			SessionGrants uint64 `json:"session_grants"`
 			GoAways       uint64 `json:"goaways"`
+			ExecMode      string `json:"exec_mode"`
+			Shards        int    `json:"shards"`
+			BatchedOps    uint64 `json:"exec_batched_ops"`
 		} `json:"server"`
 	}
 	if err := json.Unmarshal(serverOut.Bytes(), &final); err != nil {
@@ -159,14 +166,27 @@ func run() error {
 	if f.SessionsCap != slots {
 		return fmt.Errorf("sessions_cap=%d, want %d", f.SessionsCap, slots)
 	}
-	if f.SessionGrants <= uint64(slots) {
-		return fmt.Errorf("session_grants=%d: leases did not recycle across connections", f.SessionGrants)
+	if f.ExecMode != "batched" {
+		return fmt.Errorf("exec_mode=%q, want batched (the default)", f.ExecMode)
+	}
+	// The whole point of batched execution: 64 churning connections, yet
+	// the only session grants ever made are the executors' — one per
+	// shard — and none survives the drain.
+	if f.SessionGrants != uint64(f.Shards) {
+		return fmt.Errorf("session_grants=%d over %d shards: connections leased sessions in batched mode",
+			f.SessionGrants, f.Shards)
+	}
+	if f.SessionsInUse != 0 {
+		return fmt.Errorf("sessions_leased=%d after drain, want 0", f.SessionsInUse)
+	}
+	if f.BatchedOps == 0 {
+		return errors.New("exec_batched_ops=0: the load bypassed the rings")
 	}
 	if f.GoAways == 0 {
 		return errors.New("no GOAWAY frames sent during drain")
 	}
-	fmt.Printf("servesmoke: %.0f ops/s over %d conns on %d slots, %d lease grants, drain clean (%d reqs = %d resps)\n",
-		stats.rate, conns, slots, f.SessionGrants, f.RequestsRead, f.ResponsesSent)
+	fmt.Printf("servesmoke: %.0f ops/s over %d conns on %d slots, %d lease grants for %d shards, drain clean (%d reqs = %d resps)\n",
+		stats.rate, conns, slots, f.SessionGrants, f.Shards, f.RequestsRead, f.ResponsesSent)
 	return nil
 }
 

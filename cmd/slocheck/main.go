@@ -15,6 +15,9 @@
 //     ~the data ops served, and quantiles are nonzero
 //   - the client report (-json) and the server's final stats agree on
 //     the order of magnitude of work done
+//   - the batched pipeline carried the load: the report's exec section
+//     (sampled over STATS) shows batched mode, a sized ring, a queue
+//     depth within the ring bound, and batch counters covering the ops
 //
 // Enforced only on runners with GOMAXPROCS >= 4 (like shard-smoke, a
 // starved host proves nothing about the service):
@@ -79,6 +82,16 @@ type clientReport struct {
 	Errs      uint64     `json:"errs"`
 	OpsPerSec float64    `json:"ops_per_sec"`
 	Latency   cmdLatency `json:"latency"`
+	Exec      *struct {
+		Mode          string  `json:"mode"`
+		RingCap       int     `json:"ring_cap"`
+		MaxQueueDepth int     `json:"max_queue_depth"`
+		RingFull      uint64  `json:"ring_full"`
+		Batches       uint64  `json:"batches"`
+		BatchedOps    uint64  `json:"batched_ops"`
+		MaxBatch      uint64  `json:"max_batch"`
+		AvgBatch      float64 `json:"avg_batch"`
+	} `json:"exec"`
 }
 
 func main() {
@@ -188,8 +201,27 @@ func run() error {
 		return fmt.Errorf("server histograms saw %d ops, client completed %d — instrumentation is dropping requests",
 			served, client.Ops)
 	}
+	// The server runs batched by default, and the load must actually have
+	// flowed through the rings: executors reporting zero batches (or an
+	// unsized ring) mean the batching pipeline silently fell back.
+	ex := client.Exec
+	if ex == nil {
+		return fmt.Errorf("client report has no exec section — STATS sampling never landed")
+	}
+	if ex.Mode != "batched" || ex.RingCap == 0 {
+		return fmt.Errorf("exec mode/ring_cap = %q/%d, want batched with a sized ring", ex.Mode, ex.RingCap)
+	}
+	if ex.Batches == 0 || ex.BatchedOps < client.Ops || ex.AvgBatch < 1 {
+		return fmt.Errorf("batching counters implausible: batches=%d batched_ops=%d (client ops %d) avg=%.2f",
+			ex.Batches, ex.BatchedOps, client.Ops, ex.AvgBatch)
+	}
+	if ex.MaxQueueDepth > ex.RingCap {
+		return fmt.Errorf("max queue depth %d exceeds ring capacity %d", ex.MaxQueueDepth, ex.RingCap)
+	}
 	fmt.Printf("slocheck: ops=%d ops_per_sec=%.0f busy=%d slow=%d client_p99=%s\n",
 		client.Ops, client.OpsPerSec, f.Busy, f.SlowRequests, time.Duration(client.Latency.P99Ns))
+	fmt.Printf("slocheck: exec=%s ring_cap=%d max_queue_depth=%d ring_full=%d batches=%d avg_batch=%.1f max_batch=%d\n",
+		ex.Mode, ex.RingCap, ex.MaxQueueDepth, ex.RingFull, ex.Batches, ex.AvgBatch, ex.MaxBatch)
 	for _, op := range []string{"get", "put", "del", "cas"} {
 		cl := final.Latency[op]
 		fmt.Printf("slocheck:   %-3s count=%-8d p50=%-10s p99=%-10s max=%s\n",

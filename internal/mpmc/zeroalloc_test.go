@@ -1,0 +1,65 @@
+package mpmc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The ring sits on the per-request hot path of every batched server op,
+// so its operations must not allocate: payloads pass by pointer, nodes
+// come from the arena through the thread-local pool, and a full or
+// empty answer touches nothing but the length word. AllocsPerRun gates
+// all three paths.
+func TestRingOpsDoNotAllocate(t *testing.T) {
+	g := NewGroup(core.Config{MaxThreads: 2, Capacity: 1 << 12}, 1, 64)
+	q := g.Queue(0)
+	s := g.Session(0)
+	var p Payload
+
+	churn := func() {
+		for i := range p {
+			p[i] = uint64(i)
+		}
+		if !s.TryEnqueue(q, &p) {
+			t.Fatal("enqueue refused below the bound")
+		}
+		if !s.Dequeue(q, &p) {
+			t.Fatal("dequeue missed the element")
+		}
+	}
+	// Warm the local pool and the restart machinery first: the first few
+	// operations pull transfer blocks from the shared pool.
+	for i := 0; i < 256; i++ {
+		churn()
+	}
+	if avg := testing.AllocsPerRun(500, churn); avg > 0.05 {
+		t.Fatalf("enqueue+dequeue allocates %.2f objects/run", avg)
+	}
+
+	full := func() {
+		for s.TryEnqueue(q, &p) {
+		}
+		if s.TryEnqueue(q, &p) {
+			t.Fatal("enqueue past the bound")
+		}
+		for s.Dequeue(q, &p) {
+		}
+	}
+	full()
+	if avg := testing.AllocsPerRun(100, full); avg > 0.05 {
+		t.Fatalf("fill+drain cycle allocates %.2f objects/run", avg)
+	}
+
+	empty := func() {
+		if s.Dequeue(q, &p) {
+			t.Fatal("dequeue from an empty ring")
+		}
+		if q.Len() != 0 {
+			t.Fatal("phantom length")
+		}
+	}
+	if avg := testing.AllocsPerRun(500, empty); avg > 0.05 {
+		t.Fatalf("empty-ring probe allocates %.2f objects/run", avg)
+	}
+}

@@ -1,0 +1,327 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvmap"
+	"repro/internal/trace"
+)
+
+// newBatchedServer is newShardedTestServer with the config passed
+// through verbatim (the others default Inline for legacy lease-economy
+// assertions; here batched mode is the subject under test).
+func newBatchedServer(t *testing.T, threads, shards int, cfg Config) (*Server, string) {
+	t.Helper()
+	cfg.Shards = kvmap.NewSharded(core.Config{MaxThreads: threads, Capacity: 1 << 16}, 1<<14, shards)
+	s := New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		s.Shutdown()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return s, ln.Addr().String()
+}
+
+// TestBatchedLeaseEconomy is the tentpole's session-economy claim: under
+// batched execution the leased population is the executors' — one per
+// shard — no matter how many connections are hitting how many shards.
+// (Inline would lease conns×shards here.)
+func TestBatchedLeaseEconomy(t *testing.T) {
+	s, addr := newBatchedServer(t, 8, 4, Config{})
+
+	const conns = 6
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr, 32)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			// Stride the keyspace so every connection touches every shard.
+			for i := 0; i < 256; i++ {
+				ca, err := c.Put(uint64(i), uint64(w))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%32 == 31 {
+					c.Flush()
+				}
+				if i == 255 {
+					if err := ca.Wait(); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+			// Leases are checked while this connection is still open.
+			if got := s.shards.SessionsLeased(); got > s.shards.NumShards() {
+				t.Errorf("sessions leased = %d during load, want <= %d (one per shard)",
+					got, s.shards.NumShards())
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := s.snapshot()
+	if snap.ExecMode != "batched" || snap.RingCap == 0 {
+		t.Fatalf("exec mode/ring = %q/%d, want batched with a sized ring", snap.ExecMode, snap.RingCap)
+	}
+	if snap.SessionsInUse != s.shards.NumShards() {
+		t.Fatalf("sessions leased = %d at steady state, want exactly %d (shards, not conns x shards)",
+			snap.SessionsInUse, s.shards.NumShards())
+	}
+	if snap.SessionGrants != uint64(s.shards.NumShards()) {
+		t.Fatalf("session grants = %d, want %d: connections must not lease at all",
+			snap.SessionGrants, s.shards.NumShards())
+	}
+	if snap.BatchedOps != uint64(conns*256) {
+		t.Fatalf("batched ops = %d, want %d (every data op through the rings)",
+			snap.BatchedOps, conns*256)
+	}
+	if snap.Batches == 0 || snap.Batches > snap.BatchedOps {
+		t.Fatalf("batches = %d for %d ops", snap.Batches, snap.BatchedOps)
+	}
+}
+
+// TestSlowlogQueueStage stalls shard 0's executor and checks the slow
+// log attributes the wait to the queue stage — the real ring wait, not
+// exec (the regression this PR fixes: inline mode folded the response
+// hand-off into queue and had no ring to wait on; batched mode must
+// report enqueue→dequeue time under queue, not inflate exec).
+func TestSlowlogQueueStage(t *testing.T) {
+	stall := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(stall) }) }
+	defer release()
+	s, addr := newBatchedServer(t, 4, 1, Config{
+		SlowThreshold: time.Millisecond,
+		execGate:      func(int) { <-stall },
+	})
+	c, err := Dial(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ca, _ := c.Put(1, 1)
+	c.Flush()
+	time.Sleep(10 * time.Millisecond) // the request sits in the ring
+	release()
+	if err := ca.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries := s.SlowLog()
+	if len(entries) == 0 {
+		t.Fatal("a 10ms ring wait did not reach the slow log")
+	}
+	e := entries[0]
+	queue := e.Stages["queue"]
+	exec := e.Stages["exec"]
+	if queue < int64(5*time.Millisecond) {
+		t.Fatalf("queue stage = %dns, want >= 5ms of ring wait (stages %v)", queue, e.Stages)
+	}
+	if exec >= queue {
+		t.Fatalf("exec %dns >= queue %dns: ring wait folded into exec", exec, queue)
+	}
+	if e.ServerNs < queue {
+		t.Fatalf("server_ns %d below queue stage %d", e.ServerNs, queue)
+	}
+}
+
+// TestVanishMidBatch is the disconnect-economy satellite: a client that
+// vanishes with requests still queued on shard rings must only retire
+// its own pending entries — the executor completes them into the dead
+// connection's outbox (discarded by the writer), the ledger stays
+// balanced, and the conn slot recycles for the next client.
+func TestVanishMidBatch(t *testing.T) {
+	stall := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(stall) }) }
+	defer release()
+	s, addr := newBatchedServer(t, 4, 1, Config{
+		execGate: func(int) { <-stall },
+	})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 64
+	var buf []byte
+	for i := uint64(0); i < k; i++ {
+		buf = AppendFrame(buf, i+1, OpPut, i, i)
+	}
+	if _, err := nc.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the reader has enqueued everything, then vanish.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.sumStripes(func(st *shardStripe) uint64 { return st.reqsRead.Load() }) < k {
+		if time.Now().After(deadline) {
+			t.Fatalf("server read %d/%d requests", s.sumStripes(func(st *shardStripe) uint64 { return st.reqsRead.Load() }), k)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	nc.Close()
+	release()
+
+	// The connection can only be reaped after the executor completed its
+	// pending entries (inflight drains to zero).
+	deadline = time.Now().Add(2 * time.Second)
+	for s.active.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("vanished connection not reaped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := s.snapshot()
+	if snap.RequestsRead != snap.ResponsesSent {
+		t.Fatalf("ledger unbalanced after vanish: read=%d sent=%d", snap.RequestsRead, snap.ResponsesSent)
+	}
+	if snap.SessionsInUse != 1 {
+		t.Fatalf("sessions leased = %d after vanish, want 1 (the executor's)", snap.SessionsInUse)
+	}
+	for i := range snap.RingDepth {
+		if snap.RingDepth[i] != 0 {
+			t.Fatalf("ring %d still holds %d entries", i, snap.RingDepth[i])
+		}
+	}
+
+	// The recycled slot serves the next client.
+	c, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, _ := c.Get(3)
+	if err := got.Wait(); err != nil || got.Status != StOK || got.Val != 3 {
+		t.Fatalf("Get after vanish = %d/%d (%v), want OK/3 (the vanished client's write landed)",
+			got.Status, got.Val, err)
+	}
+}
+
+// TestRingFullBusy pins the batched backpressure contract: a full shard
+// ring makes the producer wait RingWait, then answer BUSY — and the
+// refusals are visible in the ring_full counter.
+func TestRingFullBusy(t *testing.T) {
+	stall := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(stall) }) }
+	defer release()
+	s, addr := newBatchedServer(t, 4, 1, Config{
+		RingSize: 8,
+		RingWait: time.Millisecond,
+		execGate: func(int) { <-stall },
+	})
+	c, err := Dial(addr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 16
+	calls := make([]*Call, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ca, err := c.Put(i, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, ca)
+	}
+	c.Flush()
+	// 8 fill the ring; the rest must come back BUSY while the executor
+	// is stalled. Wait for those refusals before releasing.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.ringFull.Load() < n-8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ring_full = %d, want %d", s.ringFull.Load(), n-8)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	var busy, served int
+	for i, ca := range calls {
+		if err := ca.Wait(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		switch ca.Status {
+		case StBusy:
+			busy++
+		case StOK, StNotFound:
+			served++
+		default:
+			t.Fatalf("call %d: status %d", i, ca.Status)
+		}
+	}
+	if busy != n-8 || served != 8 {
+		t.Fatalf("busy=%d served=%d, want %d/%d", busy, served, n-8, 8)
+	}
+	if s.busyTotal.Load() < uint64(busy) {
+		t.Fatalf("busy_total %d below observed %d", s.busyTotal.Load(), busy)
+	}
+}
+
+// TestBatchedTraceEvents drives load with tracing on and SpanSample=1
+// and checks the new ring/batch event kinds appear on the ring group's
+// recorder, alongside per-request spans on the shard ring.
+func TestBatchedTraceEvents(t *testing.T) {
+	trace.SetEnabled(true)
+	defer trace.SetEnabled(false)
+	s, addr := newBatchedServer(t, 4, 1, Config{SpanSample: 1})
+	c, err := Dial(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := uint64(0); i < 16; i++ {
+		ca, _ := c.Put(i, i)
+		if err := ca.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var enq, deq, batch int
+	for _, ev := range s.rings.Manager().TraceRecorder().Events() {
+		switch ev.Kind {
+		case trace.EvRingEnq:
+			enq++
+		case trace.EvRingDeq:
+			deq++
+		case trace.EvBatch:
+			batch++
+			if trace.RingShard(ev.Arg) != 0 || trace.RingValue(ev.Arg) == 0 {
+				t.Fatalf("exec_batch payload shard=%d size=%d", trace.RingShard(ev.Arg), trace.RingValue(ev.Arg))
+			}
+		}
+	}
+	if enq != 16 || deq != 16 {
+		t.Fatalf("ring events enq=%d deq=%d, want 16/16 at SpanSample=1", enq, deq)
+	}
+	if batch == 0 {
+		t.Fatal("no exec_batch events recorded")
+	}
+	var spans int
+	for _, ev := range s.shards.Shard(0).Manager().TraceRecorder().Events() {
+		if ev.Kind == trace.EvReqSpan {
+			spans++
+		}
+	}
+	if spans != 16 {
+		t.Fatalf("executor emitted %d req_span events, want 16", spans)
+	}
+}

@@ -349,7 +349,7 @@ func TestInstrumentationDoesNotAllocate(t *testing.T) {
 	t.Run("Unsampled", func(t *testing.T) {
 		// A huge sample period plus a high threshold: the common case,
 		// where a request pays only the marks and one histogram record.
-		s := New(Config{Shards: shards, SlowThreshold: time.Hour, SpanSample: 1 << 30})
+		s := New(Config{Shards: shards, Inline: true, SlowThreshold: time.Hour, SpanSample: 1 << 30})
 		if avg := testing.AllocsPerRun(2000, run(&conn{s: s, id: 1})); avg > 0.05 {
 			t.Fatalf("unsampled instrumented path allocates %.2f objects/request", avg)
 		}
@@ -357,7 +357,7 @@ func TestInstrumentationDoesNotAllocate(t *testing.T) {
 	t.Run("SampledAndSlow", func(t *testing.T) {
 		// Every request emits a span AND lands in the slow log — the
 		// maximally instrumented path.
-		s := New(Config{Shards: shards, SlowThreshold: time.Nanosecond, SpanSample: 1})
+		s := New(Config{Shards: shards, Inline: true, SlowThreshold: time.Nanosecond, SpanSample: 1})
 		if avg := testing.AllocsPerRun(2000, run(&conn{s: s, id: 1})); avg > 0.05 {
 			t.Fatalf("sampled+slow instrumented path allocates %.2f objects/request", avg)
 		}
@@ -373,7 +373,7 @@ func TestInstrumentationDoesNotAllocate(t *testing.T) {
 func TestLatencyConcurrentRecordSnapshot(t *testing.T) {
 	shards := kvmap.NewSharded(core.Config{MaxThreads: 4, Capacity: 1 << 12}, 1<<10, 2)
 	defer shards.Close()
-	s := New(Config{Shards: shards, SlowThreshold: time.Nanosecond, SlowLogSize: 16})
+	s := New(Config{Shards: shards, Inline: true, SlowThreshold: time.Nanosecond, SlowLogSize: 16})
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {

@@ -1,0 +1,122 @@
+// Per-connection completion outbox. With per-shard executors completing
+// requests concurrently with the reader (PING/STATS, errors) the old
+// response channel is not enough: the wire contract says responses leave
+// in request order, but completions arrive in execution order. The
+// outbox is a sequence-indexed reorder buffer: the reader assigns every
+// request a dense sequence number at decode time, any goroutine
+// completes its slot later, and the writer releases only the contiguous
+// prefix — so ordering costs one mutex hop instead of a dedicated
+// reorder goroutine.
+//
+// The buffer doubles as the in-flight window: alloc blocks the reader
+// while window responses are unwritten (the old channel-capacity
+// backpressure, now explicit), which also guarantees complete never
+// blocks — every live sequence has a reserved slot — so executors can
+// never be stalled by one slow connection.
+package server
+
+import "sync"
+
+type outbox struct {
+	mu     sync.Mutex
+	filled sync.Cond // writer waits: head-of-line completion, goaway, close
+	space  sync.Cond // reader waits: window space
+	buf    [][]byte  // frames indexed by seq&mask; nil = not yet completed
+	mask   uint64
+	limit  uint64 // window: max live sequences (seq - next)
+	seq    uint64 // next sequence the reader assigns
+	next   uint64 // next sequence the writer releases
+	goaway bool   // pending GOAWAY push (binary protocol)
+	closed bool
+}
+
+func (ob *outbox) init(window int) {
+	n := 1
+	for n < window {
+		n <<= 1
+	}
+	ob.buf = make([][]byte, n)
+	ob.mask = uint64(n - 1)
+	ob.limit = uint64(window)
+	ob.filled.L = &ob.mu
+	ob.space.L = &ob.mu
+}
+
+// alloc assigns the next response sequence, blocking while the window is
+// full. Only the connection's reader goroutine calls it, so sequences
+// are dense and in request order.
+func (ob *outbox) alloc() uint64 {
+	ob.mu.Lock()
+	for ob.seq-ob.next >= ob.limit && !ob.closed {
+		ob.space.Wait()
+	}
+	s := ob.seq
+	ob.seq++
+	ob.mu.Unlock()
+	return s
+}
+
+// complete fills sequence seq's slot with its encoded response. Never
+// blocks: alloc reserved the slot. Safe from any goroutine.
+func (ob *outbox) complete(seq uint64, frame []byte) {
+	ob.mu.Lock()
+	ob.buf[seq&ob.mask] = frame
+	if seq == ob.next {
+		ob.filled.Signal()
+	}
+	ob.mu.Unlock()
+}
+
+// take blocks until something is releasable and returns it: a pending
+// GOAWAY push (alone, so the writer can flush it promptly), else the
+// contiguous run of completed responses, else closed — reported only
+// once nothing else is pending, so no completion is ever lost.
+func (ob *outbox) take(dst [][]byte) (frames [][]byte, goaway, closed bool) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	for {
+		if ob.goaway {
+			ob.goaway = false
+			return dst, true, false
+		}
+		if ob.buf[ob.next&ob.mask] != nil {
+			for ob.buf[ob.next&ob.mask] != nil {
+				dst = append(dst, ob.buf[ob.next&ob.mask])
+				ob.buf[ob.next&ob.mask] = nil
+				ob.next++
+			}
+			ob.space.Signal()
+			return dst, false, false
+		}
+		if ob.closed {
+			return dst, false, true
+		}
+		ob.filled.Wait()
+	}
+}
+
+// empty reports whether the writer has nothing releasable — the
+// flush-on-empty trigger.
+func (ob *outbox) empty() bool {
+	ob.mu.Lock()
+	e := ob.buf[ob.next&ob.mask] == nil && !ob.goaway
+	ob.mu.Unlock()
+	return e
+}
+
+// pushGoAway schedules an out-of-band GOAWAY push.
+func (ob *outbox) pushGoAway() {
+	ob.mu.Lock()
+	ob.goaway = true
+	ob.filled.Signal()
+	ob.mu.Unlock()
+}
+
+// close ends the stream: take drains what remains, then reports closed.
+func (ob *outbox) close() {
+	ob.mu.Lock()
+	ob.closed = true
+	ob.filled.Signal()
+	ob.space.Signal()
+	ob.mu.Unlock()
+}

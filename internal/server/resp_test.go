@@ -225,7 +225,7 @@ func TestRESPMalformed(t *testing.T) {
 // from one connection and checks another connection's command is answered
 // -BUSY (typed admission control, not a hang).
 func TestRESPBusyOnExhaustion(t *testing.T) {
-	_, addr := newRESPTestServer(t, 1, 1, Config{LeaseWait: 1e6 /* 1ms */})
+	_, addr := newRESPTestServer(t, 1, 1, Config{Inline: true, LeaseWait: 1e6 /* 1ms */})
 	holder, err := DialRESP(addr)
 	if err != nil {
 		t.Fatal(err)

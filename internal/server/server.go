@@ -6,13 +6,16 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/kvmap"
 	"repro/internal/lease"
 	"repro/internal/metrics"
+	"repro/internal/mpmc"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -53,8 +56,31 @@ type Config struct {
 	// Latency histograms and the slow log see every request regardless —
 	// sampling only thins the trace timeline. Default 64.
 	SpanSample int
+	// Inline restores the pre-ring execution model: every binary-protocol
+	// request executes in its connection's reader goroutine on a
+	// per-(conn,shard) lease. The default (false) is batched mode: readers
+	// only parse and route, per-shard executors drain bounded request
+	// rings on one long-lived lease each. RESP connections always execute
+	// inline (variadic commands touch several shards mid-parse).
+	Inline bool
+	// RingSize bounds each shard's request ring in batched mode. A full
+	// ring is the backpressure signal: producers wait RingWait, then
+	// answer BUSY. Default 1024.
+	RingSize int
+	// RingWait bounds how long a request waits for space on a full shard
+	// ring before the server answers BUSY. Defaults to LeaseWait.
+	RingWait time.Duration
+	// MaxConns caps concurrently registered batched connections (the
+	// executor's conn-table size and the ring producer-session registry).
+	// Connections past the cap fall back to inline execution. Default 1024.
+	MaxConns int
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
+
+	// execGate, when set (in-package tests only), is called by each
+	// executor at the top of every drain pass — tests stall an executor
+	// here to pin queue-stage attribution and ring-full backpressure.
+	execGate func(shard int)
 }
 
 // shardStripe is one cache-padded counter block. The per-request counters
@@ -103,6 +129,17 @@ type Server struct {
 	// opcode; only OpGet..OpCAS rows are populated.
 	lat     [OpCAS + 1][]metrics.Histogram
 	slowlog *slowLog
+
+	// Batched-mode machinery (nil/empty in inline mode): the shared ring
+	// group (one bounded MPMC queue per shard), one executor per shard,
+	// and the slot table executors use to find a request's connection.
+	rings     *mpmc.Group
+	execs     []*executor
+	execStop  chan struct{}
+	execWG    sync.WaitGroup
+	tab       []atomic.Pointer[conn]
+	freeSlots []uint32 // guarded by mu
+	ringFull  atomic.Uint64
 }
 
 var opNames = [8]string{"", "get", "put", "del", "cas", "ping", "stats", "goaway"}
@@ -134,6 +171,15 @@ func New(cfg Config) *Server {
 	if cfg.SpanSample <= 0 {
 		cfg.SpanSample = 64
 	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 1024
+	}
+	if cfg.RingWait <= 0 {
+		cfg.RingWait = cfg.LeaseWait
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 1024
+	}
 	s := &Server{
 		cfg:     cfg,
 		shards:  cfg.Shards,
@@ -145,7 +191,39 @@ func New(cfg Config) *Server {
 	for op := OpGet; op <= OpCAS; op++ {
 		s.lat[op] = make([]metrics.Histogram, cfg.Shards.NumShards())
 	}
+	if !cfg.Inline {
+		s.startExecutors()
+	}
 	return s
+}
+
+// startExecutors builds the batched-mode machinery: the shared ring
+// group (producer session per connection + consumer session per
+// executor, hence MaxConns+shards contexts), the conn slot table, and
+// one executor goroutine per shard, each taking its shard's long-lived
+// map lease now — before any connection can compete for it.
+func (s *Server) startExecutors() {
+	n := s.shards.NumShards()
+	s.rings = mpmc.NewGroup(core.Config{MaxThreads: s.cfg.MaxConns + n}, n, s.cfg.RingSize)
+	s.tab = make([]atomic.Pointer[conn], s.cfg.MaxConns)
+	s.freeSlots = make([]uint32, s.cfg.MaxConns)
+	for i := range s.freeSlots {
+		s.freeSlots[i] = uint32(s.cfg.MaxConns - 1 - i)
+	}
+	s.execStop = make(chan struct{})
+	s.execs = make([]*executor, n)
+	for i := range s.execs {
+		e, err := newExecutor(s, i)
+		if err != nil {
+			// Only possible when a shard's registry cannot spare a single
+			// session — a sizing bug worth failing loudly at construction.
+			panic("server: cannot lease executor session for shard " +
+				strconv.Itoa(i) + ": " + err.Error())
+		}
+		s.execs[i] = e
+		s.execWG.Add(1)
+		go e.run()
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -200,6 +278,29 @@ func (s *Server) RegisterObs(reg *obs.Registry) {
 		func() uint64 { return s.badTotal.Load() })
 	reg.Counter("oa_server_slow_requests_total", "requests whose server-side span crossed SlowThreshold",
 		func() uint64 { return s.slowlog.total() })
+	if s.rings != nil {
+		reg.GaugeVec("oa_server_ring_depth", "bounded request-ring depth per shard", "shard",
+			len(s.execs), func(i int) float64 { return float64(s.rings.Queue(i).Len()) })
+		reg.Counter("oa_server_ring_full_total", "requests answered BUSY because the shard ring stayed full past RingWait",
+			func() uint64 { return s.ringFull.Load() })
+		reg.Counter("oa_server_exec_batches_total", "executor drain batches",
+			func() uint64 {
+				var n uint64
+				for _, e := range s.execs {
+					n += e.batches.Load()
+				}
+				return n
+			})
+		reg.Counter("oa_server_exec_batched_ops_total", "data requests executed via shard rings",
+			func() uint64 {
+				var n uint64
+				for _, e := range s.execs {
+					n += e.ops.Load()
+				}
+				return n
+			})
+		reg.Trace(s.rings.Manager().TraceRecorder())
+	}
 	for op := OpGet; op <= OpCAS; op++ {
 		hs := s.lat[op]
 		reg.HistogramVec("oa_server_latency_"+opNames[op]+"_seconds",
@@ -244,11 +345,20 @@ func (s *Server) serve(ln net.Listener, proto uint8) error {
 			id:       s.nextConnID.Add(1),
 			proto:    proto,
 			nc:       nc,
-			out:      make(chan []byte, s.cfg.Window),
-			goaway:   make(chan struct{}),
 			sessions: make([]*kvmap.Session, s.shards.NumShards()),
 		}
+		c.ob.init(s.cfg.Window)
 		c.stripe = &s.stripes[c.id&s.stripeMask]
+		if proto == protoBinary && s.rings != nil {
+			// Batched mode: a table slot (how executors find the conn) and
+			// one ring producer session. Exhaustion of either — only possible
+			// past MaxConns — degrades this connection to inline execution.
+			if !s.register(c) {
+				c.inline = true
+			}
+		} else {
+			c.inline = true
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -317,6 +427,15 @@ func (s *Server) Shutdown() int {
 		}
 		time.Sleep(time.Millisecond)
 	}
+
+	// Every connection is gone, so every ring entry has been completed
+	// and counted (the zero-drop ledger covers the rings). Now stop the
+	// executors; each final-drains its ring and releases its leases.
+	if s.execStop != nil {
+		close(s.execStop)
+		s.execWG.Wait()
+		s.rings.Close()
+	}
 	return forced
 }
 
@@ -338,6 +457,14 @@ type Snapshot struct {
 	SessionsCap   int      `json:"sessions_cap"`
 	SessionsInUse int      `json:"sessions_leased"`
 	SessionGrants uint64   `json:"session_grants"`
+	// Batched-execution block: zero values in inline mode.
+	ExecMode   string   `json:"exec_mode"`
+	RingCap    int      `json:"ring_cap"`
+	RingDepth  []int    `json:"ring_depth"`
+	RingFull   uint64   `json:"ring_full"`
+	Batches    uint64   `json:"exec_batches"`
+	BatchedOps uint64   `json:"exec_batched_ops"`
+	MaxBatch   uint64   `json:"exec_max_batch"`
 }
 
 func (s *Server) snapshot() Snapshot {
@@ -345,7 +472,29 @@ func (s *Server) snapshot() Snapshot {
 	for i := range s.stripes {
 		shardOps[i] = s.stripes[i].ops.Load()
 	}
+	mode, ringCap := "inline", 0
+	var depth []int
+	var batches, batchedOps, maxBatch uint64
+	if s.rings != nil {
+		mode, ringCap = "batched", s.cfg.RingSize
+		depth = make([]int, len(s.execs))
+		for i, e := range s.execs {
+			depth[i] = s.rings.Queue(i).Len()
+			batches += e.batches.Load()
+			batchedOps += e.ops.Load()
+			if m := e.maxBatch.Load(); m > maxBatch {
+				maxBatch = m
+			}
+		}
+	}
 	return Snapshot{
+		ExecMode:   mode,
+		RingCap:    ringCap,
+		RingDepth:  depth,
+		RingFull:   s.ringFull.Load(),
+		Batches:    batches,
+		BatchedOps: batchedOps,
+		MaxBatch:   maxBatch,
 		Connections:   s.active.Load(),
 		ConnsTotal:    s.connsTotal.Load(),
 		RequestsRead:  s.sumStripes(func(st *shardStripe) uint64 { return st.reqsRead.Load() }),
@@ -430,19 +579,31 @@ const (
 	protoRESP
 )
 
-// conn is one client connection: a reader goroutine that decodes, routes
-// to a shard, executes and enqueues, and a writer goroutine that batches
-// and flushes. sessions holds the lazily leased per-shard sessions.
+// conn is one client connection: a reader goroutine that decodes and
+// routes (executing inline or enqueueing onto shard rings), a writer
+// goroutine that batches and flushes the outbox, and — in batched mode —
+// completions arriving from shard executors. sessions holds the lazily
+// leased per-shard sessions of the inline path.
 type conn struct {
 	s        *Server
 	id       uint64
 	proto    uint8
 	nc       net.Conn
-	out      chan []byte   // bounded in-flight window
-	goaway   chan struct{} // closed (once) to push a GOAWAY frame
+	ob       outbox // sequence-ordered in-flight window
 	gaOnce   sync.Once
 	stripe   *shardStripe // protocol-op counter stripe (by conn id)
 	sessions []*kvmap.Session
+
+	// Batched-mode identity: inline falls back to the classic path (RESP,
+	// Config.Inline, or conn-table exhaustion). slot indexes the server's
+	// conn table; prod is the connection's ring producer session; inflight
+	// counts enqueued-but-incomplete requests — the conn's teardown and
+	// slot reuse wait for it to drain (a vanished client only retires its
+	// own pending entries).
+	inline   bool
+	slot     uint32
+	prod     *mpmc.Session
+	inflight atomic.Int64
 
 	// Request-span state, owned by the reader goroutine. sp is the
 	// per-request stopwatch, reused across requests; spanSeq drives the
@@ -465,8 +626,42 @@ func (c *conn) sendGoAway() {
 		if c.proto == protoBinary {
 			c.s.goawaysSent.Add(1)
 		}
-		close(c.goaway)
+		c.ob.pushGoAway()
 	})
+}
+
+// register assigns c a conn-table slot and a ring producer session.
+func (s *Server) register(c *conn) bool {
+	s.mu.Lock()
+	if len(s.freeSlots) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	slot := s.freeSlots[len(s.freeSlots)-1]
+	s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+	s.mu.Unlock()
+	prod, err := s.rings.Acquire()
+	if err != nil {
+		s.mu.Lock()
+		s.freeSlots = append(s.freeSlots, slot)
+		s.mu.Unlock()
+		return false
+	}
+	c.slot, c.prod = slot, prod
+	s.tab[slot].Store(c)
+	return true
+}
+
+// unregister frees c's table slot for reuse. Only called after the
+// connection's in-flight count drained, so no executor can still route a
+// completion to the recycled slot.
+func (s *Server) unregister(c *conn) {
+	s.tab[c.slot].Store(nil)
+	c.prod.Release()
+	c.prod = nil
+	s.mu.Lock()
+	s.freeSlots = append(s.freeSlots, c.slot)
+	s.mu.Unlock()
 }
 
 func (c *conn) run() {
@@ -481,10 +676,20 @@ func (c *conn) run() {
 	} else {
 		c.readLoop()
 	}
+	// Disconnect retires only this connection's pending ring entries:
+	// wait for the shard executors to complete them (they count toward
+	// the response ledger even when the client vanished mid-batch), then
+	// tear the outbox down and recycle the slot.
+	for c.inflight.Load() != 0 {
+		time.Sleep(20 * time.Microsecond)
+	}
 	c.releaseSessions()
-	close(c.out)
+	c.ob.close()
 	wg.Wait()
 	c.nc.Close()
+	if c.prod != nil {
+		c.s.unregister(c)
+	}
 	c.s.mu.Lock()
 	delete(c.s.conns, c)
 	c.s.mu.Unlock()
@@ -530,6 +735,14 @@ func (c *conn) session(shard int) (*kvmap.Session, error) {
 }
 
 func (c *conn) readLoop() {
+	if c.inline {
+		c.readLoopInline()
+	} else {
+		c.readLoopBatched()
+	}
+}
+
+func (c *conn) readLoopInline() {
 	fr := newFrameReader(c.nc, maxRequestFrame)
 	for {
 		c.sp.Begin()
@@ -629,12 +842,20 @@ func (c *conn) finishSpan(sess *kvmap.Session, op, status uint8, shard int, rest
 	}
 }
 
-// reply hands one encoded response to the writer. It blocks while the
-// window is full, which is exactly the backpressure contract: the reader
-// stops reading until the writer catches up.
+// reply completes one response in request order: allocate the next
+// outbox sequence and fill it immediately. Reader-goroutine only; it
+// blocks while the in-flight window is full, which is exactly the
+// backpressure contract — the reader stops reading until the writer
+// catches up.
 func (c *conn) reply(b []byte) {
+	c.complete(c.ob.alloc(), b)
+}
+
+// complete fills a previously allocated outbox sequence. Safe from any
+// goroutine (shard executors complete ring entries here).
+func (c *conn) complete(seq uint64, b []byte) {
 	c.stripe.respsSent.Add(1)
-	c.out <- b
+	c.ob.complete(seq, b)
 }
 
 // execute runs one data request on the connection's session for the
@@ -654,86 +875,62 @@ func (c *conn) execute(sess *kvmap.Session, f frame) (resp []byte, fatal bool) {
 			resp, fatal = AppendFrame(nil, f.ID, StCapacity), true
 		}
 	}()
-	switch f.Code {
-	case OpGet:
-		if v, ok := sess.Get(f.word(0)); ok {
-			return AppendFrame(nil, f.ID, StOK, v), false
+	var key, a1, a2 uint64
+	if n := len(f.Body) >> 3; n > 0 {
+		key = f.word(0)
+		if n > 1 {
+			a1 = f.word(1)
 		}
-		return AppendFrame(nil, f.ID, StNotFound), false
-	case OpPut:
-		prev, had := sess.Put(f.word(0), f.word(1))
-		if had {
-			return AppendFrame(nil, f.ID, StOK, prev), false
-		}
-		return AppendFrame(nil, f.ID, StNotFound, 0), false
-	case OpDel:
-		if v, ok := sess.Remove(f.word(0)); ok {
-			return AppendFrame(nil, f.ID, StOK, v), false
-		}
-		return AppendFrame(nil, f.ID, StNotFound), false
-	case OpCAS:
-		swapped, found := sess.CompareAndSwap(f.word(0), f.word(1), f.word(2))
-		switch {
-		case swapped:
-			return AppendFrame(nil, f.ID, StOK), false
-		case found:
-			return AppendFrame(nil, f.ID, StCASMismatch), false
-		default:
-			return AppendFrame(nil, f.ID, StNotFound), false
+		if n > 2 {
+			a2 = f.word(2)
 		}
 	}
-	return AppendFrame(nil, f.ID, StBadRequest), false
+	return runOp(sess, f.Code, f.ID, key, a1, a2), false
 }
 
-// writeLoop batches responses: it greedily drains the window into the
-// buffered writer and flushes only when the queue goes empty (or the
-// buffer fills), so a pipelining client costs ~one syscall per batch, not
-// per response. The GOAWAY push frame exists only in the binary protocol;
-// RESP2 has no server-initiated signal, so RESP connections just observe
-// the drain as their eventual close.
+// writeLoop batches responses: it takes the contiguous completed run off
+// the outbox, writes it into the buffered writer, and flushes only when
+// nothing more is immediately releasable (or the buffer fills), so a
+// pipelining client costs ~one syscall per batch, not per response. The
+// GOAWAY push frame exists only in the binary protocol; RESP2 has no
+// server-initiated signal, so RESP connections just observe the drain as
+// their eventual close. A dead socket flips the loop into discard mode —
+// it keeps consuming completions so neither the reader (window space)
+// nor the executors' ledger ever depends on the peer.
 func (c *conn) writeLoop() {
 	bw := bufio.NewWriterSize(c.nc, 32<<10)
-	goaway := c.goaway
+	dead := false
+	var frames [][]byte
 	for {
-		select {
-		case <-goaway:
-			goaway = nil
-			if c.proto == protoBinary {
+		var ga, closed bool
+		frames, ga, closed = c.ob.take(frames[:0])
+		if ga {
+			if c.proto == protoBinary && !dead {
 				bw.Write(AppendFrame(nil, 0, StGoAway))
-				bw.Flush()
+				if bw.Flush() != nil {
+					dead = true
+				}
 			}
 			continue
-		case b, ok := <-c.out:
-			if !ok {
+		}
+		if !dead {
+			for _, b := range frames {
+				if _, err := bw.Write(b); err != nil {
+					dead = true
+					break
+				}
+			}
+		}
+		if closed {
+			if !dead {
 				bw.Flush()
-				return
-			}
-			bw.Write(b)
-		}
-	drain:
-		for {
-			select {
-			case <-goaway:
-				goaway = nil
-				if c.proto == protoBinary {
-					bw.Write(AppendFrame(nil, 0, StGoAway))
-				}
-			case b, ok := <-c.out:
-				if !ok {
-					bw.Flush()
-					return
-				}
-				bw.Write(b)
-			default:
-				break drain
-			}
-		}
-		if err := bw.Flush(); err != nil {
-			// Socket gone: keep draining the window so the reader never
-			// blocks on a full channel, but stop writing.
-			for range c.out {
 			}
 			return
+		}
+		if !dead && bw.Buffered() > 0 && c.ob.empty() {
+			if bw.Flush() != nil {
+				dead = true
+			}
 		}
 	}
 }

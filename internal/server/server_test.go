@@ -120,7 +120,7 @@ func TestPipelining(t *testing.T) {
 // each connection leases on first request and releases on close, so a
 // 2-slot registry must serve all of them.
 func TestLeaseRecycling(t *testing.T) {
-	s, addr := newTestServer(t, 2, Config{})
+	s, addr := newTestServer(t, 2, Config{Inline: true})
 	for i := 0; i < 10; i++ {
 		c, err := Dial(addr, 0)
 		if err != nil {
@@ -148,7 +148,7 @@ func TestLeaseRecycling(t *testing.T) {
 // connection and checks a second connection's data request is answered
 // BUSY (typed backpressure, not a hang or a cut connection).
 func TestBusyWhenExhausted(t *testing.T) {
-	_, addr := newTestServer(t, 1, Config{LeaseWait: time.Millisecond})
+	_, addr := newTestServer(t, 1, Config{Inline: true, LeaseWait: time.Millisecond})
 	holder, err := Dial(addr, 0)
 	if err != nil {
 		t.Fatal(err)

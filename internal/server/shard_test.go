@@ -196,7 +196,7 @@ func TestPipelinedCASOrderingAcrossShards(t *testing.T) {
 // connection: a second connection must get BUSY for shard-0 keys while
 // shard-1 keys still serve — the lease economies are per shard.
 func TestBusyOnShardLeaseExhaustion(t *testing.T) {
-	s, addr := newShardedTestServer(t, 1, 2, Config{LeaseWait: time.Millisecond})
+	s, addr := newShardedTestServer(t, 1, 2, Config{Inline: true, LeaseWait: time.Millisecond})
 	k0 := keyOnShard(s.shards, 0, 1)
 	k1 := keyOnShard(s.shards, 1, 1)
 

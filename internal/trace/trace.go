@@ -80,6 +80,19 @@ const (
 	// route, lease, exec, queue), emitted just before its EvReqSpan.
 	// Payload: StagePayload (stage id, stage ns).
 	EvReqStage
+	// EvRingEnq is a sampled request enqueue onto a shard's bounded MPMC
+	// ring (batched execution mode), recorded in the producer session's
+	// ring. Payload: shard in the high 32 bits, ring depth after the
+	// enqueue in the low 32.
+	EvRingEnq
+	// EvRingDeq is the matching sampled dequeue by the shard's executor,
+	// recorded in the executor session's ring. Payload: shard in the
+	// high 32 bits, ring wait in nanoseconds saturated into the low 32.
+	EvRingDeq
+	// EvBatch is one executor drain batch: the executor found the ring
+	// non-empty and ran requests back-to-back under its single lease.
+	// Payload: shard in the high 32 bits, batch size in the low 32.
+	EvBatch
 
 	numKinds
 )
@@ -88,6 +101,7 @@ var kindNames = [numKinds]string{
 	"", "phase", "warn_set", "warn_check", "warn_ack",
 	"restart", "drain", "shard_freeze", "shard_steal", "refill",
 	"lease", "unlease", "req_span", "req_stage",
+	"ring_enq", "ring_deq", "exec_batch",
 }
 
 // String returns the snake_case export name of the kind.
@@ -148,6 +162,22 @@ func DrainPayload(recycled, reRetired uint64) uint64 {
 func FreezePayload(phase uint32, shard int) uint64 {
 	return uint64(phase)<<32 | uint64(uint32(shard))
 }
+
+// RingPayload packs a ring event's shard index (high 32 bits) with its
+// 32-bit metric — depth for ring_enq, wait ns for ring_deq, batch size
+// for exec_batch — saturated into the low bits.
+func RingPayload(shard int, v uint64) uint64 {
+	if v > 0xFFFFFFFF {
+		v = 0xFFFFFFFF
+	}
+	return uint64(uint32(shard))<<32 | v
+}
+
+// RingShard unpacks the shard index of a ring event payload.
+func RingShard(p uint64) int { return int(uint32(p >> 32)) }
+
+// RingValue unpacks the metric of a ring event payload.
+func RingValue(p uint64) uint64 { return p & 0xFFFFFFFF }
 
 // enabled gates every recording site, exactly like obs.Enabled: one
 // atomic load (a plain MOV on x86) per site when off.
