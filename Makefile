@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test race race-full cover fuzz bench benchjson benchdiff benchdiff-smoke experiments stress obs-smoke trace-smoke serve-smoke resp-smoke shard-smoke slo-smoke batch-smoke clean
+.PHONY: all ci build test race race-full cover fuzz bench benchjson benchdiff benchdiff-smoke experiments stress obs-smoke trace-smoke serve-smoke resp-smoke shard-smoke slo-smoke batch-smoke health-smoke clean
 
 all: build test
 
@@ -10,8 +10,9 @@ all: build test
 # over the reclamation core, the perf-diff smoke, the observability and
 # event-trace endpoint smokes, the end-to-end serving smokes (binary
 # protocol, RESP interop, shard scaling, batched-vs-inline execution),
-# and the SLO gate driven off the server's own latency histograms.
-ci: build test race benchdiff-smoke obs-smoke trace-smoke serve-smoke resp-smoke shard-smoke slo-smoke batch-smoke
+# the SLO gate driven off the server's own latency histograms, and the
+# health-engine gate that provokes each degraded state on purpose.
+ci: build test race benchdiff-smoke obs-smoke trace-smoke serve-smoke resp-smoke shard-smoke slo-smoke batch-smoke health-smoke
 
 build:
 	$(GO) build ./...
@@ -43,30 +44,33 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable Figure 1 snapshot for cross-commit perf tracking. The
-# note pins the baseline this file is diffed against (BENCH_7.json,
-# re-paired with BENCH_8 on the same host — see the notes inside both).
-# Snapshots on this host are recorded as the per-cell median of several
-# alternating passes of this target because the hypervisor-steal noise
-# makes any single pass a coin flip — see the notes field inside them.
-BASELINE_NOTE = baseline: BENCH_7.json (re-paired side of the same \
-10-alternating-pass procedure on this 1-vCPU host, min/max-trimmed \
-rep mean at 200ms x 6 reps so hypervisor-steal noise stays out of the \
-diff); this PR adds batched execution in the serving layer \
-(internal/server over internal/mpmc request rings), none of which the \
-benchmark harness touches -- the benchmarked structures are unchanged \
--- so every cell must stay within noise of the baseline; diff with \
-make benchdiff
+# note pins the baseline this file is diffed against (BENCH_8.json —
+# see the notes inside both). Snapshots on this host are recorded as
+# the per-cell median of several alternating passes of this target
+# because the hypervisor-steal noise makes any single pass a coin flip
+# — see the notes field inside them. From BENCH_9 on, snapshots run
+# with the in-process flight recorder sampling at its default 250ms
+# interval (oabench -flight, on by default), so the recorder's
+# steady-state cost is inside the gated numbers, and carry an env
+# fingerprint benchdiff checks before comparing.
+BASELINE_NOTE = baseline: BENCH_8.json (re-paired side of the same \
+5-alternating-pass per-cell-median procedure on this 1-vCPU host, \
+flight recorder off -- the pre-PR-9 configuration); this PR adds the \
+flight recorder and health engine (internal/flight) sampling the \
+metric registry every 250ms during the run -- the benchmarked \
+structures are unchanged, so every cell must stay within noise of \
+the flight-off baseline with recording on; diff with make benchdiff
 
 benchjson:
 	$(GO) run ./cmd/oabench -experiment fig1 -duration 200ms -reps 6 \
-		-json BENCH_8.json -notes "$(BASELINE_NOTE)"
+		-json BENCH_9.json -notes "$(BASELINE_NOTE)"
 
 # Per-cell throughput ratio gate between two oabench snapshots:
 #   make benchdiff OLD=BENCH_3.json NEW=BENCH_4.json [THRESHOLD=0.85]
 # Exits nonzero when any joined cell regresses below THRESHOLD; the p99
 # latency comparison it appends is informational and never gates.
-OLD ?= BENCH_7.json
-NEW ?= BENCH_8.json
+OLD ?= BENCH_8.json
+NEW ?= BENCH_9.json
 THRESHOLD ?= 0.85
 
 benchdiff:
@@ -134,6 +138,16 @@ batch-smoke:
 # -json report. Mechanics always; SLOs enforced when GOMAXPROCS >= 4.
 slo-smoke:
 	$(GO) run ./cmd/slocheck
+
+# Health-engine gate: an in-process server with a tiny ring and a
+# fast-ticking flight recorder is driven into ring saturation (stalled
+# executor) and backlog growth (PUT+DEL churn); both rules must fire,
+# surface on /healthz + INFO health + EvHealth, and clear. Endpoint and
+# rule-catalog mechanics assert on any host; the transition assertions
+# are strict when GOMAXPROCS >= 4 (and pass on 1 vCPU in practice —
+# both provocations are deterministic, not scheduler races).
+health-smoke:
+	$(GO) run ./cmd/healthsmoke
 
 clean:
 	$(GO) clean ./...

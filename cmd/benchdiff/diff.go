@@ -13,6 +13,7 @@ import (
 // stays compatible as reports grow new per-cell detail.
 type report struct {
 	Generated string `json:"generated"`
+	Env       *env   `json:"env"`
 	Figures   []struct {
 		Name       string `json:"name"`
 		Structures []struct {
@@ -42,6 +43,73 @@ type latBlock struct {
 type latHist struct {
 	Count uint64 `json:"count"`
 	P99Ns uint64 `json:"p99_ns"`
+}
+
+// env mirrors the report's environment fingerprint. Throughput ratios
+// only mean anything between runs on the same host and toolchain, so a
+// mismatch in any of these fields makes the whole comparison suspect.
+type env struct {
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Kernel     string `json:"kernel"`
+	Hostname   string `json:"hostname"`
+}
+
+// envMismatches compares the two fingerprints field by field and
+// returns one human-readable line per differing field. Empty fields on
+// either side (older partial stamps) are not counted as mismatches.
+func envMismatches(oldEnv, newEnv *env) []string {
+	var out []string
+	strField := func(name, o, n string) {
+		if o != "" && n != "" && o != n {
+			out = append(out, fmt.Sprintf("%s: old %q vs new %q", name, o, n))
+		}
+	}
+	intField := func(name string, o, n int) {
+		if o != 0 && n != 0 && o != n {
+			out = append(out, fmt.Sprintf("%s: old %d vs new %d", name, o, n))
+		}
+	}
+	strField("go_version", oldEnv.GoVersion, newEnv.GoVersion)
+	strField("os", oldEnv.OS, newEnv.OS)
+	strField("arch", oldEnv.Arch, newEnv.Arch)
+	intField("num_cpu", oldEnv.NumCPU, newEnv.NumCPU)
+	intField("gomaxprocs", oldEnv.GoMaxProcs, newEnv.GoMaxProcs)
+	strField("kernel", oldEnv.Kernel, newEnv.Kernel)
+	strField("hostname", oldEnv.Hostname, newEnv.Hostname)
+	return out
+}
+
+// printEnvCheck renders the environment comparison. A mismatch warns as
+// loudly as possible without gating: the ratio table is still worth
+// reading, but treating its regressions (or improvements) as real would
+// be comparing different machines.
+func printEnvCheck(w io.Writer, oldRep, newRep *report) {
+	switch {
+	case oldRep.Env == nil && newRep.Env == nil:
+		fmt.Fprintf(w, "# env: both reports predate environment stamping; comparability unknown\n")
+	case oldRep.Env == nil:
+		fmt.Fprintf(w, "# env: old report predates environment stamping; comparability unknown\n")
+	case newRep.Env == nil:
+		fmt.Fprintf(w, "# env: new report lacks the environment stamp; comparability unknown\n")
+	default:
+		mm := envMismatches(oldRep.Env, newRep.Env)
+		if len(mm) == 0 {
+			fmt.Fprintf(w, "# env: match (%s, %s/%s, %d cpu, %s)\n",
+				newRep.Env.GoVersion, newRep.Env.OS, newRep.Env.Arch, newRep.Env.NumCPU, newRep.Env.Hostname)
+			return
+		}
+		fmt.Fprintf(w, "#\n# !!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!\n")
+		fmt.Fprintf(w, "# !! ENVIRONMENT MISMATCH — ratios below are NOT comparable   !!\n")
+		fmt.Fprintf(w, "# !!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!\n")
+		for _, m := range mm {
+			fmt.Fprintf(w, "# !! %s\n", m)
+		}
+		fmt.Fprintf(w, "# !! regenerate the baseline on this host before trusting the gate\n#\n")
+	}
 }
 
 func readReport(path string) (*report, error) {

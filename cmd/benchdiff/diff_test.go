@@ -152,3 +152,65 @@ func TestLatencyNoteWhenNewLacksBlocks(t *testing.T) {
 		t.Fatalf("missing note:\n%s", sb.String())
 	}
 }
+
+const envA = `"env": {"go_version": "go1.24.0", "os": "linux", "arch": "amd64",
+  "num_cpu": 8, "gomaxprocs": 8, "kernel": "Linux 6.1.0", "hostname": "boxa"}`
+
+const envB = `"env": {"go_version": "go1.23.5", "os": "linux", "arch": "amd64",
+  "num_cpu": 4, "gomaxprocs": 4, "kernel": "Linux 6.1.0", "hostname": "boxb"}`
+
+func withEnv(t *testing.T, sample, env string) *report {
+	t.Helper()
+	return parse(t, strings.Replace(sample, `"generated":`, env+`, "generated":`, 1))
+}
+
+func TestEnvMatchPrintsOneLine(t *testing.T) {
+	var sb strings.Builder
+	printEnvCheck(&sb, withEnv(t, sampleOld, envA), withEnv(t, sampleNew, envA))
+	out := sb.String()
+	if !strings.Contains(out, "# env: match") {
+		t.Fatalf("matching envs not acknowledged:\n%s", out)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Fatalf("false mismatch warning:\n%s", out)
+	}
+}
+
+// Different hosts must trigger the loud banner with one line per
+// differing field — the satellite contract: a cross-environment diff
+// warns, by name, instead of silently comparing noise.
+func TestEnvMismatchWarnsLoudly(t *testing.T) {
+	var sb strings.Builder
+	printEnvCheck(&sb, withEnv(t, sampleOld, envA), withEnv(t, sampleNew, envB))
+	out := sb.String()
+	if !strings.Contains(out, "ENVIRONMENT MISMATCH") {
+		t.Fatalf("missing mismatch banner:\n%s", out)
+	}
+	for _, want := range []string{
+		`go_version: old "go1.24.0" vs new "go1.23.5"`,
+		"num_cpu: old 8 vs new 4",
+		"gomaxprocs: old 8 vs new 4",
+		`hostname: old "boxa" vs new "boxb"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing field diff %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "kernel:") {
+		t.Fatalf("equal kernel field reported as mismatched:\n%s", out)
+	}
+}
+
+// Reports that predate env stamping (the existing BENCH_*.json files)
+// must get a note, never a mismatch banner or an error.
+func TestEnvNoteWhenOldUnstamped(t *testing.T) {
+	var sb strings.Builder
+	printEnvCheck(&sb, parse(t, sampleOld), withEnv(t, sampleNew, envA))
+	out := sb.String()
+	if !strings.Contains(out, "old report predates environment stamping") {
+		t.Fatalf("missing back-compat note:\n%s", out)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Fatalf("unstamped report treated as mismatch:\n%s", out)
+	}
+}

@@ -11,6 +11,13 @@
 // scheme or thread count is not a regression. The threshold default is
 // deliberately loose: single-digit-percent swings are noise on a shared
 // host (see the baseline notes embedded in the reports themselves).
+//
+// Each report carries an environment fingerprint (host, kernel, go
+// version, CPU count); when the two differ, benchdiff prints a loud
+// ENVIRONMENT MISMATCH banner before the table. The mismatch never
+// gates — the table may still be informative — but cross-host ratios
+// must not be read as regressions. Reports written before env stamping
+// get a one-line "comparability unknown" note instead.
 package main
 
 import (
@@ -38,6 +45,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
+	printEnvCheck(os.Stdout, oldRep, newRep)
 	d := diff(oldRep, newRep)
 	d.print(os.Stdout, *oldPath, *newPath, *threshold)
 	printLatency(os.Stdout, oldRep, newRep)

@@ -38,7 +38,12 @@ type options struct {
 	jsonPath   string
 	notes      string
 	latsample  int
+	flight     bool
 }
+
+// probe is the process-wide flight recorder (nil with -flight=false);
+// measureFull publishes every freshly built structure into it.
+var probe *flightProbe
 
 func main() {
 	var o options
@@ -56,6 +61,8 @@ func main() {
 	flag.StringVar(&o.notes, "notes", "", "free-form note embedded in the JSON report")
 	flag.IntVar(&o.latsample, "latsample", 64,
 		"time one op in N per thread for latency percentiles (0 disables all clock reads)")
+	flag.BoolVar(&o.flight, "flight", true,
+		"run the in-process flight recorder during measurements, so reported numbers include its steady-state cost")
 	flag.Parse()
 
 	for _, part := range strings.Split(threadsFlag, ",") {
@@ -72,8 +79,13 @@ func main() {
 		o.reps = 1
 	}
 
-	fmt.Printf("# oabench: GOMAXPROCS=%d, duration=%v, reps=%d, δ=%d\n\n",
-		runtime.GOMAXPROCS(0), o.duration, o.reps, o.delta)
+	if o.flight {
+		probe = startFlightProbe()
+		defer probe.stop()
+	}
+
+	fmt.Printf("# oabench: GOMAXPROCS=%d, duration=%v, reps=%d, δ=%d, flight=%v\n\n",
+		runtime.GOMAXPROCS(0), o.duration, o.reps, o.delta, o.flight)
 
 	var rep *Report
 	if o.jsonPath != "" {
@@ -175,6 +187,9 @@ func measureFull(o options, st harness.Structure, sc smr.Scheme, threads int,
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if probe != nil {
+			probe.observe(set)
 		}
 		return set
 	}

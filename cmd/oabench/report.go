@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/harness"
@@ -29,8 +31,57 @@ type Report struct {
 	LatSample int `json:"latsample,omitempty"`
 	// Notes carries free-form context, e.g. the pre-change baseline the
 	// run is meant to be compared against.
-	Notes   string   `json:"notes,omitempty"`
-	Figures []Figure `json:"figures"`
+	Notes string `json:"notes,omitempty"`
+	// Env pins the machine and toolchain the numbers came from, so a
+	// diff across reports can refuse to read noise between different
+	// hosts as a regression. Reports written before the field existed
+	// lack it entirely.
+	Env     *EnvBlock `json:"env,omitempty"`
+	Figures []Figure  `json:"figures"`
+}
+
+// EnvBlock is the environment fingerprint stamped into every report.
+type EnvBlock struct {
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Kernel is `uname -sr` output; empty where uname is unavailable.
+	Kernel string `json:"kernel,omitempty"`
+	// Hostname identifies the box; benchmarks from different hosts are
+	// never comparable at tracking-gate precision.
+	Hostname string `json:"hostname,omitempty"`
+	// GitSHA is the commit the benchmark binary was built from, with
+	// GitDirty set when the working tree had uncommitted changes.
+	GitSHA   string `json:"git_sha,omitempty"`
+	GitDirty bool   `json:"git_dirty,omitempty"`
+}
+
+// captureEnv fingerprints the current process and host. Every probe is
+// best-effort: a missing uname or git leaves its field empty rather
+// than failing the run.
+func captureEnv() *EnvBlock {
+	env := &EnvBlock{
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if out, err := exec.Command("uname", "-sr").Output(); err == nil {
+		env.Kernel = strings.TrimSpace(string(out))
+	}
+	if hn, err := os.Hostname(); err == nil {
+		env.Hostname = hn
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		env.GitSHA = strings.TrimSpace(string(out))
+		if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
+			env.GitDirty = len(strings.TrimSpace(string(st))) > 0
+		}
+	}
+	return env
 }
 
 // Figure is one figure-family sweep (fig1, fig4, ...).
@@ -160,6 +211,7 @@ func newReport(o options, notes string) *Report {
 		Delta:      o.delta,
 		LatSample:  o.latsample,
 		Notes:      notes,
+		Env:        captureEnv(),
 	}
 }
 

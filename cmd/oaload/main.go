@@ -63,6 +63,7 @@ type report struct {
 	OpsPerSec float64           `json:"ops_per_sec"`
 	Latency   server.CmdLatency `json:"latency"`
 	Exec      *execReport       `json:"exec,omitempty"`
+	Health    *healthReport     `json:"health,omitempty"`
 }
 
 // execReport summarizes the server's batched-execution pipeline as seen
@@ -80,21 +81,47 @@ type execReport struct {
 	AvgBatch      float64 `json:"avg_batch"`
 }
 
-// sampleExec polls STATS on its own connection until stop closes,
-// tracking the peak per-shard ring depth, and returns the final
-// counters. The poll connection is read-only load: STATS is answered on
-// the reader, never enqueued, so it does not perturb the rings.
-func sampleExec(addr string, stop <-chan struct{}) *execReport {
+// healthReport summarizes the server's health engine as seen over the
+// STATS polls: the state the system settled into after the load ended
+// (the sampler keeps polling up to healthSettle past the last request
+// so clear-hysteresis can run out), the server's total transition
+// count, how many transitions happened during this run's polling
+// window, and every distinct state the polls caught. Absent when the
+// server runs without a flight recorder (-flight-interval 0) or over
+// RESP (no STATS op).
+// healthSettle bounds how long the sampler waits after the load stops
+// for the health state to return to ok: the default engine clears a
+// rule after 8 calm ticks at 250ms, so 6s covers it with margin while
+// keeping a genuinely stuck degraded state from hanging the report.
+const healthSettle = 6 * time.Second
+
+type healthReport struct {
+	Final       string `json:"final"`
+	Transitions uint64 `json:"transitions"`
+	Observed    uint64 `json:"transitions_observed"`
+	StatesSeen  string `json:"states_seen"`
+}
+
+// sampleStats polls STATS on its own connection until stop closes,
+// tracking the peak per-shard ring depth and the health-state
+// timeline, and returns the final counters. The poll connection is
+// read-only load: STATS is answered on the reader, never enqueued, so
+// it does not perturb the rings.
+func sampleStats(addr string, stop <-chan struct{}) (*execReport, *healthReport) {
 	c, err := server.Dial(addr, 4)
 	if err != nil {
-		return nil
+		return nil, nil
 	}
 	defer c.Close()
 	var rep *execReport
+	var hrep *healthReport
+	var firstTransitions uint64
+	var settle time.Time
+	seen := map[string]bool{}
 	for final := false; ; {
 		raw, err := c.Stats()
 		if err != nil {
-			return rep
+			return rep, hrep
 		}
 		var snap struct {
 			Server struct {
@@ -106,9 +133,29 @@ func sampleExec(addr string, stop <-chan struct{}) *execReport {
 				BatchedOps uint64 `json:"exec_batched_ops"`
 				MaxBatch   uint64 `json:"exec_max_batch"`
 			} `json:"server"`
+			Health *struct {
+				State       string `json:"state"`
+				Transitions uint64 `json:"transitions"`
+			} `json:"health"`
 		}
 		if json.Unmarshal(raw, &snap) != nil {
-			return rep
+			return rep, hrep
+		}
+		if h := snap.Health; h != nil {
+			if hrep == nil {
+				hrep = &healthReport{}
+				firstTransitions = h.Transitions
+			}
+			if !seen[h.State] {
+				seen[h.State] = true
+				if hrep.StatesSeen != "" {
+					hrep.StatesSeen += ","
+				}
+				hrep.StatesSeen += h.State
+			}
+			hrep.Final = h.State
+			hrep.Transitions = h.Transitions
+			hrep.Observed = h.Transitions - firstTransitions
 		}
 		s := snap.Server
 		if rep == nil {
@@ -125,11 +172,21 @@ func sampleExec(addr string, stop <-chan struct{}) *execReport {
 			rep.AvgBatch = float64(s.BatchedOps) / float64(s.Batches)
 		}
 		if final {
-			return rep
+			// Counters now cover the whole run. Health rules clear with
+			// hysteresis (ClearTicks consecutive calm ticks), so a rule
+			// legitimately firing at the last request — e.g. backlog
+			// growth under a full-tilt run — needs a settle window after
+			// the load stops before "final" reflects the steady state.
+			if hrep == nil || hrep.Final == "ok" || time.Now().After(settle) {
+				return rep, hrep
+			}
+			time.Sleep(20 * time.Millisecond)
+			continue
 		}
 		select {
 		case <-stop:
 			final = true // one more poll so the counters cover the whole run
+			settle = time.Now().Add(healthSettle)
 		case <-time.After(20 * time.Millisecond):
 		}
 	}
@@ -381,10 +438,11 @@ func main() {
 	// The exec sampler stops only after the workers settle so its final
 	// poll covers every batched op the load produced.
 	var execRep *execReport
+	var healthRep *healthReport
 	sampStop := make(chan struct{})
 	sampDone := make(chan struct{})
 	if *jsonOut != "" && !*resp {
-		go func() { execRep = sampleExec(*addr, sampStop); close(sampDone) }()
+		go func() { execRep, healthRep = sampleStats(*addr, sampStop); close(sampDone) }()
 	} else {
 		close(sampDone)
 	}
@@ -415,6 +473,7 @@ func main() {
 			ElapsedNs: elapsed.Nanoseconds(), OpsPerSec: rate,
 			Latency: latencySummary(&lat),
 			Exec:    execRep,
+			Health:  healthRep,
 		}
 		out, err := json.MarshalIndent(rep, "", "  ")
 		if err == nil {

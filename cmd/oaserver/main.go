@@ -19,10 +19,16 @@
 // and close (or -drain-timeout cuts the stragglers), then dump final
 // stats as one JSON line on stdout and exit 0.
 //
+// A flight recorder samples every registered metric each
+// -flight-interval into in-memory ring buffers and evaluates the health
+// rules (backlog growth, ring saturation, phase stall, SLO burn) every
+// tick; its state is always available via the STATS op and RESP
+// `INFO health`, and -flight-interval 0 turns it off.
+//
 // -debug exposes the observability endpoint (/metrics, /stats.json,
-// /trace, /debug/slowlog, pprof) with shard 0's SMR instrumentation and
-// the per-shard oa_server_* counters and per-(command, shard) latency
-// histograms registered. (Only shard 0's manager is exported:
+// /trace, /debug/slowlog, /debug/history, /healthz, pprof) with shard
+// 0's SMR instrumentation and the per-shard oa_server_* counters and
+// per-(command, shard) latency histograms registered. (Only shard 0's manager is exported:
 // the SMR metric names are fixed, so per-shard managers would collide;
 // oa_server_shard_ops{shard="i"} carries the per-shard traffic split.)
 package main
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/kvmap"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -64,6 +71,10 @@ func main() {
 		slowThresh   = flag.Duration("slow-threshold", time.Millisecond, "server-side latency past which a request enters /debug/slowlog")
 		slowlogSize  = flag.Int("slowlog", 256, "slow-request ring capacity (rounded up to a power of two)")
 		spanSample   = flag.Int("span-sample", 64, "emit every Nth request span into the trace rings (with -trace)")
+		flightIntvl  = flag.Duration("flight-interval", flight.DefaultInterval, "flight-recorder sampling period (0 = recorder off)")
+		flightWindow = flag.Duration("flight-window", flight.DefaultWindow, "flight-recorder history retention")
+		sloP99       = flag.Duration("slo-p99", 20*time.Millisecond, "per-command p99 objective for the health engine's burn-rate rule (0 = rule off)")
+		sloOps       = flag.Float64("slo-ops", 0, "requests/s floor for the health engine (0 = rule off)")
 	)
 	flag.Parse()
 
@@ -97,10 +108,26 @@ func main() {
 		},
 	})
 
+	// The registry now exists whether or not -debug serves it: the flight
+	// recorder samples it continuously and feeds the health engine, whose
+	// state rides on STATS and `INFO health` even with no HTTP listener.
+	reg := obs.NewRegistry()
+	sh.Shard(0).Manager().RegisterObs(reg)
+	srv.RegisterObs(reg)
+	var rec *flight.Recorder
+	if *flightIntvl > 0 {
+		rec = flight.New(reg, flight.Config{
+			Interval: *flightIntvl,
+			Window:   *flightWindow,
+			SLOP99:   *sloP99,
+			SLOOps:   *sloOps,
+		})
+		rec.RegisterObs(reg)
+		srv.SetHealth(func() any { return rec.Health() })
+		rec.Start()
+		defer rec.Stop()
+	}
 	if *debug != "" {
-		reg := obs.NewRegistry()
-		sh.Shard(0).Manager().RegisterObs(reg)
-		srv.RegisterObs(reg)
 		dln, err := net.Listen("tcp", *debug)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "oaserver:", err)

@@ -11,8 +11,11 @@
 // oaserver, starts it with -debug and -slow-threshold 1ns (so every
 // request lands in the slow-request ring), drives a short mixed workload
 // over the binary protocol, then requires the per-(command, shard)
-// latency histogram families and request counters on /metrics and a
-// non-empty /debug/slowlog whose entries carry the per-stage breakdown.
+// latency histogram families and request counters on /metrics, a
+// non-empty /debug/slowlog whose entries carry the per-stage breakdown,
+// and the flight-recorder surfaces oaserver now runs by default: the
+// oa_health_* metric families, a /healthz rule catalog, and a
+// /debug/history series catalog with fetchable frames.
 package main
 
 import (
@@ -66,6 +69,10 @@ var requiredServerMetrics = []string{
 	"oa_server_latency_put_seconds_bucket",
 	"oa_server_latency_del_seconds_bucket",
 	"oa_server_latency_cas_seconds_bucket",
+	"oa_server_ring_cap",
+	"oa_health_state",
+	"oa_health_transitions_total",
+	"flight_ticks_total",
 }
 
 // sampleLine matches one Prometheus text-format sample.
@@ -257,6 +264,71 @@ func serverPhase(tmp string) error {
 		}
 	}
 	fmt.Printf("obsprobe: /debug/slowlog ok, %d entries with per-stage breakdowns\n", len(slow.Entries))
+
+	// The flight recorder runs by default in oaserver, so its surfaces
+	// are part of the observability contract: /healthz must report a
+	// state with a populated rule catalog, and /debug/history must serve
+	// a series catalog plus fetchable frames for a concrete series.
+	healthBody, err := pollGet(base+"/healthz", 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("scraping /healthz: %w", err)
+	}
+	var health struct {
+		State string `json:"state"`
+		Rules []struct {
+			Name     string `json:"name"`
+			Severity string `json:"severity"`
+		} `json:"rules"`
+	}
+	if err := json.Unmarshal([]byte(healthBody), &health); err != nil {
+		return fmt.Errorf("/healthz does not parse: %w\n%s", err, healthBody)
+	}
+	if health.State == "" || len(health.Rules) == 0 {
+		return fmt.Errorf("/healthz missing state or rule catalog:\n%s", healthBody)
+	}
+	ruleNames := map[string]bool{}
+	for _, r := range health.Rules {
+		ruleNames[r.Name] = true
+	}
+	for _, want := range []string{"backlog_growth", "ring_saturation", "phase_stalled", "slo_p99_burn"} {
+		if !ruleNames[want] {
+			return fmt.Errorf("/healthz rule catalog missing %q:\n%s", want, healthBody)
+		}
+	}
+	fmt.Printf("obsprobe: /healthz ok — state %q with %d rules\n", health.State, len(health.Rules))
+
+	histBody, err := pollGet(base+"/debug/history", 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("scraping /debug/history: %w", err)
+	}
+	var catalog struct {
+		IntervalMs float64  `json:"interval_ms"`
+		Catalog    []string `json:"catalog"`
+	}
+	if err := json.Unmarshal([]byte(histBody), &catalog); err != nil {
+		return fmt.Errorf("/debug/history does not parse: %w\n%s", err, histBody)
+	}
+	if catalog.IntervalMs <= 0 || len(catalog.Catalog) == 0 {
+		return fmt.Errorf("/debug/history missing interval or series catalog:\n%s", histBody)
+	}
+	seriesBody, err := pollGet(base+"/debug/history?series=oa_retired_backlog_slots", 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("fetching backlog series from /debug/history: %w", err)
+	}
+	var series struct {
+		Frames int                  `json:"frames"`
+		TsMs   []float64            `json:"ts_unix_ms"`
+		Series map[string][]float64 `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(seriesBody), &series); err != nil {
+		return fmt.Errorf("/debug/history series fetch does not parse: %w\n%s", err, seriesBody)
+	}
+	vals, ok := series.Series["oa_retired_backlog_slots"]
+	if !ok || series.Frames == 0 || len(vals) != series.Frames || len(series.TsMs) != series.Frames {
+		return fmt.Errorf("/debug/history series fetch inconsistent (frames=%d):\n%s", series.Frames, seriesBody)
+	}
+	fmt.Printf("obsprobe: /debug/history ok — %d series cataloged, %d frames for the backlog gauge\n",
+		len(catalog.Catalog), series.Frames)
 	return nil
 }
 
@@ -383,10 +455,15 @@ func checkMetrics(body string, required []string) error {
 		}
 		seen[name] = true
 	}
+	var missing []string
 	for _, want := range required {
 		if !seen[want] {
-			return fmt.Errorf("missing required metric %s", want)
+			missing = append(missing, want)
 		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("missing %d required metric families:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
 	}
 	return nil
 }

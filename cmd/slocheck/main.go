@@ -18,6 +18,9 @@
 //   - the batched pipeline carried the load: the report's exec section
 //     (sampled over STATS) shows batched mode, a sized ring, a queue
 //     depth within the ring bound, and batch counters covering the ops
+//   - the health engine signed off: the report's health block (the
+//     flight recorder runs by default) must end in state `ok` — a
+//     report whose final state is degraded or critical is refused
 //
 // Enforced only on runners with GOMAXPROCS >= 4 (like shard-smoke, a
 // starved host proves nothing about the service):
@@ -92,6 +95,12 @@ type clientReport struct {
 		MaxBatch      uint64  `json:"max_batch"`
 		AvgBatch      float64 `json:"avg_batch"`
 	} `json:"exec"`
+	Health *struct {
+		Final       string `json:"final"`
+		Transitions uint64 `json:"transitions"`
+		Observed    uint64 `json:"transitions_observed"`
+		StatesSeen  string `json:"states_seen"`
+	} `json:"health"`
 }
 
 func main() {
@@ -218,10 +227,24 @@ func run() error {
 	if ex.MaxQueueDepth > ex.RingCap {
 		return fmt.Errorf("max queue depth %d exceeds ring capacity %d", ex.MaxQueueDepth, ex.RingCap)
 	}
+	// The flight recorder runs by default, so the report must carry a
+	// health block — and a run that ends anywhere but `ok` is refused:
+	// an SLO pass while the health engine still says degraded would be
+	// two gates disagreeing about the same histograms.
+	hb := client.Health
+	if hb == nil {
+		return fmt.Errorf("client report has no health block — the server's flight recorder is off or STATS lost it")
+	}
+	if hb.Final != "ok" {
+		return fmt.Errorf("final health state %q (states seen: %s, %d transitions observed) — refusing the report",
+			hb.Final, hb.StatesSeen, hb.Observed)
+	}
 	fmt.Printf("slocheck: ops=%d ops_per_sec=%.0f busy=%d slow=%d client_p99=%s\n",
 		client.Ops, client.OpsPerSec, f.Busy, f.SlowRequests, time.Duration(client.Latency.P99Ns))
 	fmt.Printf("slocheck: exec=%s ring_cap=%d max_queue_depth=%d ring_full=%d batches=%d avg_batch=%.1f max_batch=%d\n",
 		ex.Mode, ex.RingCap, ex.MaxQueueDepth, ex.RingFull, ex.Batches, ex.AvgBatch, ex.MaxBatch)
+	fmt.Printf("slocheck: health final=%s states_seen=%s transitions_observed=%d\n",
+		hb.Final, hb.StatesSeen, hb.Observed)
 	for _, op := range []string{"get", "put", "del", "cas"} {
 		cl := final.Latency[op]
 		fmt.Printf("slocheck:   %-3s count=%-8d p50=%-10s p99=%-10s max=%s\n",

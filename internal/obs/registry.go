@@ -76,6 +76,11 @@ type Registry struct {
 	// counter can sample them from inside a locked scrape without
 	// re-entering the mutex.
 	tracers atomic.Pointer[[]*trace.Recorder]
+
+	// gen counts series-affecting registrations so samplers holding a
+	// prebuilt plan (the flight recorder) can detect late registrations
+	// and rebuild instead of silently missing new families.
+	gen atomic.Uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -87,6 +92,7 @@ func (r *Registry) Gauge(name, help string, fn GaugeFunc) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.gauges = append(r.gauges, gaugeEntry{name, help, fn})
+	r.gen.Add(1)
 }
 
 // Counter registers a sampled cumulative counter. By Prometheus convention
@@ -95,6 +101,7 @@ func (r *Registry) Counter(name, help string, fn CounterFunc) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.counters = append(r.counters, counterEntry{name, help, fn})
+	r.gen.Add(1)
 }
 
 // GaugeVec registers a family of n gauges sharing one name and help text,
@@ -106,6 +113,7 @@ func (r *Registry) GaugeVec(name, help, label string, n int, fn func(i int) floa
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.vecGauges = append(r.vecGauges, vecGaugeEntry{name, help, label, n, fn})
+	r.gen.Add(1)
 }
 
 // CounterVec registers a family of n cumulative counters sharing one name,
@@ -114,6 +122,7 @@ func (r *Registry) CounterVec(name, help, label string, n int, fn func(i int) ui
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.vecCounters = append(r.vecCounters, vecCounterEntry{name, help, label, n, fn})
+	r.gen.Add(1)
 }
 
 // HistogramVec registers a family of n histograms sharing one name and
@@ -126,6 +135,7 @@ func (r *Registry) HistogramVec(name, help, label string, n int, fn func(i int) 
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.vecHists = append(r.vecHists, vecHistEntry{name, help, label, n, fn})
+	r.gen.Add(1)
 }
 
 // Handle registers an extra HTTP route served by this registry's
@@ -169,6 +179,7 @@ func (r *Registry) ThreadCounters(prefix string, ts *ThreadStats) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.threads = append(r.threads, threadEntry{prefix, ts})
+	r.gen.Add(1)
 }
 
 // Histogram registers a pause histogram; it exports in Prometheus
@@ -177,6 +188,7 @@ func (r *Registry) Histogram(name, help string, h *metrics.Histogram) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.hists = append(r.hists, histEntry{name, help, h})
+	r.gen.Add(1)
 }
 
 // Trace registers a protocol event recorder: its merged rings become the
@@ -200,6 +212,7 @@ func (r *Registry) Trace(rec *trace.Recorder) {
 			"protocol events recorded by the trace rings (including overwritten)",
 			r.TraceTotal,
 		})
+		r.gen.Add(1)
 	}
 }
 
@@ -369,4 +382,90 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.snapshot())
+}
+
+// SeriesSource is one scalar time series a periodic sampler can poll:
+// a name (matching the /stats.json key, including any {label="i"}
+// suffix) and a closure returning the current value. Counters surface
+// as their cumulative value; consumers wanting rates difference
+// successive samples themselves.
+type SeriesSource struct {
+	Name   string
+	Sample func() float64
+}
+
+// HistSource is one histogram instance. Family is the base name shared
+// by every instance of a HistogramVec (equal to Name for plain
+// Histogram registrations) so samplers can merge per-shard instances
+// into one windowed family.
+type HistSource struct {
+	Name   string
+	Family string
+	Hist   *metrics.Histogram
+}
+
+// Generation returns a counter bumped on every series-affecting
+// registration. A sampler caches the plan built from Sources() and
+// rebuilds when the generation moves.
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
+
+// Sources flattens every registered scalar metric into sampling
+// closures and enumerates every histogram instance. Per-thread counter
+// blocks surface as their aggregated <prefix>_<counter>_total series
+// (the per-thread rows would multiply the series count without adding
+// signal a time-series view needs). The returned slices are freshly
+// allocated; the closures are safe to call concurrently with the
+// writers feeding the sources, like any scrape.
+func (r *Registry) Sources() ([]SeriesSource, []HistSource) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ss []SeriesSource
+	for _, c := range r.counters {
+		fn := c.fn
+		ss = append(ss, SeriesSource{c.name, func() float64 { return float64(fn()) }})
+	}
+	for _, vc := range r.vecCounters {
+		for i := 0; i < vc.n; i++ {
+			fn, j := vc.fn, i
+			name := vc.name + "{" + vc.label + "=\"" + strconv.Itoa(i) + "\"}"
+			ss = append(ss, SeriesSource{name, func() float64 { return float64(fn(j)) }})
+		}
+	}
+	for _, g := range r.gauges {
+		ss = append(ss, SeriesSource{g.name, g.fn})
+	}
+	for _, vg := range r.vecGauges {
+		for i := 0; i < vg.n; i++ {
+			fn, j := vg.fn, i
+			name := vg.name + "{" + vg.label + "=\"" + strconv.Itoa(i) + "\"}"
+			ss = append(ss, SeriesSource{name, func() float64 { return fn(j) }})
+		}
+	}
+	for _, te := range r.threads {
+		ts := te.ts
+		for c := Counter(0); c < NumCounters; c++ {
+			k := c
+			ss = append(ss, SeriesSource{
+				te.prefix + "_" + c.String() + "_total",
+				func() float64 {
+					var n uint64
+					for i := 0; i < ts.Threads(); i++ {
+						n += ts.At(i).Load(k)
+					}
+					return float64(n)
+				},
+			})
+		}
+	}
+	var hs []HistSource
+	for _, he := range r.hists {
+		hs = append(hs, HistSource{he.name, he.name, he.h})
+	}
+	for _, vh := range r.vecHists {
+		for i := 0; i < vh.n; i++ {
+			name := vh.name + "{" + vh.label + "=\"" + strconv.Itoa(i) + "\"}"
+			hs = append(hs, HistSource{name, vh.name, vh.fn(i)})
+		}
+	}
+	return ss, hs
 }

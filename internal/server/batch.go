@@ -167,7 +167,7 @@ func (e *executor) run() {
 	q := e.s.rings.Queue(e.shard)
 	var p mpmc.Payload
 	for {
-		if gate := e.s.cfg.execGate; gate != nil {
+		if gate := e.s.cfg.ExecGate; gate != nil {
 			gate(e.shard)
 		}
 		n := 0

@@ -110,7 +110,7 @@ func TestSlowlogQueueStage(t *testing.T) {
 	defer release()
 	s, addr := newBatchedServer(t, 4, 1, Config{
 		SlowThreshold: time.Millisecond,
-		execGate:      func(int) { <-stall },
+		ExecGate:      func(int) { <-stall },
 	})
 	c, err := Dial(addr, 8)
 	if err != nil {
@@ -155,7 +155,7 @@ func TestVanishMidBatch(t *testing.T) {
 	release := func() { once.Do(func() { close(stall) }) }
 	defer release()
 	s, addr := newBatchedServer(t, 4, 1, Config{
-		execGate: func(int) { <-stall },
+		ExecGate: func(int) { <-stall },
 	})
 
 	nc, err := net.Dial("tcp", addr)
@@ -227,7 +227,7 @@ func TestRingFullBusy(t *testing.T) {
 	s, addr := newBatchedServer(t, 4, 1, Config{
 		RingSize: 8,
 		RingWait: time.Millisecond,
-		execGate: func(int) { <-stall },
+		ExecGate: func(int) { <-stall },
 	})
 	c, err := Dial(addr, 32)
 	if err != nil {

@@ -406,3 +406,52 @@ func TestLatencyConcurrentRecordSnapshot(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// SetHealth's document must surface on both listeners: the STATS JSON
+// carries it under "health" and RESP `INFO health` flattens its scalar
+// fields as health_* lines (absent entirely when no recorder attached).
+func TestHealthSurfaces(t *testing.T) {
+	type fakeHealth struct {
+		State       string `json:"state"`
+		Transitions uint64 `json:"transitions"`
+		Firing      string `json:"firing"`
+	}
+	doc := fakeHealth{State: "degraded", Transitions: 3, Firing: "ring_saturation"}
+
+	s, addr := newRESPTestServer(t, 4, 2, Config{})
+	if !strings.Contains(string(s.statsBody()), `"health"`) {
+		// no supplier yet → omitted
+	} else {
+		t.Fatalf("health block present before SetHealth: %s", s.statsBody())
+	}
+	s.SetHealth(func() any { return doc })
+
+	var parsed struct {
+		Health fakeHealth `json:"health"`
+	}
+	if err := json.Unmarshal(s.statsBody(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Health != doc {
+		t.Fatalf("STATS health block = %+v, want %+v", parsed.Health, doc)
+	}
+
+	c, err := DialRESP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, err := c.Do("INFO", "health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := string(v.Str)
+	for _, want := range []string{"# Health", `health_state:"degraded"`, "health_transitions:3", `health_firing:"ring_saturation"`} {
+		if !strings.Contains(info, want) {
+			t.Fatalf("INFO health missing %q:\n%s", want, info)
+		}
+	}
+	if strings.Contains(info, "# Stats") {
+		t.Fatalf("INFO health leaked other sections:\n%s", info)
+	}
+}

@@ -521,7 +521,7 @@ func respWrongArity(cmd []byte) []byte {
 
 // respInfo renders a redis-style INFO document. section narrows the
 // reply to one section (upper-cased by the caller; SERVER, KEYSPACE,
-// STATS or LATENCY); empty means all.
+// STATS, LATENCY or HEALTH); empty means all.
 //
 // The Stats and Latency sections are rendered by reflecting over the
 // same Snapshot / CmdLatency structs the STATS op and /stats.json
@@ -556,6 +556,16 @@ func (s *Server) respInfo(b, section []byte) []byte {
 		lat := s.latencySnapshot()
 		for op := OpGet; op <= OpCAS; op++ {
 			b = appendInfoJSON(b, "latency_"+opNames[op]+"_", lat[opNames[op]])
+		}
+	}
+	if want("HEALTH") {
+		if h := s.healthDoc(); h != nil {
+			// Same reflection path as Stats: the scalar fields of the
+			// flight Status (state, firing, transitions, since_ns)
+			// become health_* lines; the per-rule array stays on the
+			// richer surfaces (/healthz, STATS).
+			b = append(b, "# Health\r\n"...)
+			b = appendInfoJSON(b, "health_", h)
 		}
 	}
 	return b

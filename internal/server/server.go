@@ -77,10 +77,11 @@ type Config struct {
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 
-	// execGate, when set (in-package tests only), is called by each
-	// executor at the top of every drain pass — tests stall an executor
-	// here to pin queue-stage attribution and ring-full backpressure.
-	execGate func(shard int)
+	// ExecGate, when set, is called by each executor at the top of every
+	// drain pass. In-package tests and cmd/healthsmoke stall an executor
+	// here to pin queue-stage attribution, ring-full backpressure and
+	// the health engine's ring-saturation rule. Never set in production.
+	ExecGate func(shard int)
 }
 
 // shardStripe is one cache-padded counter block. The per-request counters
@@ -129,6 +130,12 @@ type Server struct {
 	// opcode; only OpGet..OpCAS rows are populated.
 	lat     [OpCAS + 1][]metrics.Histogram
 	slowlog *slowLog
+
+	// healthFn, when set via SetHealth, supplies the flight recorder's
+	// health document; it rides along in STATS bodies and the RESP
+	// `INFO health` section. Stored as func() any so the server stays
+	// decoupled from the flight package.
+	healthFn atomic.Value
 
 	// Batched-mode machinery (nil/empty in inline mode): the shared ring
 	// group (one bounded MPMC queue per shard), one executor per shard,
@@ -281,6 +288,8 @@ func (s *Server) RegisterObs(reg *obs.Registry) {
 	if s.rings != nil {
 		reg.GaugeVec("oa_server_ring_depth", "bounded request-ring depth per shard", "shard",
 			len(s.execs), func(i int) float64 { return float64(s.rings.Queue(i).Len()) })
+		reg.Gauge("oa_server_ring_cap", "bounded request-ring capacity per shard",
+			func() float64 { return float64(s.cfg.RingSize) })
 		reg.Counter("oa_server_ring_full_total", "requests answered BUSY because the shard ring stayed full past RingWait",
 			func() uint64 { return s.ringFull.Load() })
 		reg.Counter("oa_server_exec_batches_total", "executor drain batches",
@@ -551,16 +560,32 @@ func (s *Server) latencySnapshot() map[string]CmdLatency {
 	return out
 }
 
+// SetHealth registers the health-document supplier (the flight
+// recorder's Status). Call before Serve; the document is embedded in
+// every STATS body under "health" and rendered by `INFO health`.
+func (s *Server) SetHealth(fn func() any) { s.healthFn.Store(fn) }
+
+// healthDoc returns the current health document, or nil when no
+// supplier is registered.
+func (s *Server) healthDoc() any {
+	if fn, ok := s.healthFn.Load().(func() any); ok && fn != nil {
+		return fn()
+	}
+	return nil
+}
+
 // statsBody builds the STATS JSON: server counters, per-command latency
-// summaries, plus per-shard reclamation stats ("map" stays the shard-0
-// block for pre-sharding consumers).
+// summaries, the health block when a flight recorder is attached, plus
+// per-shard reclamation stats ("map" stays the shard-0 block for
+// pre-sharding consumers).
 func (s *Server) statsBody() []byte {
 	b, err := json.Marshal(struct {
 		Server  Snapshot              `json:"server"`
 		Latency map[string]CmdLatency `json:"latency"`
+		Health  any                   `json:"health,omitempty"`
 		Map     any                   `json:"map"`
 		Maps    any                   `json:"map_shards"`
-	}{s.snapshot(), s.latencySnapshot(), s.shards.Shard(0).Stats(), s.shards.Stats()})
+	}{s.snapshot(), s.latencySnapshot(), s.healthDoc(), s.shards.Shard(0).Stats(), s.shards.Stats()})
 	if err != nil {
 		return []byte(`{}`)
 	}

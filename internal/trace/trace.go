@@ -93,6 +93,11 @@ const (
 	// non-empty and ran requests back-to-back under its single lease.
 	// Payload: shard in the high 32 bits, batch size in the low 32.
 	EvBatch
+	// EvHealth is a health-engine state transition: the flight
+	// recorder's rule evaluation moved the process between ok, degraded
+	// and critical. Payload: HealthPayload (old state, new state, firing
+	// rule bitmask) — see internal/flight.
+	EvHealth
 
 	numKinds
 )
@@ -101,7 +106,19 @@ var kindNames = [numKinds]string{
 	"", "phase", "warn_set", "warn_check", "warn_ack",
 	"restart", "drain", "shard_freeze", "shard_steal", "refill",
 	"lease", "unlease", "req_span", "req_stage",
-	"ring_enq", "ring_deq", "exec_batch",
+	"ring_enq", "ring_deq", "exec_batch", "health",
+}
+
+// HealthPayload packs a health-state transition into one event payload:
+// the previous and new state in the low two bytes and a bitmask of
+// firing rule indices in the high 32 bits.
+func HealthPayload(old, new uint8, firing uint32) uint64 {
+	return uint64(firing)<<32 | uint64(new)<<8 | uint64(old)
+}
+
+// UnpackHealth reverses HealthPayload.
+func UnpackHealth(p uint64) (old, new uint8, firing uint32) {
+	return uint8(p), uint8(p >> 8), uint32(p >> 32)
 }
 
 // String returns the snake_case export name of the kind.
