@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test race race-full cover fuzz bench benchjson benchdiff benchdiff-smoke experiments stress obs-smoke trace-smoke serve-smoke resp-smoke shard-smoke slo-smoke batch-smoke health-smoke clean
+.PHONY: all ci build test race race-full cover fuzz bench benchjson benchdiff benchdiff-smoke experiments stress obs-smoke trace-smoke serve-smoke resp-smoke shard-smoke slo-smoke batch-smoke health-smoke cache-smoke clean
 
 all: build test
 
@@ -10,9 +10,10 @@ all: build test
 # over the reclamation core, the perf-diff smoke, the observability and
 # event-trace endpoint smokes, the end-to-end serving smokes (binary
 # protocol, RESP interop, shard scaling, batched-vs-inline execution),
-# the SLO gate driven off the server's own latency histograms, and the
-# health-engine gate that provokes each degraded state on purpose.
-ci: build test race benchdiff-smoke obs-smoke trace-smoke serve-smoke resp-smoke shard-smoke slo-smoke batch-smoke health-smoke
+# the SLO gate driven off the server's own latency histograms, the
+# health-engine gate that provokes each degraded state on purpose, and
+# the TTL/LRU cache gate (expiry, sweeping, eviction-not-OOM).
+ci: build test race benchdiff-smoke obs-smoke trace-smoke serve-smoke resp-smoke shard-smoke slo-smoke batch-smoke health-smoke cache-smoke
 
 build:
 	$(GO) build ./...
@@ -22,10 +23,11 @@ test:
 	$(GO) test ./...
 
 # The race detector focused where the lock-free interleavings live: the
-# reclamation core, the sharded block pools and the MPMC request rings.
+# reclamation core, the sharded block pools, the MPMC request rings, the
+# generic OA kit and the aux-word protocol of the TTL/LRU cache.
 # -short keeps it inside a merge-gate budget; race-full sweeps everything.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/pools/... ./internal/mpmc/...
+	$(GO) test -race -short ./internal/core/... ./internal/pools/... ./internal/mpmc/... ./internal/oakit/... ./internal/ttlcache/...
 
 race-full:
 	$(GO) test -race ./...
@@ -53,24 +55,24 @@ bench:
 # interval (oabench -flight, on by default), so the recorder's
 # steady-state cost is inside the gated numbers, and carry an env
 # fingerprint benchdiff checks before comparing.
-BASELINE_NOTE = baseline: BENCH_8.json (re-paired side of the same \
-5-alternating-pass per-cell-median procedure on this 1-vCPU host, \
-flight recorder off -- the pre-PR-9 configuration); this PR adds the \
-flight recorder and health engine (internal/flight) sampling the \
-metric registry every 250ms during the run -- the benchmarked \
-structures are unchanged, so every cell must stay within noise of \
-the flight-off baseline with recording on; diff with make benchdiff
+BASELINE_NOTE = baseline: BENCH_9.json (re-paired side of the same \
+5-alternating-pass per-cell-median procedure on this 1-vCPU host); \
+this PR rebuilds internal/list on the generic OA kit (internal/oakit) \
+and adds an immediate best-effort unlink after kvmap's logical \
+deletes -- the gated structures' algorithms are unchanged, so every \
+cell must stay within noise of the hand-written-list baseline; diff \
+with make benchdiff
 
 benchjson:
 	$(GO) run ./cmd/oabench -experiment fig1 -duration 200ms -reps 6 \
-		-json BENCH_9.json -notes "$(BASELINE_NOTE)"
+		-json BENCH_10.json -notes "$(BASELINE_NOTE)"
 
 # Per-cell throughput ratio gate between two oabench snapshots:
 #   make benchdiff OLD=BENCH_3.json NEW=BENCH_4.json [THRESHOLD=0.85]
 # Exits nonzero when any joined cell regresses below THRESHOLD; the p99
 # latency comparison it appends is informational and never gates.
-OLD ?= BENCH_8.json
-NEW ?= BENCH_9.json
+OLD ?= BENCH_9.json
+NEW ?= BENCH_10.json
 THRESHOLD ?= 0.85
 
 benchdiff:
@@ -138,6 +140,14 @@ batch-smoke:
 # -json report. Mechanics always; SLOs enforced when GOMAXPROCS >= 4.
 slo-smoke:
 	$(GO) run ./cmd/slocheck
+
+# TTL/LRU cache gate: serves oaserver with -cache and drives the RESP
+# listener through SETEX/EXPIRE/TTL, lazy expiry past a real deadline,
+# background sweeping of untouched keys, and 5000 SETs past the LRU
+# watermark that must all answer +OK (eviction instead of OOM), ending
+# in a clean drain whose final stats carry the cache ledger.
+cache-smoke:
+	$(GO) run ./cmd/cachesmoke
 
 # Health-engine gate: an in-process server with a tiny ring and a
 # fast-ticking flight recorder is driven into ring saturation (stalled

@@ -1,0 +1,240 @@
+// Command cachesmoke is the TTL/LRU cache smoke test wired into
+// `make cache-smoke`: it builds oaserver, serves the RESP listener with
+// the cache layer enabled (-cache -ttl -max-entries -sweep-interval),
+// and asserts the cache contract end to end over the wire:
+//
+//   - SETEX/EXPIRE/TTL semantics, including the default TTL applied by
+//     plain SET and lazy expiry observed by GET after a real deadline
+//   - background sweeping: keys that are never touched again still get
+//     reaped (Sweeps and Expired advance in the final stats)
+//   - eviction instead of OOM: thousands of SETs past the LRU watermark
+//     all answer +OK — capacity pressure evicts, it never errors
+//   - clean SIGTERM drain with a balanced request/response ledger and
+//     the cache block present in the final stats dump
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("cachesmoke: PASS")
+}
+
+const (
+	capacity   = 1 << 12 // total node budget across shards
+	maxEntries = 1024    // LRU watermark (512 per shard at 2 shards)
+)
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "cachesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	serverBin := filepath.Join(tmp, "oaserver")
+	build := exec.Command("go", "build", "-o", serverBin, "./cmd/oaserver")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building oaserver: %w", err)
+	}
+
+	binAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	respAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	var serverOut, serverErr bytes.Buffer
+	srv := exec.Command(serverBin,
+		"-addr", binAddr,
+		"-resp", respAddr,
+		"-shards", "2",
+		"-threads", "8",
+		"-capacity", strconv.Itoa(capacity),
+		"-cache",
+		"-ttl", "30s", // default TTL: never expires inside this test
+		"-max-entries", strconv.Itoa(maxEntries),
+		"-sweep-interval", "100ms")
+	srv.Stdout = &serverOut
+	srv.Stderr = &serverErr
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Process.Kill()
+	if err := waitListening(respAddr, 10*time.Second); err != nil {
+		return fmt.Errorf("RESP listener never came up: %w (stderr:\n%s)", err, serverErr.String())
+	}
+
+	c, err := server.DialRESP(respAddr)
+	if err != nil {
+		return err
+	}
+
+	// TTL semantics. The -ttl default applies to plain SET; SETEX and
+	// EXPIRE arm per-key deadlines that TTL reads back.
+	if v, err := c.Do("SET", "warm", "v"); err != nil || string(v.Str) != "OK" {
+		return fmt.Errorf("SET = %q (%v)", v.Str, err)
+	}
+	if v, err := c.Do("TTL", "warm"); err != nil || v.Int <= 0 || v.Int > 30 {
+		return fmt.Errorf("TTL of default-TTL key = %d, want (0, 30] (%v)", v.Int, err)
+	}
+	if v, err := c.Do("SETEX", "brief", "1", "v"); err != nil || string(v.Str) != "OK" {
+		return fmt.Errorf("SETEX = %q (%v)", v.Str, err)
+	}
+	if v, err := c.Do("TTL", "brief"); err != nil || v.Int != 1 {
+		return fmt.Errorf("TTL brief = %d, want 1 (%v)", v.Int, err)
+	}
+	if v, err := c.Do("EXPIRE", "warm", "2"); err != nil || v.Int != 1 {
+		return fmt.Errorf("EXPIRE warm = %d, want 1 (%v)", v.Int, err)
+	}
+	if v, err := c.Do("TTL", "warm"); err != nil || v.Int != 2 {
+		return fmt.Errorf("TTL warm after EXPIRE = %d, want 2 (%v)", v.Int, err)
+	}
+	// Keys for the sweeper: armed, then never touched again. Lazy expiry
+	// can't reap these — only the background sweep can.
+	for i := 0; i < 32; i++ {
+		if v, err := c.Do("SETEX", "swept:"+strconv.Itoa(i), "1", "v"); err != nil || string(v.Str) != "OK" {
+			return fmt.Errorf("SETEX swept:%d = %q (%v)", i, v.Str, err)
+		}
+	}
+
+	// Past brief's 1s deadline (with slack for a noisy host): lazy expiry
+	// answers nil/-2 on the touched key.
+	time.Sleep(1300 * time.Millisecond)
+	if v, err := c.Do("GET", "brief"); err != nil || !v.Nil {
+		return fmt.Errorf("GET brief past deadline = %+v, want nil (%v)", v, err)
+	}
+	if v, err := c.Do("TTL", "brief"); err != nil || v.Int != -2 {
+		return fmt.Errorf("TTL brief past deadline = %d, want -2 (%v)", v.Int, err)
+	}
+	if v, err := c.Do("EXISTS", "brief"); err != nil || v.Int != 0 {
+		return fmt.Errorf("EXISTS brief past deadline = %d (%v)", v.Int, err)
+	}
+
+	// Eviction instead of OOM: push far past both the LRU watermark and
+	// the node budget. Every single SET must answer +OK — the cache
+	// relieves pressure by evicting, never by failing the write.
+	const writes = 5000
+	for base := 0; base < writes; base += 500 {
+		for i := base; i < base+500; i++ {
+			c.Send("SET", "fill:"+strconv.Itoa(i), "v")
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		for i := base; i < base+500; i++ {
+			v, err := c.Recv()
+			if err != nil {
+				return fmt.Errorf("SET fill:%d: %v", i, err)
+			}
+			if string(v.Str) != "OK" {
+				return fmt.Errorf("SET fill:%d = %q, want OK (eviction must absorb capacity pressure)", i, v.Str)
+			}
+		}
+	}
+	// The newest keys survived the churn.
+	if v, err := c.Do("GET", "fill:"+strconv.Itoa(writes-1)); err != nil || string(v.Str) != "v" {
+		return fmt.Errorf("GET newest fill key = %+v (%v)", v, err)
+	}
+	c.Close()
+
+	// SIGTERM: clean drain, then the final stats dump carries the cache
+	// ledger the smoke asserts on.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := srv.Wait(); err != nil {
+		return fmt.Errorf("server exit after SIGTERM: %w (stderr:\n%s)", err, serverErr.String())
+	}
+	var final struct {
+		Server struct {
+			RequestsRead  uint64 `json:"requests_read"`
+			ResponsesSent uint64 `json:"responses_sent"`
+			ForceClosed   uint64 `json:"force_closed"`
+			Capacity      uint64 `json:"capacity"`
+		} `json:"server"`
+		Cache *struct {
+			Live    int64  `json:"live"`
+			Expired uint64 `json:"expired"`
+			Evicted uint64 `json:"evicted"`
+			Sweeps  uint64 `json:"sweeps"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(serverOut.Bytes(), &final); err != nil {
+		return fmt.Errorf("final stats line does not parse: %w (stdout: %q)", err, serverOut.String())
+	}
+	f := final.Server
+	if f.ForceClosed != 0 {
+		return fmt.Errorf("%d connections force-closed during drain", f.ForceClosed)
+	}
+	if f.RequestsRead == 0 || f.RequestsRead != f.ResponsesSent {
+		return fmt.Errorf("requests_read=%d responses_sent=%d", f.RequestsRead, f.ResponsesSent)
+	}
+	if f.Capacity != 0 {
+		return fmt.Errorf("%d requests answered CAPACITY — eviction should have absorbed the pressure", f.Capacity)
+	}
+	cs := final.Cache
+	if cs == nil {
+		return fmt.Errorf("no cache block in final stats (stdout: %q)", serverOut.String())
+	}
+	// 33 one-second keys expired (brief + 32 swept); at least the 32
+	// untouched ones prove the sweeper ran, not just lazy reaping.
+	if cs.Expired < 33 {
+		return fmt.Errorf("expired = %d, want >= 33 (%+v)", cs.Expired, *cs)
+	}
+	if cs.Sweeps == 0 {
+		return fmt.Errorf("background sweeper never ran (%+v)", *cs)
+	}
+	if cs.Evicted == 0 {
+		return fmt.Errorf("no evictions after %d writes into a %d watermark (%+v)", writes, maxEntries, *cs)
+	}
+	// Live stays near the watermark: sampling slack, but nowhere near the
+	// raw write count.
+	if cs.Live > maxEntries+maxEntries/2 {
+		return fmt.Errorf("live = %d, want near watermark %d (%+v)", cs.Live, maxEntries, *cs)
+	}
+	fmt.Printf("cachesmoke: %d requests; cache live=%d expired=%d evicted=%d sweeps=%d, drain clean\n",
+		f.RequestsRead, cs.Live, cs.Expired, cs.Evicted, cs.Sweeps)
+	return nil
+}
+
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	defer l.Close()
+	return l.Addr().String(), nil
+}
+
+func waitListening(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("timeout waiting for %s", addr)
+}

@@ -14,6 +14,13 @@
 // model, kept for comparison); RESP connections always run inline, so
 // -threads needs headroom above the shard count for them.
 //
+// -cache layers TTL/LRU cache semantics over the shards on the RESP
+// surface: SET applies -ttl as the default time-to-live, GET expires
+// lazily, a background sweeper runs every -sweep-interval, SETEX /
+// EXPIRE / TTL come alive, and under -max-entries or node-budget
+// pressure the cache evicts approximately-LRU entries instead of
+// answering -OOM.
+//
 // SIGTERM/SIGINT starts a graceful drain: stop accepting, GOAWAY every
 // binary-protocol connection, serve until clients finish their pipelines
 // and close (or -drain-timeout cuts the stragglers), then dump final
@@ -49,6 +56,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/trace"
+	"repro/internal/ttlcache"
 )
 
 func main() {
@@ -75,6 +83,10 @@ func main() {
 		flightWindow = flag.Duration("flight-window", flight.DefaultWindow, "flight-recorder history retention")
 		sloP99       = flag.Duration("slo-p99", 20*time.Millisecond, "per-command p99 objective for the health engine's burn-rate rule (0 = rule off)")
 		sloOps       = flag.Float64("slo-ops", 0, "requests/s floor for the health engine (0 = rule off)")
+		cacheOn      = flag.Bool("cache", false, "serve RESP commands through the TTL/LRU cache layer (enables SETEX/EXPIRE/TTL)")
+		cacheTTL     = flag.Duration("ttl", 0, "cache default time-to-live applied by SET (0 = none; with -cache)")
+		maxEntries   = flag.Int("max-entries", 0, "cache LRU watermark: evict past this many live entries across shards (0 = evict only under capacity pressure; with -cache)")
+		sweepIntvl   = flag.Duration("sweep-interval", time.Second, "cache background expiry sweep period (0 = lazy expiry only; with -cache)")
 	)
 	flag.Parse()
 
@@ -91,8 +103,18 @@ func main() {
 	obs.SetEnabled(true)
 
 	sh := kvmap.NewSharded(core.Config{MaxThreads: *threads, Capacity: *capacity}, *expected, *shards)
+	var cache *ttlcache.Sharded
+	if *cacheOn {
+		cache = ttlcache.OverSharded(sh, ttlcache.Options{
+			DefaultTTL:    *cacheTTL,
+			MaxLive:       *maxEntries,
+			SweepInterval: *sweepIntvl,
+		})
+		defer cache.Close()
+	}
 	srv := server.New(server.Config{
 		Shards:        sh,
+		Cache:         cache,
 		Window:        *window,
 		Inline:        *execMode == "inline",
 		RingSize:      *ringSize,

@@ -166,8 +166,8 @@ type Manager[T any] struct {
 func NewManager[T any](cfg Config, reset func(*T)) *Manager[T] {
 	cfg.fill()
 	m := &Manager[T]{
-		cfg:   cfg,
-		nodes: arena.New[T](cfg.Capacity),
+		cfg:    cfg,
+		nodes:  arena.New[T](cfg.Capacity),
 		ba:     pools.NewBlockArena(cfg.Capacity),
 		reset:  reset,
 		lessor: lease.NewRegistry(cfg.MaxThreads),

@@ -1,14 +1,23 @@
 // Package kvmap extends the paper's set structures into a key→value hash
 // map under the optimistic access scheme — the extension a downstream user
 // of the library most often needs. The bucket lists are Harris-Michael
-// lists whose nodes carry a value word; Get/Put/PutIfAbsent/Remove follow
-// the same normalized-form discipline as the sets:
+// lists whose nodes carry a value word and an auxiliary metadata word;
+// Get/Put/PutIfAbsent/Remove follow the same normalized-form discipline
+// as the sets, built on the Level-1 oakit primitives:
 //
 //   - Get is read-only: loads plus warning checks, no fences (Algorithm 1).
 //   - Put updates in place with a CAS on the value word — an observable
-//     CAS, so it runs under the Algorithm 2 write barrier; an update on a
-//     concurrently deleted node linearizes before the delete.
-//   - PutIfAbsent/Remove mirror the set's Insert/Delete generators.
+//     CAS, so it runs under the Algorithm 2 write barrier (oakit.WordCAS);
+//     an update on a concurrently deleted node linearizes before the
+//     delete.
+//   - PutIfAbsent/Remove mirror the set's Insert/Delete generators
+//     (oakit.Commit / CommitPinned).
+//
+// The Aux word is uninterpreted here: internal/ttlcache packs TTL
+// deadlines and LRU access stamps into it. The aux-conditioned
+// primitives (GetWithAux, PutIfAbsentWithAux, AuxCAS, RemoveIfAux,
+// WalkBucket) are policy-free so the map stays a plain KV store for
+// callers that ignore them.
 package kvmap
 
 import (
@@ -16,15 +25,16 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/core"
-	"repro/internal/normalized"
+	"repro/internal/oakit"
 	"repro/internal/smr"
 )
 
-// Node is a map node: key, value, successor. All fields atomic (stale
-// reads under OA).
+// Node is a map node: key, value, aux metadata, successor. All fields
+// atomic (stale reads under OA).
 type Node struct {
 	Key  atomic.Uint64
 	Val  atomic.Uint64
+	Aux  atomic.Uint64
 	Next atomic.Uint64
 }
 
@@ -32,12 +42,13 @@ type Node struct {
 func ResetNode(n *Node) {
 	n.Key.Store(0)
 	n.Val.Store(0)
+	n.Aux.Store(0)
 	n.Next.Store(0)
 }
 
 // Map is a lock-free hash map of uint64→uint64 under optimistic access.
 type Map struct {
-	mgr   *core.Manager[Node]
+	kit   *oakit.Engine[Node]
 	heads []uint32
 	mask  uint32
 	// sessions caches one Session per thread context for the leasing API:
@@ -59,14 +70,12 @@ func New(cfg core.Config, expected int) *Map {
 		n <<= 1
 	}
 	cfg.Capacity += n
-	cfg.OwnerHPs = 3
-	m := &Map{mgr: core.NewManager[Node](cfg, ResetNode), mask: uint32(n - 1)}
-	t := m.mgr.Thread(0)
+	m := &Map{kit: oakit.NewEngine[Node](cfg, ResetNode, 3), mask: uint32(n - 1)}
 	m.heads = make([]uint32, n)
 	for i := range m.heads {
-		m.heads[i] = t.Alloc()
+		m.heads[i] = m.kit.NewRoot()
 	}
-	m.sessions = make([]*Session, m.mgr.MaxThreads())
+	m.sessions = make([]*Session, m.kit.Manager().MaxThreads())
 	for i := range m.sessions {
 		m.sessions[i] = m.Session(i)
 	}
@@ -74,10 +83,13 @@ func New(cfg core.Config, expected int) *Map {
 }
 
 // Manager exposes the underlying optimistic access manager.
-func (m *Map) Manager() *core.Manager[Node] { return m.mgr }
+func (m *Map) Manager() *core.Manager[Node] { return m.kit.Manager() }
 
 // Stats returns reclamation counters.
-func (m *Map) Stats() smr.Stats { return m.mgr.Stats() }
+func (m *Map) Stats() smr.Stats { return m.kit.Stats() }
+
+// Buckets returns the bucket count (for WalkBucket sweeps).
+func (m *Map) Buckets() int { return len(m.heads) }
 
 func (m *Map) bucket(key uint64) uint32 {
 	return m.heads[uint32((key*0x9E3779B97F4A7C15)>>33)&m.mask]
@@ -88,7 +100,7 @@ func (m *Map) bucket(key uint64) uint32 {
 // Deprecated: fixed thread ids cannot be assigned safely from dynamic
 // goroutine populations; use Acquire, which leases a free context.
 func (m *Map) Session(tid int) *Session {
-	return &Session{m: m, t: m.mgr.Thread(tid), pending: arena.NoSlot}
+	return &Session{m: m, c: m.kit.Ctx(tid)}
 }
 
 // Acquire leases a free thread context and returns its session. The
@@ -96,7 +108,7 @@ func (m *Map) Session(tid int) *Session {
 // Release. Acquire fails with lease.ErrNoFreeSessions when all contexts
 // are leased and lease.ErrClosed after Close.
 func (m *Map) Acquire() (*Session, error) {
-	t, err := m.mgr.AcquireThread()
+	t, err := m.kit.Manager().AcquireThread()
 	if err != nil {
 		return nil, err
 	}
@@ -107,18 +119,23 @@ func (m *Map) Acquire() (*Session, error) {
 
 // Close marks the session registry closed: Acquire fails from then on,
 // outstanding sessions stay valid until Released.
-func (m *Map) Close() { m.mgr.Close() }
+func (m *Map) Close() { m.kit.Close() }
 
 // Session is the per-thread handle of a Map.
 type Session struct {
 	m        *Map
-	t        *core.Thread[Node]
-	pending  uint32
+	c        *oakit.Ctx[Node]
 	released atomic.Bool
 }
 
 // TID returns the session's thread context id.
-func (s *Session) TID() int { return s.t.ID() }
+func (s *Session) TID() int { return s.c.TID() }
+
+// FlushRetired pushes the session's partially filled local retire block
+// into the global reclamation pipeline. Bulk-removal passes call it so
+// every slot they freed becomes allocatable now, instead of the tail of
+// the batch waiting in the local buffer for the block to fill.
+func (s *Session) FlushRetired() { s.c.FlushRetired() }
 
 // Release returns a session obtained from Acquire to the free pool. It
 // panics on double release (two goroutines sharing one context would
@@ -128,12 +145,20 @@ func (s *Session) Release() {
 	if s.released.Swap(true) {
 		panic("kvmap: double Release of session")
 	}
-	s.m.mgr.ReleaseThread(s.t)
+	s.m.kit.Manager().ReleaseThread(s.c.Th)
 }
 
 // Get returns the value stored under key.
 func (s *Session) Get(key uint64) (uint64, bool) {
-	th := s.t
+	v, _, ok := s.GetWithAux(key)
+	return v, ok
+}
+
+// GetWithAux returns the value and aux word stored under key. The two
+// words are read in one validated batch, so the pair is consistent as of
+// some instant during the call (Algorithm 1).
+func (s *Session) GetWithAux(key uint64) (val, aux uint64, ok bool) {
+	th := s.c.Th
 	head := s.m.bucket(key)
 restart:
 	for {
@@ -145,26 +170,27 @@ restart:
 			n := th.Node(cur.Unmark().Slot())
 			next := arena.Ptr(n.Next.Load())
 			ckey := n.Key.Load()
-			val := n.Val.Load()
+			v := n.Val.Load()
+			a := n.Aux.Load()
 			if th.Check() {
 				continue restart
 			}
 			if ckey >= key {
 				if ckey == key && !next.Marked() {
-					return val, true
+					return v, a, true
 				}
-				return 0, false
+				return 0, 0, false
 			}
 			cur = next.Unmark()
 		}
-		return 0, false
+		return 0, 0, false
 	}
 }
 
 // search mirrors the set engines' generator search (with helping physical
-// deletes under the write barrier).
+// deletes through oakit.UnlinkRetire).
 func (s *Session) search(head uint32, key uint64) (prevSlot uint32, cur, next arena.Ptr, ckey uint64, ok, restart bool) {
-	th := s.t
+	th := s.c.Th
 	prevSlot = head
 	cur = arena.Ptr(th.Node(head).Next.Load())
 	if th.Check() {
@@ -190,17 +216,8 @@ func (s *Session) search(head uint32, key uint64) (prevSlot uint32, cur, next ar
 				return prevSlot, cur, next, ckey, true, false
 			}
 			prevSlot = curSlot
-		} else {
-			if th.ProtectCAS(arena.MakePtr(prevSlot), cur, next.Unmark()) {
-				return 0, 0, 0, 0, false, true
-			}
-			if th.Node(prevSlot).Next.CompareAndSwap(uint64(cur), uint64(next.Unmark())) {
-				th.ClearCAS()
-				th.Retire(curSlot)
-			} else {
-				th.ClearCAS()
-				return 0, 0, 0, 0, false, true
-			}
+		} else if !s.c.UnlinkRetire(&th.Node(prevSlot).Next, arena.MakePtr(prevSlot), cur, next.Unmark()) {
+			return 0, 0, 0, 0, false, true
 		}
 		cur = next.Unmark()
 	}
@@ -209,14 +226,23 @@ func (s *Session) search(head uint32, key uint64) (prevSlot uint32, cur, next ar
 // PutIfAbsent stores val under key unless key is present; it reports
 // whether the store happened.
 func (s *Session) PutIfAbsent(key, val uint64) bool {
-	inserted, _ := s.put(key, val, false)
+	inserted, _ := s.put(key, val, 0, false)
+	return inserted
+}
+
+// PutIfAbsentWithAux is PutIfAbsent with the new node's aux word preset
+// before it is linked (the node is private until the linking CAS, so the
+// value/aux pair publishes atomically with the insert).
+func (s *Session) PutIfAbsentWithAux(key, val, aux uint64) bool {
+	inserted, _ := s.put(key, val, aux, false)
 	return inserted
 }
 
 // Put stores val under key, inserting or overwriting. It returns the
-// previous value and whether one existed.
+// previous value and whether one existed. An overwrite leaves the aux
+// word untouched; a fresh insert zeroes it.
 func (s *Session) Put(key, val uint64) (uint64, bool) {
-	_, prev := s.put(key, val, true)
+	_, prev := s.put(key, val, 0, true)
 	return prev.val, prev.had
 }
 
@@ -225,10 +251,9 @@ type prevVal struct {
 	had bool
 }
 
-func (s *Session) put(key, val uint64, overwrite bool) (bool, prevVal) {
-	th := s.t
+func (s *Session) put(key, val, aux uint64, overwrite bool) (bool, prevVal) {
+	th := s.c.Th
 	head := s.m.bucket(key)
-	var dl normalized.DescList
 	for {
 		// --- CAS generator ---
 		prevSlot, cur, _, ckey, found, restart := s.search(head, key)
@@ -246,39 +271,23 @@ func (s *Session) put(key, val uint64, overwrite bool) (bool, prevVal) {
 			if th.Check() {
 				continue
 			}
-			if th.ProtectCAS(cur, arena.NilPtr, arena.NilPtr) {
-				continue
-			}
-			swapped := n.Val.CompareAndSwap(old, val)
-			th.ClearCAS()
-			if !swapped {
-				continue // value raced; regenerate
+			swapped, restart := s.c.WordCAS(cur, &n.Val, old, val)
+			if restart || !swapped {
+				continue // warning, or the value raced; regenerate
 			}
 			return false, prevVal{val: old, had: true}
 		}
-		if s.pending == arena.NoSlot {
-			s.pending = th.Alloc()
-		}
-		n := th.Node(s.pending)
+		slot := s.c.Pending()
+		n := th.Node(slot)
 		n.Key.Store(key)
 		n.Val.Store(val)
+		n.Aux.Store(aux)
 		n.Next.Store(uint64(cur))
-		dl.Reset()
-		dl.Append(&th.Node(prevSlot).Next, uint64(cur), uint64(arena.MakePtr(s.pending)))
-		th.SetOwnerHP(0, arena.MakePtr(prevSlot))
-		th.SetOwnerHP(1, cur)
-		th.SetOwnerHP(2, arena.MakePtr(s.pending))
-		if th.SealGenerator() {
+		if !s.c.Commit(&th.Node(prevSlot).Next, uint64(cur), uint64(arena.MakePtr(slot)),
+			arena.MakePtr(prevSlot), cur, arena.MakePtr(slot)) {
 			continue
 		}
-		// --- CAS executor ---
-		failed := normalized.Execute(&dl)
-		// --- wrap-up ---
-		th.ClearOwnerHPs()
-		if failed != 0 {
-			continue
-		}
-		s.pending = arena.NoSlot
+		s.c.ConsumePending()
 		return true, prevVal{}
 	}
 }
@@ -290,7 +299,18 @@ func (s *Session) put(key, val uint64, overwrite bool) (bool, prevVal) {
 // Algorithm 2 write barrier, so it linearizes against concurrent Puts,
 // Removes and other CASes.
 func (s *Session) CompareAndSwap(key, old, new uint64) (swapped, found bool) {
-	th := s.t
+	return s.casWord(key, old, new, false)
+}
+
+// AuxCAS is CompareAndSwap on the aux word: the linearization primitive
+// for metadata transitions (TTL deadline updates, LRU access stamps,
+// expiry tombstones) on a live entry.
+func (s *Session) AuxCAS(key, old, new uint64) (swapped, found bool) {
+	return s.casWord(key, old, new, true)
+}
+
+func (s *Session) casWord(key, old, new uint64, aux bool) (swapped, found bool) {
+	th := s.c.Th
 	head := s.m.bucket(key)
 	for {
 		_, cur, _, ckey, ok, restart := s.search(head, key)
@@ -301,34 +321,36 @@ func (s *Session) CompareAndSwap(key, old, new uint64) (swapped, found bool) {
 			return false, false
 		}
 		n := th.Node(cur.Slot())
-		v := n.Val.Load()
+		w := &n.Val
+		if aux {
+			w = &n.Aux
+		}
+		v := w.Load()
 		if th.Check() {
 			continue
 		}
 		if v != old {
 			return false, true
 		}
-		if th.ProtectCAS(cur, arena.NilPtr, arena.NilPtr) {
+		won, restart := s.c.WordCAS(cur, w, old, new)
+		if restart {
 			continue
 		}
-		won := n.Val.CompareAndSwap(old, new)
-		th.ClearCAS()
 		if won {
 			return true, true
 		}
-		// The value word moved between the read and the CAS: re-search and
+		// The word moved between the read and the CAS: re-search and
 		// re-read — the next round reports mismatch or retries as needed.
 	}
 }
 
 // Remove deletes key, returning the removed value and whether key existed.
 func (s *Session) Remove(key uint64) (uint64, bool) {
-	th := s.t
+	th := s.c.Th
 	head := s.m.bucket(key)
-	var dl normalized.DescList
 	for {
 		// --- CAS generator ---
-		_, cur, next, ckey, found, restart := s.search(head, key)
+		prevSlot, cur, next, ckey, found, restart := s.search(head, key)
 		if restart {
 			continue
 		}
@@ -336,18 +358,8 @@ func (s *Session) Remove(key uint64) (uint64, bool) {
 			return 0, false
 		}
 		n := th.Node(cur.Slot())
-		dl.Reset()
-		dl.Append(&n.Next, uint64(next), uint64(next.Mark()))
-		th.SetOwnerHP(0, cur)
-		th.SetOwnerHP(1, next)
-		if th.SealGenerator() {
-			continue
-		}
-		// --- CAS executor ---
-		failed := normalized.Execute(&dl)
-		// --- wrap-up ---
-		if failed != 0 {
-			th.ClearOwnerHPs()
+		if !s.c.CommitPinned(&n.Next, uint64(next), uint64(next.Mark()),
+			cur, next, arena.NilPtr) {
 			continue
 		}
 		// Read the removed value *after* winning the mark, while the owner
@@ -355,7 +367,85 @@ func (s *Session) Remove(key uint64) (uint64, bool) {
 		// between the generator's read and the mark linearizes before this
 		// Remove, so the post-mark value is the one removed.
 		val := n.Val.Load()
-		th.ClearOwnerHPs()
+		s.c.Unpin()
+		// Best-effort immediate unlink. Leaving the physical delete to a
+		// later traversal's helping strands the slot until organic traffic
+		// happens to walk this bucket, so bulk removals (cache sweeps,
+		// eviction) would mark hundreds of nodes while freeing none of
+		// them for the starving allocator. A lost race or a warning here
+		// is fine — some helper finishes the job.
+		s.c.UnlinkRetire(&th.Node(prevSlot).Next, arena.MakePtr(prevSlot), cur, next)
 		return val, true
+	}
+}
+
+// RemoveIfAux deletes key only while aux&mask == want still holds on the
+// node — the conditional removal lazy TTL expiry needs. The predicate is
+// re-evaluated inside the generator on every restart and pinned by the
+// normalized commit, so a fresh same-key entry (or one whose aux was
+// CASed away from the matching state) is never removed by a stale
+// decision. Reports whether the removal happened.
+func (s *Session) RemoveIfAux(key, mask, want uint64) bool {
+	th := s.c.Th
+	head := s.m.bucket(key)
+	for {
+		prevSlot, cur, next, ckey, found, restart := s.search(head, key)
+		if restart {
+			continue
+		}
+		if !found || ckey != key {
+			return false
+		}
+		n := th.Node(cur.Slot())
+		a := n.Aux.Load()
+		if th.Check() {
+			continue
+		}
+		if a&mask != want {
+			return false
+		}
+		if !s.c.Commit(&n.Next, uint64(next), uint64(next.Mark()),
+			cur, next, arena.NilPtr) {
+			continue
+		}
+		// Best-effort immediate unlink — see Remove for why sweeps need
+		// the physical delete now rather than at the next traversal.
+		s.c.UnlinkRetire(&th.Node(prevSlot).Next, arena.MakePtr(prevSlot), cur, next)
+		return true
+	}
+}
+
+// WalkBucket visits every live entry of bucket b, calling fn(key, val,
+// aux) until fn returns false. Each node's words are read in one
+// validated batch, but the walk as a whole is weakly consistent: a
+// concurrent warning restarts the bucket, so fn may see an entry more
+// than once and concurrent insertions may be missed. Sweepers and
+// samplers — the intended callers — tolerate both.
+func (s *Session) WalkBucket(b int, fn func(key, val, aux uint64) bool) {
+	th := s.c.Th
+	head := s.m.heads[b]
+restart:
+	for {
+		cur := arena.Ptr(th.Node(head).Next.Load())
+		if th.Check() {
+			continue restart
+		}
+		for !cur.IsNil() {
+			n := th.Node(cur.Unmark().Slot())
+			next := arena.Ptr(n.Next.Load())
+			ckey := n.Key.Load()
+			v := n.Val.Load()
+			a := n.Aux.Load()
+			if th.Check() {
+				continue restart
+			}
+			if !next.Marked() {
+				if !fn(ckey, v, a) {
+					return
+				}
+			}
+			cur = next.Unmark()
+		}
+		return
 	}
 }

@@ -3,16 +3,20 @@ package list
 import (
 	"repro/internal/arena"
 	"repro/internal/core"
-	"repro/internal/normalized"
+	"repro/internal/oakit"
 	"repro/internal/obs"
 	"repro/internal/smr"
 )
 
-// OAEngine runs Harris-Michael lists under the optimistic access scheme.
-// One operation executes at most one CAS (the generator's list has length
-// ≤ 1), so three owner hazard pointers suffice (Algorithm 3 with C = 1).
+// OAEngine runs Harris-Michael lists under the optimistic access scheme,
+// on the Level-1 oakit scaffolding: the engine/session plumbing, the
+// normalized commit (Algorithm 3) and the helping physical delete
+// (Algorithm 2) come from the kit; only the per-hop traversal loops —
+// the structure-specific reads — live here. One operation executes at
+// most one CAS (the generator's list has length ≤ 1), so three owner
+// hazard pointers suffice (Algorithm 3 with C = 1).
 type OAEngine struct {
-	mgr *core.Manager[Node]
+	kit *oakit.Engine[Node]
 }
 
 // OAOwnerHPs is 3·C for the list's C = 1.
@@ -20,29 +24,25 @@ const OAOwnerHPs = 3
 
 // NewOAEngine builds an engine; cfg.OwnerHPs is forced to the list's need.
 func NewOAEngine(cfg core.Config) *OAEngine {
-	cfg.OwnerHPs = OAOwnerHPs
-	return &OAEngine{mgr: core.NewManager[Node](cfg, ResetNode)}
+	return &OAEngine{kit: oakit.NewEngine[Node](cfg, ResetNode, OAOwnerHPs)}
 }
 
 // Manager exposes the underlying optimistic access manager.
-func (e *OAEngine) Manager() *core.Manager[Node] { return e.mgr }
+func (e *OAEngine) Manager() *core.Manager[Node] { return e.kit.Manager() }
 
 // NewHead allocates a sentinel head for a new (empty) list. Called during
 // single-threaded setup; it borrows thread context 0.
-func (e *OAEngine) NewHead() uint32 {
-	return e.mgr.Thread(0).Alloc()
-}
+func (e *OAEngine) NewHead() uint32 { return e.kit.NewRoot() }
 
 // OAThread is the per-worker handle.
 type OAThread struct {
-	e       *OAEngine
-	t       *core.Thread[Node]
-	pending uint32 // node allocated for an insert, reused across restarts
+	c *oakit.Ctx[Node]
 }
 
-// Thread binds worker id to the engine.
+// Thread binds worker id to the engine. Contexts (and their pending
+// pre-allocated insert slot) are cached per id in the kit engine.
 func (e *OAEngine) Thread(id int) *OAThread {
-	return &OAThread{e: e, t: e.mgr.Thread(id), pending: arena.NoSlot}
+	return &OAThread{c: e.kit.Ctx(id)}
 }
 
 // ContainsAt reports whether key is in the list rooted at head. It is the
@@ -52,7 +52,7 @@ func (e *OAEngine) Thread(id int) *OAThread {
 // independent-reads optimization of Appendix E batching the key and next
 // reads under one check).
 func (t *OAThread) ContainsAt(head uint32, key uint64) bool {
-	th := t.t
+	th := t.c.Th
 restart:
 	for {
 		cur := arena.Ptr(th.Node(head).Next.Load())
@@ -78,11 +78,11 @@ restart:
 // search is the shared CAS-generator search loop of Listing 1: it returns
 // with cur positioned on the first unmarked node with key ≥ key (curSlot
 // valid, ok=true) or reports the key absent past the end (ok=false). It
-// helps physically delete marked nodes (write barrier of Algorithm 2) and
-// retires the nodes it unlinks. restart=true means the caller must restart
-// the generator.
+// helps physically delete marked nodes (oakit.UnlinkRetire: the write
+// barrier of Algorithm 2 plus the retire of the unlinked slot).
+// restart=true means the caller must restart the generator.
 func (t *OAThread) search(head uint32, key uint64) (prevSlot uint32, cur, next arena.Ptr, ckey uint64, ok, restart bool) {
-	th := t.t
+	th := t.c.Th
 	prevSlot = head
 	cur = arena.Ptr(th.Node(head).Next.Load())
 	if th.Check() {
@@ -108,32 +108,18 @@ func (t *OAThread) search(head uint32, key uint64) (prevSlot uint32, cur, next a
 				return prevSlot, cur, next, ckey, true, false
 			}
 			prevSlot = curSlot
-		} else {
-			// Physical delete of a logically deleted node — an observable
-			// CAS, so Algorithm 2 applies.
-			if th.ProtectCAS(arena.MakePtr(prevSlot), cur, next.Unmark()) {
-				return 0, 0, 0, 0, false, true
-			}
-			if th.Node(prevSlot).Next.CompareAndSwap(uint64(cur), uint64(next.Unmark())) {
-				th.ClearCAS()
-				th.Retire(curSlot) // proper: now unlinked, single unlinker
-			} else {
-				th.ClearCAS()
-				return 0, 0, 0, 0, false, true
-			}
+		} else if !t.c.UnlinkRetire(&th.Node(prevSlot).Next, arena.MakePtr(prevSlot), cur, next.Unmark()) {
+			return 0, 0, 0, 0, false, true
 		}
 		cur = next.Unmark()
 	}
 }
 
 // InsertAt adds key to the list rooted at head; false if already present.
-//
-// Normalized structure: the generator searches and emits one CAS linking
-// the pending node; owner hazard pointers pin the CAS operands across the
-// executor and wrap-up (Algorithm 3); the wrap-up retries on CAS failure.
+// The generator searches and fills the kit's pending node; the executor
+// and wrap-up (owner HPs, seal, link CAS) are oakit.Commit.
 func (t *OAThread) InsertAt(head uint32, key uint64) bool {
-	th := t.t
-	var dl normalized.DescList
+	th := t.c.Th
 	for {
 		// --- CAS generator ---
 		prevSlot, cur, _, ckey, found, restart := t.search(head, key)
@@ -143,40 +129,26 @@ func (t *OAThread) InsertAt(head uint32, key uint64) bool {
 		if found && ckey == key {
 			return false // empty CAS list; wrap-up reports "already present"
 		}
-		if t.pending == arena.NoSlot {
-			t.pending = th.Alloc()
-		}
-		n := th.Node(t.pending)
+		slot := t.c.Pending()
+		n := th.Node(slot)
 		n.Key.Store(key)
 		n.Next.Store(uint64(cur))
-		dl.Reset()
-		dl.Append(&th.Node(prevSlot).Next, uint64(cur), uint64(arena.MakePtr(t.pending)))
 		// Algorithm 3: protect O=prev, A2=cur, A3=new node.
-		th.SetOwnerHP(0, arena.MakePtr(prevSlot))
-		th.SetOwnerHP(1, cur)
-		th.SetOwnerHP(2, arena.MakePtr(t.pending))
-		if th.SealGenerator() {
-			continue
-		}
-		// --- CAS executor ---
-		failed := normalized.Execute(&dl)
-		// --- wrap-up ---
-		th.ClearOwnerHPs()
-		if failed != 0 {
+		if !t.c.Commit(&th.Node(prevSlot).Next, uint64(cur), uint64(arena.MakePtr(slot)),
+			arena.MakePtr(prevSlot), cur, arena.MakePtr(slot)) {
 			continue // RESTART_GENERATOR
 		}
-		t.pending = arena.NoSlot
+		t.c.ConsumePending()
 		return true
 	}
 }
 
 // DeleteAt removes key from the list rooted at head; false if absent.
-// This is Listing 1 / Appendix C verbatim: the generator emits the logical
-// delete (marking the next pointer); the physical delete is left to future
+// This is Listing 1 / Appendix C: the generator emits the logical delete
+// (marking the next pointer); the physical delete is left to future
 // searches, which retire the node when they unlink it.
 func (t *OAThread) DeleteAt(head uint32, key uint64) bool {
-	th := t.t
-	var dl normalized.DescList
+	th := t.c.Th
 	for {
 		// --- CAS generator ---
 		_, cur, next, ckey, found, restart := t.search(head, key)
@@ -186,20 +158,10 @@ func (t *OAThread) DeleteAt(head uint32, key uint64) bool {
 		if !found || ckey != key {
 			return false // empty CAS list; wrap-up reports FALSE
 		}
-		dl.Reset()
-		dl.Append(&th.Node(cur.Slot()).Next, uint64(next), uint64(next.Mark()))
-		// Algorithm 3 / Listing 4: HP[3]=cur, HP[4]=next; the new value
-		// mark(next) dedups with next (basic optimization).
-		th.SetOwnerHP(0, cur)
-		th.SetOwnerHP(1, next)
-		if th.SealGenerator() {
-			continue
-		}
-		// --- CAS executor ---
-		failed := normalized.Execute(&dl)
-		// --- wrap-up ---
-		th.ClearOwnerHPs()
-		if failed != 0 {
+		// Listing 4: HP[3]=cur, HP[4]=next; the new value mark(next)
+		// dedups with next (basic optimization).
+		if !t.c.Commit(&th.Node(cur.Slot()).Next, uint64(next), uint64(next.Mark()),
+			cur, next, arena.NilPtr) {
 			continue // RESTART_GENERATOR
 		}
 		return true
@@ -208,7 +170,7 @@ func (t *OAThread) DeleteAt(head uint32, key uint64) bool {
 
 // FlushRetired pushes locally buffered retired nodes onward (used when a
 // worker finishes).
-func (t *OAThread) FlushRetired() { t.t.FlushRetired() }
+func (t *OAThread) FlushRetired() { t.c.FlushRetired() }
 
 // OA is a single linked-list set under optimistic access.
 type OA struct {
@@ -229,7 +191,7 @@ func (l *OA) Engine() *OAEngine { return l.e }
 func (l *OA) Scheme() smr.Scheme { return smr.OA }
 
 // Stats implements smr.Set.
-func (l *OA) Stats() smr.Stats { return l.e.mgr.Stats() }
+func (l *OA) Stats() smr.Stats { return l.e.kit.Stats() }
 
 // Session implements smr.Set.
 func (l *OA) Session(tid int) smr.Session { return &oaSession{t: l.e.Thread(tid), head: l.head} }

@@ -1,0 +1,40 @@
+// Package oaerr holds the sentinel errors shared across the public API
+// surfaces (package oamem, the binary protocol status codes, the RESP
+// error classes). It is a leaf package so that internal/server, the
+// structure packages and oamem can all return the *same* error values
+// without import cycles: errors.Is matches no matter which layer handed
+// the error out. The session-economy sentinels (ErrNoFreeSessions,
+// ErrClosed, ErrCapacityExhausted) live in internal/lease for the same
+// reason; oamem/errors.go documents the complete set in one place.
+package oaerr
+
+import "errors"
+
+var (
+	// ErrInvalidOptions reports a constructor rejected its options
+	// (negative sizes, a scheme a structure does not support). Returned
+	// errors wrap it with the offending field and value.
+	ErrInvalidOptions = errors.New("invalid options")
+
+	// ErrNotFound reports a lookup missed: the key is absent (or, for a
+	// TTL cache, present but expired). The protocol NOT_FOUND status and
+	// the RESP nil bulk map onto it.
+	ErrNotFound = errors.New("key not found")
+
+	// ErrCASMismatch reports a compare-and-swap found the key but the
+	// current value differed from the expected one.
+	ErrCASMismatch = errors.New("cas mismatch")
+
+	// ErrFrameTooLarge reports a protocol frame or RESP command exceeded
+	// the configured limits. The connection is cut afterwards because the
+	// stream cannot be resynchronized.
+	ErrFrameTooLarge = errors.New("frame exceeds limit")
+
+	// ErrValueTooLarge reports a value does not fit the u64-packed store
+	// (RESP values are at most 7 bytes, {len:1B | bytes:7B}).
+	ErrValueTooLarge = errors.New("value exceeds the 7-byte packed-word limit")
+
+	// ErrBadRequest reports a malformed or unknown request (bad opcode,
+	// RESP protocol error, wrong arity).
+	ErrBadRequest = errors.New("bad request")
+)

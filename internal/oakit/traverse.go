@@ -1,0 +1,247 @@
+package oakit
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/smr"
+)
+
+// Keyed is the node shape the generic traversal understands: a sorted
+// Harris-Michael chain with a uint64 key. The methods return pointers to
+// the node's atomic words so the kit performs the loads itself, keeping
+// the warning-check placement (load batch, then Check) in one audited
+// place instead of in every structure.
+type Keyed interface {
+	// KeyWord returns the node's key word.
+	KeyWord() *atomic.Uint64
+	// NextWord returns the node's successor word (an arena.Ptr with the
+	// Harris delete mark in bit 0).
+	NextWord() *atomic.Uint64
+}
+
+// NodeOf is the constraint tying a node type T to its pointer type: the
+// methods live on *T, and the kit converts arena slots to P internally.
+type NodeOf[T any] interface {
+	*T
+	Keyed
+}
+
+// Pos is a generic traversal position: the first unmarked node with
+// key ≥ the searched key (OK=true) or the end of the chain (OK=false),
+// plus its predecessor. Prev is a slot (roots have no Ptr), Cur/Next are
+// handles.
+type Pos struct {
+	Prev      uint32
+	Cur, Next arena.Ptr
+	Key       uint64
+	OK        bool
+}
+
+// Find runs the shared CAS-generator search loop (the paper's Listing 1)
+// generically: hop the chain from head, batching each node's key and
+// next loads under one warning check, helping physical deletes of marked
+// nodes along the way (write barrier + retire via UnlinkRetire).
+// restart=true means the caller must restart its generator; the position
+// is then invalid.
+func Find[T any, P NodeOf[T]](c *Ctx[T], head uint32, key uint64) (pos Pos, restart bool) {
+	th := c.Th
+	prev := head
+	cur := arena.Ptr(P(th.Node(head)).NextWord().Load())
+	if th.Check() {
+		return Pos{}, true
+	}
+	for {
+		if cur.IsNil() {
+			return Pos{Prev: prev}, false
+		}
+		curSlot := cur.Slot()
+		n := P(th.Node(curSlot))
+		next := arena.Ptr(n.NextWord().Load())
+		ckey := n.KeyWord().Load()
+		tmp := arena.Ptr(P(th.Node(prev)).NextWord().Load())
+		if th.Check() {
+			return Pos{}, true
+		}
+		if tmp != cur {
+			return Pos{}, true // Listing 1 line 14: goto start
+		}
+		if !next.Marked() {
+			if ckey >= key {
+				return Pos{Prev: prev, Cur: cur, Next: next, Key: ckey, OK: true}, false
+			}
+			prev = curSlot
+		} else if !c.UnlinkRetire(P(th.Node(prev)).NextWord(), arena.MakePtr(prev), cur, next.Unmark()) {
+			return Pos{}, true
+		}
+		cur = next.Unmark()
+	}
+}
+
+// Contains is the wait-free read-only membership test (Algorithm 1): two
+// loads plus one warning check per hop, no hazard pointers, no fences.
+func Contains[T any, P NodeOf[T]](c *Ctx[T], head uint32, key uint64) bool {
+	th := c.Th
+restart:
+	for {
+		cur := arena.Ptr(P(th.Node(head)).NextWord().Load())
+		if th.Check() {
+			continue restart
+		}
+		for !cur.IsNil() {
+			n := P(th.Node(cur.Unmark().Slot()))
+			next := arena.Ptr(n.NextWord().Load())
+			ckey := n.KeyWord().Load()
+			if th.Check() {
+				continue restart
+			}
+			if ckey >= key {
+				return ckey == key && !next.Marked()
+			}
+			cur = next.Unmark()
+		}
+		return false
+	}
+}
+
+// Insert links a new node carrying key into the sorted chain at head;
+// false if the key is already present. init, if non-nil, fills the
+// pending node's payload words after the key is set and before the node
+// is linked (the node is still thread-private, so plain stores are
+// safe — they publish with the linking CAS).
+func Insert[T any, P NodeOf[T]](c *Ctx[T], head uint32, key uint64, init func(P)) bool {
+	th := c.Th
+	for {
+		// --- CAS generator ---
+		pos, restart := Find[T, P](c, head, key)
+		if restart {
+			continue
+		}
+		if pos.OK && pos.Key == key {
+			return false // wrap-up of the empty CAS list: already present
+		}
+		slot := c.Pending()
+		n := P(th.Node(slot))
+		n.KeyWord().Store(key)
+		n.NextWord().Store(uint64(pos.Cur))
+		if init != nil {
+			init(n)
+		}
+		// Algorithm 3: protect O=prev, A2=cur, A3=new node; executor +
+		// wrap-up inside Commit.
+		if !c.Commit(P(th.Node(pos.Prev)).NextWord(), uint64(pos.Cur),
+			uint64(arena.MakePtr(slot)),
+			arena.MakePtr(pos.Prev), pos.Cur, arena.MakePtr(slot)) {
+			continue
+		}
+		c.ConsumePending()
+		return true
+	}
+}
+
+// Delete logically deletes key from the chain at head (marking its next
+// word); false if absent. Physical unlinking is left to future
+// traversals, which retire the node when they unlink it.
+func Delete[T any, P NodeOf[T]](c *Ctx[T], head uint32, key uint64) bool {
+	th := c.Th
+	for {
+		// --- CAS generator ---
+		pos, restart := Find[T, P](c, head, key)
+		if restart {
+			continue
+		}
+		if !pos.OK || pos.Key != key {
+			return false
+		}
+		// HP dedup of Listing 4: mark(next) shares next's slot.
+		if !c.Commit(P(th.Node(pos.Cur.Slot())).NextWord(), uint64(pos.Next),
+			uint64(pos.Next.Mark()), pos.Cur, pos.Next, arena.NilPtr) {
+			continue
+		}
+		return true
+	}
+}
+
+// DeleteIf deletes key only while pred holds on the node's current
+// payload: the generator re-reads the node through read (a validated
+// load batch the caller supplies, ending in its own Check) and emits the
+// mark CAS only if pred approves. It is the conditional-removal
+// primitive lazy TTL expiry needs — a fresh same-key entry (or one whose
+// deadline was extended) is never removed by a stale decision, because
+// the predicate is re-evaluated inside the generator on every restart.
+func DeleteIf[T any, P NodeOf[T]](c *Ctx[T], head uint32, key uint64, pred func(P) bool) bool {
+	th := c.Th
+	for {
+		pos, restart := Find[T, P](c, head, key)
+		if restart {
+			continue
+		}
+		if !pos.OK || pos.Key != key {
+			return false
+		}
+		n := P(th.Node(pos.Cur.Slot()))
+		hold := pred(n)
+		if th.Check() {
+			continue
+		}
+		if !hold {
+			return false
+		}
+		if !c.Commit(n.NextWord(), uint64(pos.Next),
+			uint64(pos.Next.Mark()), pos.Cur, pos.Next, arena.NilPtr) {
+			continue
+		}
+		return true
+	}
+}
+
+// List is a complete generic Harris-Michael set over any Keyed node
+// type — the near-zero-LoC path to a new OA set, and the kit's generic
+// hook into the dstest/linearize/chaos harnesses (it implements
+// smr.Set). Hot structures with tight pointer-chase loops should port
+// onto Level 1 instead; see the package comment.
+type List[T any, P NodeOf[T]] struct {
+	e    *Engine[T]
+	head uint32
+}
+
+// NewList builds an empty generic set sized by cfg.
+func NewList[T any, P NodeOf[T]](cfg core.Config, reset func(*T)) *List[T, P] {
+	e := NewEngine[T](cfg, reset, 3)
+	return &List[T, P]{e: e, head: e.NewRoot()}
+}
+
+// Engine exposes the underlying kit engine.
+func (l *List[T, P]) Engine() *Engine[T] { return l.e }
+
+// Scheme implements smr.Set.
+func (l *List[T, P]) Scheme() smr.Scheme { return smr.OA }
+
+// Stats implements smr.Set.
+func (l *List[T, P]) Stats() smr.Stats { return l.e.Stats() }
+
+// Session implements smr.Set (fixed-slot harness sessions; servers lease
+// with Engine().Acquire and operate through the generic functions).
+func (l *List[T, P]) Session(tid int) smr.Session {
+	return listSession[T, P]{c: l.e.Ctx(tid), head: l.head}
+}
+
+// RegisterObs implements obs.Registrar by forwarding to the manager.
+func (l *List[T, P]) RegisterObs(reg *obs.Registry) { l.e.RegisterObs(reg) }
+
+type listSession[T any, P NodeOf[T]] struct {
+	c    *Ctx[T]
+	head uint32
+}
+
+func (s listSession[T, P]) Insert(key uint64) bool {
+	return Insert[T, P](s.c, s.head, key, nil)
+}
+func (s listSession[T, P]) Delete(key uint64) bool {
+	return Delete[T, P](s.c, s.head, key)
+}
+func (s listSession[T, P]) Contains(key uint64) bool {
+	return Contains[T, P](s.c, s.head, key)
+}

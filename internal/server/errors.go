@@ -1,0 +1,66 @@
+package server
+
+// Status-code ↔ sentinel mapping. The wire protocols compress every
+// failure into one status byte (binary) or error class (RESP);
+// SentinelOf/StatusFor are the single table tying those codes back to
+// the package oamem sentinel set, so a client library can surface typed
+// errors with errors.Is and a test can pin the round-trip
+// (TestStatusSentinelParity).
+
+import (
+	"errors"
+
+	"repro/internal/lease"
+	"repro/internal/oaerr"
+)
+
+// SentinelOf returns the typed sentinel a response status maps onto
+// (nil for StOK). The value is the same error instance the library
+// returns locally, so errors.Is classification is identical whether an
+// operation ran in-process or across the wire.
+func SentinelOf(status uint8) error {
+	switch status {
+	case StOK:
+		return nil
+	case StNotFound:
+		return oaerr.ErrNotFound
+	case StCASMismatch:
+		return oaerr.ErrCASMismatch
+	case StBusy:
+		return lease.ErrNoFreeSessions
+	case StClosed, StGoAway:
+		return lease.ErrClosed
+	case StCapacity:
+		return lease.ErrCapacityExhausted
+	case StFrameTooBig:
+		return oaerr.ErrFrameTooLarge
+	default:
+		return oaerr.ErrBadRequest
+	}
+}
+
+// StatusFor maps an error onto the response status a server answers for
+// it: the inverse of SentinelOf up to the StClosed/StGoAway fold (both
+// mean "this server is going away"; StatusFor picks StClosed). Unknown
+// errors classify as StBadRequest, matching what the listeners answer
+// for malformed input.
+func StatusFor(err error) uint8 {
+	switch {
+	case err == nil:
+		return StOK
+	case errors.Is(err, oaerr.ErrNotFound):
+		return StNotFound
+	case errors.Is(err, oaerr.ErrCASMismatch):
+		return StCASMismatch
+	case errors.Is(err, lease.ErrNoFreeSessions):
+		return StBusy
+	case errors.Is(err, lease.ErrClosed):
+		return StClosed
+	case errors.Is(err, lease.ErrCapacityExhausted):
+		return StCapacity
+	case errors.Is(err, oaerr.ErrFrameTooLarge):
+		return StFrameTooBig
+	default:
+		return StBadRequest
+	}
+}

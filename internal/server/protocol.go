@@ -43,9 +43,10 @@ package server
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/oaerr"
 )
 
 // Request opcodes.
@@ -103,8 +104,10 @@ const (
 
 // ErrFrameTooLarge reports a frame whose length prefix exceeds the
 // reader's limit. The stream past the prefix cannot be trusted, so the
-// connection is cut after the typed FRAME_TOO_BIG response.
-var ErrFrameTooLarge = errors.New("server: frame length exceeds limit")
+// connection is cut after the typed FRAME_TOO_BIG response. It is the
+// shared oaerr sentinel, so errors.Is matches across the package oamem
+// surface, this package, and client libraries.
+var ErrFrameTooLarge = oaerr.ErrFrameTooLarge
 
 // AppendFrame appends one wire frame to b. Exported so the zero-alloc
 // proofs and encode benchmarks exercise the exact production path.

@@ -18,6 +18,14 @@
 //
 //	CAS key old new  →  :1 swapped | :0 current value != old | $-1 absent
 //
+// With Config.Cache set, the data commands run through the TTL/LRU
+// cache layer (lazy expiry on GET/EXISTS, default TTL and pressure
+// eviction on SET) and three more commands come alive:
+//
+//	SETEX  key seconds value  →  +OK (SET with a per-key TTL)
+//	EXPIRE key seconds        →  :1 deadline set | :0 absent
+//	TTL    key                →  :N seconds | :-1 no deadline | :-2 absent
+//
 // Lease exhaustion answers -BUSY (retry after backoff), node-budget
 // exhaustion -OOM — both standard Redis error classes. RESP2 has no
 // server push, so there is no GOAWAY equivalent: on drain, connections
@@ -32,11 +40,14 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/kvmap"
 	"repro/internal/lease"
+	"repro/internal/oaerr"
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/ttlcache"
 )
 
 // RESP reader limits: a command may carry at most respMaxArgs arguments
@@ -53,8 +64,9 @@ const respMaxValue = 7
 
 // ErrRESPProtocol reports a malformed or over-limit RESP command; the
 // connection is cut after an -ERR reply because the stream cannot be
-// resynchronized.
-var ErrRESPProtocol = errors.New("server: RESP protocol error")
+// resynchronized. It wraps the shared oaerr.ErrBadRequest sentinel, so
+// errors.Is classifies it with every other malformed-input failure.
+var ErrRESPProtocol = fmt.Errorf("server: RESP protocol error: %w", oaerr.ErrBadRequest)
 
 // --- encoding ------------------------------------------------------------
 
@@ -387,6 +399,36 @@ func (c *conn) respSession(key []byte) (*kvmap.Session, uint64, []byte) {
 	return sess, k, nil
 }
 
+// respCacheSession routes a RESP key like respSession and wraps the
+// shard's session with the shard's TTL/LRU cache layer. Only called
+// when c.s.cfg.Cache is set; the wrap is a value, so per-request
+// wrapping allocates nothing.
+func (c *conn) respCacheSession(key []byte) (ttlcache.Session, uint64, []byte) {
+	sess, k, errReply := c.respSession(key)
+	if errReply != nil {
+		return ttlcache.Session{}, 0, errReply
+	}
+	return c.s.cfg.Cache.Cache(c.s.shards.ShardIndex(k)).With(sess), k, nil
+}
+
+// parseSeconds parses a RESP integer argument of seconds.
+func parseSeconds(b []byte) (int64, bool) {
+	n, err := strconv.ParseInt(string(b), 10, 32)
+	return n, err == nil
+}
+
+// respSetErr classifies a cache Set failure: node-budget exhaustion
+// (even after eviction relief) answers -OOM like the raw path, but
+// non-fatally — the cache already shed what it could, the connection
+// and the store remain healthy, and the client may retry.
+func (c *conn) respSetErr(err error) []byte {
+	if errors.Is(err, lease.ErrCapacityExhausted) {
+		c.s.capTotal.Add(1)
+		return AppendRESPError(nil, "OOM node budget exhausted after eviction relief")
+	}
+	return AppendRESPError(nil, "ERR "+err.Error())
+}
+
 func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -416,6 +458,16 @@ func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) 
 			return respWrongArity(cmd), false
 		}
 		c.countCmd(OpGet)
+		if c.s.cfg.Cache != nil {
+			cs, k, errReply := c.respCacheSession(args[0])
+			if errReply != nil {
+				return errReply, false
+			}
+			if w, ok := cs.Get(k); ok {
+				return AppendRESPBulk(nil, appendUnpacked(nil, w)), false
+			}
+			return AppendRESPNil(nil), false
+		}
 		sess, k, errReply := c.respSession(args[0])
 		if errReply != nil {
 			return errReply, false
@@ -433,12 +485,101 @@ func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) 
 		if !ok {
 			return AppendRESPError(nil, "ERR value exceeds the 7-byte limit of the u64-packed store"), false
 		}
+		if c.s.cfg.Cache != nil {
+			cs, k, errReply := c.respCacheSession(args[0])
+			if errReply != nil {
+				return errReply, false
+			}
+			if err := cs.Set(k, w); err != nil {
+				return c.respSetErr(err), false
+			}
+			return AppendRESPSimple(nil, "OK"), false
+		}
 		sess, k, errReply := c.respSession(args[0])
 		if errReply != nil {
 			return errReply, false
 		}
 		sess.Put(k, w)
 		return AppendRESPSimple(nil, "OK"), false
+	case eq(cmd, "SETEX"):
+		// SETEX key seconds value — SET plus a per-key TTL. Cache-only:
+		// without the cache layer the map has nowhere to keep a deadline.
+		if len(args) != 3 {
+			return respWrongArity(cmd), false
+		}
+		c.countCmd(OpPut)
+		if c.s.cfg.Cache == nil {
+			return AppendRESPError(nil, "ERR SETEX requires the cache layer (run with -cache)"), false
+		}
+		secs, okSecs := parseSeconds(args[1])
+		if !okSecs || secs <= 0 {
+			return AppendRESPError(nil, "ERR invalid expire time in 'setex' command"), false
+		}
+		w, ok := packValue(args[2])
+		if !ok {
+			return AppendRESPError(nil, "ERR value exceeds the 7-byte limit of the u64-packed store"), false
+		}
+		cs, k, errReply := c.respCacheSession(args[0])
+		if errReply != nil {
+			return errReply, false
+		}
+		if err := cs.SetTTL(k, w, time.Duration(secs)*time.Second); err != nil {
+			return c.respSetErr(err), false
+		}
+		return AppendRESPSimple(nil, "OK"), false
+	case eq(cmd, "EXPIRE"):
+		// EXPIRE key seconds → :1 deadline set, :0 key absent. A
+		// non-positive seconds deletes the key, as in Redis.
+		if len(args) != 2 {
+			return respWrongArity(cmd), false
+		}
+		c.countCmd(OpPut)
+		if c.s.cfg.Cache == nil {
+			return AppendRESPError(nil, "ERR EXPIRE requires the cache layer (run with -cache)"), false
+		}
+		secs, okSecs := parseSeconds(args[1])
+		if !okSecs {
+			return AppendRESPError(nil, "ERR invalid expire time in 'expire' command"), false
+		}
+		cs, k, errReply := c.respCacheSession(args[0])
+		if errReply != nil {
+			return errReply, false
+		}
+		if secs <= 0 {
+			if cs.Remove(k) {
+				return AppendRESPInt(nil, 1), false
+			}
+			return AppendRESPInt(nil, 0), false
+		}
+		if cs.Expire(k, time.Duration(secs)*time.Second) {
+			return AppendRESPInt(nil, 1), false
+		}
+		return AppendRESPInt(nil, 0), false
+	case eq(cmd, "TTL"):
+		// TTL key → :-2 absent (or expired), :-1 live without a
+		// deadline, :N seconds remaining (rounded up, so a key set with
+		// SETEX k 1 v answers :1 immediately).
+		if len(args) != 1 {
+			return respWrongArity(cmd), false
+		}
+		c.countCmd(OpGet)
+		if c.s.cfg.Cache == nil {
+			return AppendRESPError(nil, "ERR TTL requires the cache layer (run with -cache)"), false
+		}
+		cs, k, errReply := c.respCacheSession(args[0])
+		if errReply != nil {
+			return errReply, false
+		}
+		remaining, hasTTL, ok := cs.TTL(k)
+		switch {
+		case !ok:
+			return AppendRESPInt(nil, -2), false
+		case !hasTTL:
+			return AppendRESPInt(nil, -1), false
+		default:
+			secs := int64((remaining + time.Second - 1) / time.Second)
+			return AppendRESPInt(nil, secs), false
+		}
 	case eq(cmd, "DEL"):
 		if len(args) == 0 {
 			return respWrongArity(cmd), false
@@ -450,7 +591,11 @@ func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) 
 			if errReply != nil {
 				return errReply, false
 			}
-			if _, ok := sess.Remove(k); ok {
+			if cache := c.s.cfg.Cache; cache != nil {
+				if cache.Cache(c.s.shards.ShardIndex(k)).With(sess).Remove(k) {
+					removed++
+				}
+			} else if _, ok := sess.Remove(k); ok {
 				removed++
 			}
 		}
@@ -466,7 +611,11 @@ func (c *conn) respExecute(cmd []byte, args [][]byte) (resp []byte, fatal bool) 
 			if errReply != nil {
 				return errReply, false
 			}
-			if _, ok := sess.Get(k); ok {
+			if cache := c.s.cfg.Cache; cache != nil {
+				if cache.Cache(c.s.shards.ShardIndex(k)).With(sess).Contains(k) {
+					found++
+				}
+			} else if _, ok := sess.Get(k); ok {
 				found++
 			}
 		}

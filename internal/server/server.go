@@ -18,6 +18,7 @@ import (
 	"repro/internal/mpmc"
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/ttlcache"
 )
 
 // Config sizes a Server. One of Map or Shards is required; zero values
@@ -31,6 +32,14 @@ type Config struct {
 	// the connection's reader goroutine, so each shard sees an
 	// independent operation stream. Takes precedence over Map.
 	Shards *kvmap.Sharded
+	// Cache, when set, layers TTL/LRU cache semantics over the shards on
+	// the RESP surface: GET applies lazy expiry, SET takes the cache's
+	// default TTL and evicts under pressure instead of failing, and the
+	// EXPIRE/TTL/SETEX commands come alive. It must wrap the same
+	// sharded map the server serves; when Shards (and Map) are nil the
+	// server adopts Cache.Shards(). The binary protocol keeps serving
+	// the raw map words underneath.
+	Cache *ttlcache.Sharded
 	// Window bounds the per-connection in-flight pipeline: responses
 	// executed but not yet written. When the writer falls this far behind,
 	// the reader stops reading from the socket, so backpressure reaches
@@ -154,11 +163,17 @@ var opNames = [8]string{"", "get", "put", "del", "cas", "ping", "stats", "goaway
 // New builds a Server around cfg.Shards (or cfg.Map, wrapped as one
 // shard).
 func New(cfg Config) *Server {
+	if cfg.Shards == nil && cfg.Map == nil && cfg.Cache != nil {
+		cfg.Shards = cfg.Cache.Shards()
+	}
 	if cfg.Shards == nil {
 		if cfg.Map == nil {
-			panic("server: Config.Map or Config.Shards is required")
+			panic("server: Config.Map, Config.Shards or Config.Cache is required")
 		}
 		cfg.Shards = kvmap.ShardedOf(cfg.Map)
+	}
+	if cfg.Cache != nil && cfg.Cache.Shards() != cfg.Shards {
+		panic("server: Config.Cache must wrap Config.Shards")
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 256
@@ -467,13 +482,13 @@ type Snapshot struct {
 	SessionsInUse int      `json:"sessions_leased"`
 	SessionGrants uint64   `json:"session_grants"`
 	// Batched-execution block: zero values in inline mode.
-	ExecMode   string   `json:"exec_mode"`
-	RingCap    int      `json:"ring_cap"`
-	RingDepth  []int    `json:"ring_depth"`
-	RingFull   uint64   `json:"ring_full"`
-	Batches    uint64   `json:"exec_batches"`
-	BatchedOps uint64   `json:"exec_batched_ops"`
-	MaxBatch   uint64   `json:"exec_max_batch"`
+	ExecMode   string `json:"exec_mode"`
+	RingCap    int    `json:"ring_cap"`
+	RingDepth  []int  `json:"ring_depth"`
+	RingFull   uint64 `json:"ring_full"`
+	Batches    uint64 `json:"exec_batches"`
+	BatchedOps uint64 `json:"exec_batched_ops"`
+	MaxBatch   uint64 `json:"exec_max_batch"`
 }
 
 func (s *Server) snapshot() Snapshot {
@@ -497,13 +512,13 @@ func (s *Server) snapshot() Snapshot {
 		}
 	}
 	return Snapshot{
-		ExecMode:   mode,
-		RingCap:    ringCap,
-		RingDepth:  depth,
-		RingFull:   s.ringFull.Load(),
-		Batches:    batches,
-		BatchedOps: batchedOps,
-		MaxBatch:   maxBatch,
+		ExecMode:      mode,
+		RingCap:       ringCap,
+		RingDepth:     depth,
+		RingFull:      s.ringFull.Load(),
+		Batches:       batches,
+		BatchedOps:    batchedOps,
+		MaxBatch:      maxBatch,
 		Connections:   s.active.Load(),
 		ConnsTotal:    s.connsTotal.Load(),
 		RequestsRead:  s.sumStripes(func(st *shardStripe) uint64 { return st.reqsRead.Load() }),
@@ -575,17 +590,23 @@ func (s *Server) healthDoc() any {
 }
 
 // statsBody builds the STATS JSON: server counters, per-command latency
-// summaries, the health block when a flight recorder is attached, plus
-// per-shard reclamation stats ("map" stays the shard-0 block for
-// pre-sharding consumers).
+// summaries, the health block when a flight recorder is attached, the
+// cache block when the TTL/LRU layer is configured, plus per-shard
+// reclamation stats ("map" stays the shard-0 block for pre-sharding
+// consumers).
 func (s *Server) statsBody() []byte {
+	var cacheStats any
+	if s.cfg.Cache != nil {
+		cacheStats = s.cfg.Cache.Stats()
+	}
 	b, err := json.Marshal(struct {
 		Server  Snapshot              `json:"server"`
 		Latency map[string]CmdLatency `json:"latency"`
 		Health  any                   `json:"health,omitempty"`
+		Cache   any                   `json:"cache,omitempty"`
 		Map     any                   `json:"map"`
 		Maps    any                   `json:"map_shards"`
-	}{s.snapshot(), s.latencySnapshot(), s.healthDoc(), s.shards.Shard(0).Stats(), s.shards.Stats()})
+	}{s.snapshot(), s.latencySnapshot(), s.healthDoc(), cacheStats, s.shards.Shard(0).Stats(), s.shards.Stats()})
 	if err != nil {
 		return []byte(`{}`)
 	}

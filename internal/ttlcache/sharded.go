@@ -1,0 +1,57 @@
+package ttlcache
+
+import (
+	"repro/internal/kvmap"
+)
+
+// Sharded is the cache layer over a kvmap.Sharded: one Cache per shard,
+// sharing the shard's map, session economy and reclamation phases. The
+// server wraps each request's shard session with the shard's cache.
+type Sharded struct {
+	sh     *kvmap.Sharded
+	caches []*Cache
+}
+
+// OverSharded layers a cache on every shard of sh. MaxLive is a total
+// and is divided evenly across shards (like the map's capacity).
+func OverSharded(sh *kvmap.Sharded, o Options) *Sharded {
+	n := sh.NumShards()
+	if o.MaxLive > 0 {
+		o.MaxLive = (o.MaxLive + n - 1) / n
+	}
+	s := &Sharded{sh: sh, caches: make([]*Cache, n)}
+	for i := range s.caches {
+		s.caches[i] = Over(sh.Shard(i), o)
+	}
+	return s
+}
+
+// Shards exposes the underlying sharded map.
+func (s *Sharded) Shards() *kvmap.Sharded { return s.sh }
+
+// Cache returns shard i's cache layer.
+func (s *Sharded) Cache(i int) *Cache { return s.caches[i] }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.caches) }
+
+// Stats aggregates the per-shard cache counters.
+func (s *Sharded) Stats() Stats {
+	var t Stats
+	for _, c := range s.caches {
+		st := c.Stats()
+		t.Live += st.Live
+		t.Expired += st.Expired
+		t.Evicted += st.Evicted
+		t.Reliefs += st.Reliefs
+		t.Sweeps += st.Sweeps
+	}
+	return t
+}
+
+// Close stops every shard's sweeper (the maps are closed by their owner).
+func (s *Sharded) Close() {
+	for _, c := range s.caches {
+		c.Close()
+	}
+}

@@ -1,10 +1,19 @@
 package oamem
 
-import "repro/internal/lease"
+import (
+	"repro/internal/lease"
+	"repro/internal/oaerr"
+)
 
-// Typed sentinel errors. They are the same values the internal layers
-// return, so errors.Is matches whether a caller got the error from this
-// package, from a *Map (package kvmap) or from the network server.
+// The package's complete typed error surface. Every sentinel here is the
+// same value the internal layers return — errors.Is matches whether a
+// caller got the error from this package, from a structure session, from
+// a recovered allocator panic, or (through internal/server.SentinelOf)
+// from a network status code. There are nine sentinels in three groups:
+// session economy (ErrNoFreeSessions, ErrClosed, ErrCapacityExhausted),
+// construction (ErrInvalidOptions), and request outcomes shared with the
+// wire protocols (ErrNotFound, ErrCASMismatch, ErrBadRequest,
+// ErrFrameTooLarge, ErrValueTooLarge).
 var (
 	// ErrNoFreeSessions is returned by every Acquire when all Threads
 	// session slots are currently leased. It is a load condition, not a
@@ -21,9 +30,39 @@ var (
 
 	// ErrCapacityExhausted reports that a structure's fixed node budget
 	// (under OA, Capacity = peak live set + reclamation slack δ) cannot
-	// admit more keys. Admission-control layers return it before the
-	// allocator starves; if the budget is truly overrun, the allocator
-	// panics with an error value wrapping this sentinel, so a recover
-	// handler can classify the failure with errors.Is.
+	// admit more keys. Admission-control layers (and CacheSession.Set
+	// after eviction relief fails) return it before the allocator
+	// starves; if the budget is truly overrun, the allocator panics with
+	// an error value wrapping this sentinel, so a recover handler can
+	// classify the failure with errors.Is.
 	ErrCapacityExhausted = lease.ErrCapacityExhausted
+
+	// ErrInvalidOptions is wrapped by every constructor error that
+	// rejects its options (negative sizes, a scheme the structure does
+	// not support, an unknown scheme). The returned error's message
+	// names the offending field and value.
+	ErrInvalidOptions = oaerr.ErrInvalidOptions
+
+	// ErrNotFound reports a lookup missed: the key is absent, or — for a
+	// Cache — present but past its TTL deadline. The binary protocol's
+	// NOT_FOUND status and the RESP nil bulk map onto it.
+	ErrNotFound = oaerr.ErrNotFound
+
+	// ErrCASMismatch reports a compare-and-swap found the key but the
+	// current value differed from the expected one.
+	ErrCASMismatch = oaerr.ErrCASMismatch
+
+	// ErrBadRequest reports a malformed or unknown request (bad opcode,
+	// RESP protocol error, wrong arity). Servers answer it without
+	// cutting the connection when the stream is still in sync.
+	ErrBadRequest = oaerr.ErrBadRequest
+
+	// ErrFrameTooLarge reports a protocol frame or RESP command exceeded
+	// the configured limits. The connection is cut afterwards because
+	// the stream cannot be resynchronized.
+	ErrFrameTooLarge = oaerr.ErrFrameTooLarge
+
+	// ErrValueTooLarge reports a value does not fit the u64-packed store
+	// (RESP values are at most 7 bytes, {len:1B | bytes:7B}).
+	ErrValueTooLarge = oaerr.ErrValueTooLarge
 )

@@ -1,8 +1,6 @@
 package oamem
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/ebr"
 	"repro/internal/hpscheme"
@@ -26,9 +24,9 @@ func buildQueue(c config) (smr.Queue, error) {
 	case EBR:
 		return queue.NewEBR(ebr.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, OpsPerScan: 10 * o.ScanThreshold}), nil
 	case Anchors:
-		return nil, fmt.Errorf("oamem: anchors is implemented for the linked list only (as in the paper)")
+		return nil, badOption("anchors is implemented for the linked list only (as in the paper); scheme %v", c.scheme)
 	default:
-		return nil, fmt.Errorf("oamem: unknown scheme %v", c.scheme)
+		return nil, badOption("unknown scheme %v", c.scheme)
 	}
 }
 
@@ -47,13 +45,6 @@ func FIFO(opts ...Option) (*Queue, error) {
 	return newQueue(raw, c.o.threads()), nil
 }
 
-// NewQueue builds a Michael-Scott FIFO queue under the given scheme.
-//
-// Deprecated: use FIFO with functional options.
-func NewQueue(scheme Scheme, o Options) (*Queue, error) {
-	return FIFO(WithScheme(scheme), o)
-}
-
 // Ordered builds a skip-list ordered set under the optimistic access
 // scheme: leased ScanSessions support RangeScan, which visits keys in
 // ascending order with weak (snapshot-free) consistency.
@@ -63,26 +54,13 @@ func Ordered(opts ...Option) (*OrderedSet, error) {
 		return nil, err
 	}
 	if c.scheme != OA {
-		return nil, fmt.Errorf("oamem: ordered range scans are implemented under the OA scheme only")
+		return nil, badOption("ordered range scans are implemented under the OA scheme only; scheme %v", c.scheme)
 	}
 	o := c.o
 	sl := skiplist.NewOA(core.Config{
 		MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool,
 	})
 	return &OrderedSet{OASkipList: sl, raw: make([]skiplist.ScanSession, o.threads())}, nil
-}
-
-// NewOrderedSet builds an ordered set under the optimistic access scheme.
-//
-// Deprecated: use Ordered with functional options.
-func NewOrderedSet(o Options) *OrderedSet {
-	os, err := Ordered(o)
-	if err != nil {
-		// Ordered only fails on invalid options or a non-OA scheme; this
-		// wrapper passes a struct and fixes the scheme, so it cannot.
-		panic(err)
-	}
-	return os
 }
 
 // Map is a lock-free uint64→uint64 hash map under the optimistic access
@@ -102,7 +80,7 @@ func KV(opts ...Option) (*Map, error) {
 		return nil, err
 	}
 	if c.scheme != OA {
-		return nil, fmt.Errorf("oamem: the kv map is implemented under the OA scheme only")
+		return nil, badOption("the kv map is implemented under the OA scheme only; scheme %v", c.scheme)
 	}
 	o := c.o
 	return kvmap.New(core.Config{
@@ -127,24 +105,10 @@ func ShardedKV(opts ...Option) (*ShardedMap, error) {
 		return nil, err
 	}
 	if c.scheme != OA {
-		return nil, fmt.Errorf("oamem: the kv map is implemented under the OA scheme only")
+		return nil, badOption("the kv map is implemented under the OA scheme only; scheme %v", c.scheme)
 	}
 	o := c.o
 	return kvmap.NewSharded(core.Config{
 		MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool,
 	}, c.expected, c.shards), nil
-}
-
-// NewMap builds a hash map under the optimistic access scheme, sized for
-// expected entries.
-//
-// Deprecated: use KV with functional options.
-func NewMap(o Options, expected int) *Map {
-	m, err := KV(o, WithExpected(expected))
-	if err != nil {
-		// KV only fails on invalid options or a non-OA scheme; this
-		// wrapper passes a struct and fixes the scheme, so it cannot.
-		panic(err)
-	}
-	return m
 }

@@ -1,6 +1,7 @@
 package oamem_test
 
 import (
+	"errors"
 	"testing"
 
 	"repro/oamem"
@@ -8,11 +9,18 @@ import (
 
 func TestPublicQueue(t *testing.T) {
 	for _, scheme := range []oamem.Scheme{oamem.NoRecl, oamem.OA, oamem.HP, oamem.EBR} {
-		q, err := oamem.NewQueue(scheme, oamem.Options{Threads: 2, Capacity: 4096})
+		q, err := oamem.FIFO(
+			oamem.WithScheme(scheme),
+			oamem.WithThreads(2),
+			oamem.WithCapacity(4096),
+		)
 		if err != nil {
 			t.Fatalf("%v: %v", scheme, err)
 		}
-		s := q.QueueSession(0)
+		s, err := q.Acquire()
+		if err != nil {
+			t.Fatalf("%v: Acquire: %v", scheme, err)
+		}
 		for i := uint64(1); i <= 100; i++ {
 			s.Enqueue(i)
 		}
@@ -25,21 +33,29 @@ func TestPublicQueue(t *testing.T) {
 		if _, ok := s.Dequeue(); ok {
 			t.Fatalf("%v: drained queue not empty", scheme)
 		}
+		s.Release()
 		if q.Scheme() != scheme {
 			t.Fatalf("scheme = %v", q.Scheme())
 		}
 	}
-	if _, err := oamem.NewQueue(oamem.Anchors, oamem.Options{Threads: 1, Capacity: 256}); err == nil {
-		t.Fatal("anchors queue must be rejected")
+	if _, err := oamem.FIFO(oamem.WithScheme(oamem.Anchors), oamem.WithCapacity(256)); !errors.Is(err, oamem.ErrInvalidOptions) {
+		t.Fatalf("anchors queue: %v, want ErrInvalidOptions", err)
 	}
-	if _, err := oamem.NewQueue(oamem.Scheme(99), oamem.Options{Threads: 1, Capacity: 256}); err == nil {
-		t.Fatal("unknown scheme must be rejected")
+	if _, err := oamem.FIFO(oamem.WithScheme(oamem.Scheme(99)), oamem.WithCapacity(256)); !errors.Is(err, oamem.ErrInvalidOptions) {
+		t.Fatalf("unknown scheme: %v, want ErrInvalidOptions", err)
 	}
 }
 
 func TestPublicMap(t *testing.T) {
-	m := oamem.NewMap(oamem.Options{Threads: 2, Capacity: 8192}, 512)
-	s := m.Session(0)
+	m, err := oamem.KV(oamem.WithThreads(2), oamem.WithCapacity(8192), oamem.WithExpected(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
 	if prev, had := s.Put(10, 1); had || prev != 0 {
 		t.Fatal("fresh Put")
 	}

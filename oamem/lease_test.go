@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/oamem"
 )
@@ -197,21 +198,33 @@ func TestSessionStateSurvivesChurn(t *testing.T) {
 }
 
 // TestOptionsValidation covers option merging, defaults and rejection.
+// Every rejection must wrap the typed ErrInvalidOptions sentinel.
 func TestOptionsValidation(t *testing.T) {
-	if _, err := oamem.List(oamem.WithThreads(-1)); err == nil {
-		t.Fatal("negative threads accepted")
+	rejected := map[string]error{}
+	collect := func(name string, _ any, err error) {
+		if err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+		rejected[name] = err
 	}
-	if _, err := oamem.HashSet(oamem.WithCapacity(-5)); err == nil {
-		t.Fatal("negative capacity accepted")
-	}
-	if _, err := oamem.HashSet(oamem.WithScheme(oamem.Anchors)); err == nil {
-		t.Fatal("anchors hash set accepted")
-	}
-	if _, err := oamem.KV(oamem.WithScheme(oamem.HP)); err == nil {
-		t.Fatal("non-OA kv map accepted")
-	}
-	if _, err := oamem.Ordered(oamem.WithScheme(oamem.EBR)); err == nil {
-		t.Fatal("non-OA ordered set accepted")
+	st, err := oamem.List(oamem.WithThreads(-1))
+	collect("negative threads", st, err)
+	st, err = oamem.HashSet(oamem.WithCapacity(-5))
+	collect("negative capacity", st, err)
+	st, err = oamem.HashSet(oamem.WithScheme(oamem.Anchors))
+	collect("anchors hash set", st, err)
+	m, err := oamem.KV(oamem.WithScheme(oamem.HP))
+	collect("non-OA kv map", m, err)
+	os, err := oamem.Ordered(oamem.WithScheme(oamem.EBR))
+	collect("non-OA ordered set", os, err)
+	cc, err := oamem.Cache(oamem.WithTTL(-time.Second))
+	collect("negative TTL", cc, err)
+	cc, err = oamem.Cache(oamem.WithEvictionPolicy(oamem.EvictLRU(-1)))
+	collect("negative eviction watermark", cc, err)
+	for name, err := range rejected {
+		if !errors.Is(err, oamem.ErrInvalidOptions) {
+			t.Fatalf("%s: error %v does not wrap ErrInvalidOptions", name, err)
+		}
 	}
 
 	// The deprecated Options struct is itself an Option: non-zero fields
@@ -228,51 +241,5 @@ func TestOptionsValidation(t *testing.T) {
 	}
 	if set.Scheme() != oamem.OA {
 		t.Fatalf("default scheme = %v, want OA", set.Scheme())
-	}
-}
-
-// TestDeprecatedConstructors asserts the pre-leasing constructor family
-// still works and returns structures that also support leasing.
-func TestDeprecatedConstructors(t *testing.T) {
-	opt := oamem.Options{Threads: 2, Capacity: 4096}
-	set, err := oamem.NewHashSet(oamem.HP, opt, 512)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if set.Scheme() != oamem.HP {
-		t.Fatalf("Scheme = %v, want HP", set.Scheme())
-	}
-	s := set.Session(0) // fixed-slot path still works
-	s.Insert(1)
-	if !s.Contains(1) {
-		t.Fatal("lost key via deprecated Session")
-	}
-
-	q, err := oamem.NewQueue(oamem.OA, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	qs := q.QueueSession(0)
-	qs.Enqueue(5)
-	if v, ok := qs.Dequeue(); !ok || v != 5 {
-		t.Fatalf("Dequeue = %d,%v want 5,true", v, ok)
-	}
-
-	m := oamem.NewMap(opt, 512)
-	ms, err := m.Acquire()
-	if err != nil {
-		t.Fatal(err)
-	}
-	ms.Put(1, 2)
-	if v, ok := ms.Get(1); !ok || v != 2 {
-		t.Fatalf("Get = %d,%v want 2,true", v, ok)
-	}
-	ms.Release()
-
-	os := oamem.NewOrderedSet(opt)
-	ss := os.ScanSession(0)
-	ss.Insert(9)
-	if !ss.Contains(9) {
-		t.Fatal("lost key via deprecated ScanSession")
 	}
 }

@@ -33,13 +33,14 @@
 // thread).
 //
 // Beyond the paper's sets, the package provides FIFO (Michael-Scott
-// queue), KV (uint64→uint64 hash map under OA, the type the network
-// server in internal/server serves) and Ordered (skip list with ordered
-// RangeScan) — see extensions.go.
+// queue), KV and ShardedKV (uint64→uint64 hash maps under OA, the
+// types the network server in internal/server serves), Ordered (skip
+// list with ordered RangeScan) and Cache (a TTL/LRU cache layered over
+// the hash map) — see extensions.go and cache.go.
 //
-// The pre-leasing constructors (NewList, NewHashSet, NewSkipListSet,
-// NewQueue, NewMap, NewOrderedSet) and the fixed-slot Session(i) methods
-// remain as thin deprecated wrappers.
+// Every failure is typed: constructors wrap ErrInvalidOptions, Acquire
+// returns ErrNoFreeSessions or ErrClosed, and a full Cache reports
+// ErrCapacityExhausted — see errors.go for the complete sentinel set.
 //
 // # Choosing a scheme
 //
@@ -57,8 +58,6 @@
 package oamem
 
 import (
-	"fmt"
-
 	"repro/internal/anchors"
 	"repro/internal/core"
 	"repro/internal/ebr"
@@ -83,9 +82,10 @@ const (
 )
 
 // Set is the raw concurrent-set interface every scheme implements
-// (fixed-slot sessions, no leasing). The constructors return *Structure,
-// which implements it; the alias remains for code written against the
-// pre-leasing API.
+// (fixed-slot sessions, no leasing). The public constructors wrap one
+// in a *Structure, whose Acquire/Release lease those fixed slots
+// safely; the alias names the interface for code embedding the raw
+// sets (harnesses, recorders).
 type Set = smr.Set
 
 // Stats aggregates reclamation counters.
@@ -139,7 +139,7 @@ func buildList(c config) (smr.Set, error) {
 	case Anchors:
 		return list.NewAnchors(anchors.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, ScanThreshold: o.ScanThreshold, K: o.AnchorsK}), nil
 	default:
-		return nil, fmt.Errorf("oamem: unknown scheme %v", c.scheme)
+		return nil, badOption("unknown scheme %v", c.scheme)
 	}
 }
 
@@ -156,9 +156,9 @@ func buildHashSet(c config) (smr.Set, error) {
 	case EBR:
 		return hashtable.NewEBR(ebr.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, OpsPerScan: 10 * o.ScanThreshold}, c.expected), nil
 	case Anchors:
-		return nil, fmt.Errorf("oamem: anchors is implemented for the linked list only (as in the paper)")
+		return nil, badOption("anchors is implemented for the linked list only (as in the paper); scheme %v", c.scheme)
 	default:
-		return nil, fmt.Errorf("oamem: unknown scheme %v", c.scheme)
+		return nil, badOption("unknown scheme %v", c.scheme)
 	}
 }
 
@@ -175,9 +175,9 @@ func buildSkipList(c config) (smr.Set, error) {
 	case EBR:
 		return skiplist.NewEBR(ebr.Config{MaxThreads: o.threads(), Capacity: o.Capacity, LocalPool: o.LocalPool, OpsPerScan: 10 * o.ScanThreshold}), nil
 	case Anchors:
-		return nil, fmt.Errorf("oamem: anchors is implemented for the linked list only (as in the paper)")
+		return nil, badOption("anchors is implemented for the linked list only (as in the paper); scheme %v", c.scheme)
 	default:
-		return nil, fmt.Errorf("oamem: unknown scheme %v", c.scheme)
+		return nil, badOption("unknown scheme %v", c.scheme)
 	}
 }
 
@@ -224,25 +224,4 @@ func SkipList(opts ...Option) (*Structure, error) {
 		return nil, err
 	}
 	return newStructure(set, c.o.threads()), nil
-}
-
-// NewList builds a sorted linked-list set under the given scheme.
-//
-// Deprecated: use List with functional options.
-func NewList(scheme Scheme, o Options) (Set, error) {
-	return List(WithScheme(scheme), o)
-}
-
-// NewHashSet builds a hash set sized for expected elements.
-//
-// Deprecated: use HashSet with functional options.
-func NewHashSet(scheme Scheme, o Options, expected int) (Set, error) {
-	return HashSet(WithScheme(scheme), o, WithExpected(expected))
-}
-
-// NewSkipListSet builds a skip-list set under the given scheme.
-//
-// Deprecated: use SkipList with functional options.
-func NewSkipListSet(scheme Scheme, o Options) (Set, error) {
-	return SkipList(WithScheme(scheme), o)
 }

@@ -1,32 +1,37 @@
 package oamem_test
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
 	"repro/oamem"
 )
 
-func constructors() map[string]func(oamem.Scheme) (oamem.Set, error) {
-	opt := oamem.Options{Threads: 4, Capacity: 1 << 14}
-	return map[string]func(oamem.Scheme) (oamem.Set, error){
-		"List":     func(s oamem.Scheme) (oamem.Set, error) { return oamem.NewList(s, opt) },
-		"HashSet":  func(s oamem.Scheme) (oamem.Set, error) { return oamem.NewHashSet(s, opt, 1024) },
-		"SkipList": func(s oamem.Scheme) (oamem.Set, error) { return oamem.NewSkipListSet(s, opt) },
+func constructors() map[string]func(...oamem.Option) (*oamem.Structure, error) {
+	return map[string]func(...oamem.Option) (*oamem.Structure, error){
+		"List":     oamem.List,
+		"HashSet":  oamem.HashSet,
+		"SkipList": oamem.SkipList,
 	}
 }
 
 func TestAllConstructors(t *testing.T) {
+	opt := oamem.Options{Threads: 4, Capacity: 1 << 14}
 	for name, mk := range constructors() {
 		for _, scheme := range []oamem.Scheme{oamem.NoRecl, oamem.OA, oamem.HP, oamem.EBR} {
-			set, err := mk(scheme)
+			set, err := mk(opt, oamem.WithScheme(scheme))
 			if err != nil {
 				t.Fatalf("%s/%v: %v", name, scheme, err)
 			}
-			s := set.Session(0)
+			s, err := set.Acquire()
+			if err != nil {
+				t.Fatalf("%s/%v: Acquire: %v", name, scheme, err)
+			}
 			if !s.Insert(7) || !s.Contains(7) || s.Insert(7) || !s.Delete(7) || s.Contains(7) {
 				t.Fatalf("%s/%v: set semantics broken", name, scheme)
 			}
+			s.Release()
 			if set.Scheme() != scheme {
 				t.Fatalf("%s/%v: reports scheme %v", name, scheme, set.Scheme())
 			}
@@ -36,32 +41,32 @@ func TestAllConstructors(t *testing.T) {
 
 func TestAnchorsListOnly(t *testing.T) {
 	opt := oamem.Options{Threads: 2, Capacity: 4096}
-	if _, err := oamem.NewList(oamem.Anchors, opt); err != nil {
+	if _, err := oamem.List(opt, oamem.WithScheme(oamem.Anchors)); err != nil {
 		t.Fatalf("anchors list: %v", err)
 	}
-	if _, err := oamem.NewHashSet(oamem.Anchors, opt, 128); err == nil {
-		t.Fatal("anchors hash set must be rejected")
+	if _, err := oamem.HashSet(opt, oamem.WithScheme(oamem.Anchors)); !errors.Is(err, oamem.ErrInvalidOptions) {
+		t.Fatalf("anchors hash set: %v, want ErrInvalidOptions", err)
 	}
-	if _, err := oamem.NewSkipListSet(oamem.Anchors, opt); err == nil {
-		t.Fatal("anchors skip list must be rejected")
+	if _, err := oamem.SkipList(opt, oamem.WithScheme(oamem.Anchors)); !errors.Is(err, oamem.ErrInvalidOptions) {
+		t.Fatalf("anchors skip list: %v, want ErrInvalidOptions", err)
 	}
 }
 
 func TestUnknownScheme(t *testing.T) {
 	opt := oamem.Options{Threads: 1, Capacity: 1024}
-	if _, err := oamem.NewList(oamem.Scheme(99), opt); err == nil {
-		t.Fatal("unknown scheme must error")
-	}
-	if _, err := oamem.NewHashSet(oamem.Scheme(99), opt, 16); err == nil {
-		t.Fatal("unknown scheme must error")
-	}
-	if _, err := oamem.NewSkipListSet(oamem.Scheme(99), opt); err == nil {
-		t.Fatal("unknown scheme must error")
+	for name, mk := range constructors() {
+		if _, err := mk(opt, oamem.WithScheme(oamem.Scheme(99))); !errors.Is(err, oamem.ErrInvalidOptions) {
+			t.Fatalf("%s: unknown scheme: %v, want ErrInvalidOptions", name, err)
+		}
 	}
 }
 
 func TestConcurrentSessionsThroughPublicAPI(t *testing.T) {
-	set, err := oamem.NewHashSet(oamem.OA, oamem.Options{Threads: 4, Capacity: 1 << 14}, 1024)
+	set, err := oamem.HashSet(
+		oamem.WithThreads(4),
+		oamem.WithCapacity(1<<14),
+		oamem.WithExpected(1024),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +75,12 @@ func TestConcurrentSessionsThroughPublicAPI(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			s := set.Session(id)
+			s, err := set.Acquire()
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			defer s.Release()
 			base := uint64(id) << 32
 			for i := uint64(1); i <= 2000; i++ {
 				k := base + i

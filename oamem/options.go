@@ -1,11 +1,16 @@
 package oamem
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/oaerr"
+)
 
 // Option configures a constructor. Options are applied in order, so a
-// later option overrides an earlier one; the deprecated Options struct
-// itself satisfies Option (its non-zero fields apply), which is what
-// keeps pre-leasing call sites compiling against the new constructors.
+// later option overrides an earlier one; the Options struct itself
+// satisfies Option (its non-zero fields apply), which keeps struct-style
+// call sites compiling against the functional constructors.
 type Option interface {
 	applyOption(*config)
 }
@@ -20,10 +25,15 @@ type config struct {
 	scheme   Scheme
 	expected int
 	shards   int
+
+	// Cache-only knobs (see Cache).
+	ttl        time.Duration
+	maxEntries int
+	sweep      time.Duration
 }
 
-// applyOption merges the struct's non-zero fields, making the deprecated
-// Options struct usable wherever an Option is expected.
+// applyOption merges the struct's non-zero fields, making the Options
+// struct usable wherever an Option is expected.
 func (o Options) applyOption(c *config) {
 	if o.Threads != 0 {
 		c.o.Threads = o.Threads
@@ -71,9 +81,9 @@ func WithScanThreshold(n int) Option {
 // (1000 default, as in the paper).
 func WithAnchorsK(k int) Option { return optionFunc(func(c *config) { c.o.AnchorsK = k }) }
 
-// WithExpected sizes hash-based structures (HashSet, KV) for the given
-// expected element count. Defaults to half the capacity (a hash table
-// at the paper's 0.75 load factor comfortably holds that live set).
+// WithExpected sizes hash-based structures (HashSet, KV, Cache) for the
+// given expected element count. Defaults to half the capacity (a hash
+// table at the paper's 0.75 load factor comfortably holds that live set).
 func WithExpected(n int) Option { return optionFunc(func(c *config) { c.expected = n }) }
 
 // WithServerShards sets the shard count for ShardedKV: the keyspace is
@@ -84,6 +94,46 @@ func WithExpected(n int) Option { return optionFunc(func(c *config) { c.expected
 // divided evenly across the shards.
 func WithServerShards(n int) Option { return optionFunc(func(c *config) { c.shards = n }) }
 
+// WithTTL sets a Cache's default time-to-live, applied by Set (and by
+// SetTTL with ttl 0). Zero — the default — means entries do not expire
+// unless SetTTL/Expire give them an explicit deadline.
+func WithTTL(d time.Duration) Option { return optionFunc(func(c *config) { c.ttl = d }) }
+
+// EvictionPolicy selects how a Cache sheds entries under memory
+// pressure. Construct one with EvictLRU.
+type EvictionPolicy struct {
+	maxEntries int
+}
+
+// EvictLRU evicts the (approximately) least-recently-used entries,
+// sampled per bucket, once the cache holds more than maxEntries live
+// entries — and, regardless of the watermark, whenever an insert hits
+// the node budget (eviction instead of ErrCapacityExhausted).
+// maxEntries 0 leaves only the capacity-pressure eviction.
+func EvictLRU(maxEntries int) EvictionPolicy {
+	return EvictionPolicy{maxEntries: maxEntries}
+}
+
+// WithEvictionPolicy sets a Cache's eviction policy (see EvictLRU).
+// Without it a full cache fails Set with ErrCapacityExhausted after
+// expiry sweeping alone cannot free space.
+func WithEvictionPolicy(p EvictionPolicy) Option {
+	return optionFunc(func(c *config) { c.maxEntries = p.maxEntries })
+}
+
+// WithSweepInterval sets how often a Cache's background sweeper scans
+// for expired entries. Zero (the default) picks one second; a negative
+// value disables the sweeper, leaving expiry purely lazy (reads reap
+// dead entries; Set relieves pressure on demand).
+func WithSweepInterval(d time.Duration) Option {
+	return optionFunc(func(c *config) { c.sweep = d })
+}
+
+// badOption builds a constructor error wrapping ErrInvalidOptions.
+func badOption(format string, args ...any) error {
+	return fmt.Errorf("oamem: "+format+": %w", append(args, oaerr.ErrInvalidOptions)...)
+}
+
 // resolve folds the options over the defaults and validates them.
 func resolve(opts []Option) (config, error) {
 	c := config{scheme: OA}
@@ -93,16 +143,22 @@ func resolve(opts []Option) (config, error) {
 		}
 	}
 	if c.o.Threads < 0 {
-		return c, fmt.Errorf("oamem: negative Threads %d", c.o.Threads)
+		return c, badOption("negative Threads %d", c.o.Threads)
 	}
 	if c.o.Capacity < 0 {
-		return c, fmt.Errorf("oamem: negative Capacity %d", c.o.Capacity)
+		return c, badOption("negative Capacity %d", c.o.Capacity)
 	}
 	if c.expected < 0 {
-		return c, fmt.Errorf("oamem: negative Expected %d", c.expected)
+		return c, badOption("negative Expected %d", c.expected)
 	}
 	if c.shards < 0 {
-		return c, fmt.Errorf("oamem: negative ServerShards %d", c.shards)
+		return c, badOption("negative ServerShards %d", c.shards)
+	}
+	if c.ttl < 0 {
+		return c, badOption("negative TTL %v", c.ttl)
+	}
+	if c.maxEntries < 0 {
+		return c, badOption("negative EvictLRU maxEntries %d", c.maxEntries)
 	}
 	if c.expected == 0 {
 		if c.o.Capacity > 0 {

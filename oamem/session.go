@@ -10,9 +10,9 @@ import (
 
 // Structure is a concurrent set (list, hash set or skip list) plus the
 // session registry that multiplexes goroutines onto its fixed thread
-// contexts. Acquire leases a session for the calling goroutine; the
-// deprecated fixed-slot Session method remains for callers that manage
-// thread ids themselves (benchmark harnesses with pinned workers).
+// contexts. Acquire leases a session for the calling goroutine.
+// (Benchmark harnesses with pinned workers bind fixed slots through the
+// internal smr.Set interface instead; the public surface leases only.)
 type Structure struct {
 	set    smr.Set
 	lessor *lease.Registry
@@ -49,13 +49,6 @@ func (st *Structure) Acquire() (*Session, error) {
 	}
 	return &Session{Session: raw, st: st, tid: tid}, nil
 }
-
-// Session returns the fixed-slot handle for thread tid.
-//
-// Deprecated: fixed thread ids cannot be assigned safely from dynamic
-// goroutine populations (two goroutines must never share a slot); use
-// Acquire, which leases a free slot and hands it back on Release.
-func (st *Structure) Session(tid int) smr.Session { return st.set.Session(tid) }
 
 // Stats returns scheme counters aggregated over all threads.
 func (st *Structure) Stats() Stats { return st.set.Stats() }
@@ -127,11 +120,6 @@ func (q *Queue) Acquire() (*QueueSession, error) {
 	}
 	return &QueueSession{QueueSession: raw, q: q, tid: tid}, nil
 }
-
-// QueueSession returns the fixed-slot handle for thread tid.
-//
-// Deprecated: use Acquire (see Structure.Session).
-func (q *Queue) QueueSession(tid int) smr.QueueSession { return q.q.QueueSession(tid) }
 
 // Stats returns scheme counters aggregated over all threads.
 func (q *Queue) Stats() Stats { return q.q.Stats() }

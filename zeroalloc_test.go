@@ -1,18 +1,36 @@
 package repro
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/hpscheme"
 	"repro/internal/kvmap"
 	"repro/internal/list"
+	"repro/internal/oakit"
 	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/server"
 	"repro/internal/skiplist"
 	"repro/internal/trace"
+	"repro/internal/ttlcache"
 )
+
+// zanode is a minimal oakit node: the kit's generic primitives must stay
+// zero-alloc for any user-defined node type, not just the in-repo ports.
+type zanode struct {
+	key  atomic.Uint64
+	next atomic.Uint64
+}
+
+func (n *zanode) KeyWord() *atomic.Uint64  { return &n.key }
+func (n *zanode) NextWord() *atomic.Uint64 { return &n.next }
+
+func resetZANode(n *zanode) {
+	n.key.Store(0)
+	n.next.Store(0)
+}
 
 // The data-structure hot paths must not allocate Go heap memory: all node
 // storage comes from the arena, descriptor lists live on the stack, the
@@ -110,6 +128,61 @@ func TestSteadyStateOpsDoNotAllocate(t *testing.T) {
 			s.Release()
 		}); avg > 0.05 {
 			t.Fatalf("lease churn allocates %.2f objects/cycle", avg)
+		}
+	})
+
+	t.Run("GenericListOA", func(t *testing.T) {
+		// The oakit generic traversal goes through interface-free type
+		// parameters; a careless constraint would box the node pointer on
+		// every NodeOf method call and put an escape in the read path.
+		l := oakit.NewList[zanode](core.Config{MaxThreads: 1, Capacity: capacity}, resetZANode)
+		s := l.Session(0)
+		for k := uint64(1); k <= 512; k++ {
+			s.Insert(k)
+		}
+		k := uint64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			k++
+			s.Contains(k%512 + 1)
+			s.Insert(k%512 + 600)
+			s.Delete(k%512 + 600)
+		}); avg > 0.05 {
+			t.Fatalf("generic kit ops allocate %.2f objects/op", avg)
+		}
+	})
+
+	t.Run("CacheHit", func(t *testing.T) {
+		// The cache layer adds aux-word decode + an access-stamp CAS over
+		// the raw map read; none of it may touch the Go heap, or every GET
+		// on the server's cache path would feed the GC.
+		clock := new(atomic.Int64)
+		clock.Store(1)
+		m := kvmap.New(core.Config{MaxThreads: 2, Capacity: capacity}, 512)
+		c := ttlcache.Over(m, ttlcache.Options{NowMs: clock.Load})
+		defer c.Close()
+		s, err := c.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Release()
+		for k := uint64(1); k <= 512; k++ {
+			if err := s.Set(k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k := uint64(0)
+		if avg := testing.AllocsPerRun(2000, func() {
+			k++
+			clock.Add(1) // moving clock exercises the stamp-refresh CAS
+			if _, ok := s.Get(k%512 + 1); !ok {
+				t.Fatal("miss on an immortal key")
+			}
+			if err := s.Set(k%512+1, k); err != nil {
+				t.Fatal(err)
+			}
+			s.TTL(k%512 + 1)
+		}); avg > 0.05 {
+			t.Fatalf("cache hit path allocates %.2f objects/op", avg)
 		}
 	})
 
